@@ -1,0 +1,76 @@
+//! AutoTVM-like template-guided search (§2, reference \[11\]).
+//!
+//! AutoTVM explores the parameter space of a *manual template*: the tile
+//! structure, fusion pattern and unrolling policy are fixed by the template
+//! author; the tuner searches tile sizes and a few knobs with a learned
+//! model ranking random candidates. We model this as Ansor's
+//! "limited space" sketch set (no cache stages, no rfactor, no computation
+//! location changes, fixed unroll pragma) searched by model-guided random
+//! sampling *without* evolutionary fine-tuning — evolution's out-of-order
+//! rewriting is exactly what templates cannot express.
+
+use ansor_core::{
+    auto_schedule, EvolutionConfig, PolicyVariant, SearchTask, TuningOptions,
+};
+use hwsim::Measurer;
+
+use crate::{FrameworkResult, SearchFramework};
+
+/// The AutoTVM-like baseline.
+pub struct AutoTvm;
+
+impl SearchFramework for AutoTvm {
+    fn name(&self) -> &'static str {
+        "AutoTVM"
+    }
+
+    fn tune(&self, task: &SearchTask, trials: usize, seed: u64) -> FrameworkResult {
+        let options = TuningOptions {
+            num_measure_trials: trials,
+            variant: PolicyVariant::LimitedSpace,
+            // Model-ranked random parameter sampling: generations = 0 ranks
+            // a large random population without mutating it.
+            init_population: 192,
+            evolution: EvolutionConfig {
+                population: 192,
+                generations: 0,
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        };
+        let mut measurer = Measurer::new(task.target.clone());
+        let result = auto_schedule(task, options, &mut measurer);
+        FrameworkResult {
+            best_seconds: result.best_seconds,
+            history: result.history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::small_matmul_task;
+
+    #[test]
+    fn autotvm_tunes_within_budget() {
+        let task = small_matmul_task();
+        let r = AutoTvm.tune(&task, 32, 3);
+        assert!(r.best_seconds.is_finite());
+        assert!(r.history.len() <= 32);
+    }
+
+    #[test]
+    fn ansor_matches_or_beats_autotvm() {
+        let task = small_matmul_task();
+        let autotvm = AutoTvm.tune(&task, 48, 5);
+        let ansor = crate::AnsorFramework.tune(&task, 48, 5);
+        assert!(
+            ansor.best_seconds <= autotvm.best_seconds * 1.15,
+            "ansor {} vs autotvm {}",
+            ansor.best_seconds,
+            autotvm.best_seconds
+        );
+    }
+}

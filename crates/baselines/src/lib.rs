@@ -1,0 +1,116 @@
+//! Baseline search frameworks the paper compares against (§7):
+//!
+//! - [`vendor`] — a vendor-library stand-in (PyTorch/MKL-DNN, TensorFlow,
+//!   TensorRT, TF-Lite): statically pre-tuned expert kernels, no on-line
+//!   search.
+//! - [`autotvm`] — template-guided search (AutoTVM): a manual-template-like
+//!   restricted space explored by model-guided parameter sampling.
+//! - [`flextensor`] — general templates without operator fusion and with a
+//!   fixed unrolling policy (FlexTensor).
+//! - [`beam`] — sequential-construction beam search over incomplete
+//!   programs with a learned cost model (Halide auto-scheduler).
+//!
+//! All baselines measure against the *same* simulated hardware through the
+//! same [`hwsim::Measurer`], so comparisons reflect search quality only.
+
+#![warn(missing_docs)]
+
+pub mod autotvm;
+pub mod beam;
+pub mod flextensor;
+pub mod vendor;
+
+use ansor_core::{SearchTask, TuningRecord};
+
+/// Result of running one framework on one task.
+#[derive(Debug, Clone)]
+pub struct FrameworkResult {
+    /// Best execution time found, seconds.
+    pub best_seconds: f64,
+    /// Per-trial history.
+    pub history: Vec<TuningRecord>,
+}
+
+/// A search framework that tunes one task under a trial budget.
+pub trait SearchFramework {
+    /// Display name, e.g. `"AutoTVM"`.
+    fn name(&self) -> &'static str;
+    /// Tunes the task with at most `trials` hardware measurements.
+    fn tune(&self, task: &SearchTask, trials: usize, seed: u64) -> FrameworkResult;
+}
+
+/// All comparison frameworks of Figure 6/8 in plot order (the vendor
+/// library is handled separately because it performs no measurements).
+pub fn search_frameworks() -> Vec<Box<dyn SearchFramework>> {
+    vec![
+        Box::new(beam::HalideBeam::default()),
+        Box::new(flextensor::FlexTensor),
+        Box::new(autotvm::AutoTvm),
+        Box::new(AnsorFramework),
+    ]
+}
+
+/// Full Ansor wrapped in the common framework interface.
+pub struct AnsorFramework;
+
+impl SearchFramework for AnsorFramework {
+    fn name(&self) -> &'static str {
+        "Ansor"
+    }
+
+    fn tune(&self, task: &SearchTask, trials: usize, seed: u64) -> FrameworkResult {
+        let options = ansor_core::TuningOptions {
+            num_measure_trials: trials,
+            seed,
+            ..Default::default()
+        };
+        let mut measurer = hwsim::Measurer::new(task.target.clone());
+        let result = ansor_core::auto_schedule(task, options, &mut measurer);
+        FrameworkResult {
+            best_seconds: result.best_seconds,
+            history: result.history,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use std::sync::Arc;
+    use tensor_ir::{DagBuilder, Expr, Reducer};
+
+    pub fn small_matmul_task() -> SearchTask {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[128, 128]);
+        let w = b.constant("B", &[128, 128]);
+        b.compute_reduce("C", &[128, 128], &[128], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        SearchTask::new(
+            "matmul:test",
+            Arc::new(b.build().unwrap()),
+            hwsim::HardwareTarget::intel_20core(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_framework_returns_finite_results() {
+        let task = test_util::small_matmul_task();
+        for fw in search_frameworks() {
+            let r = fw.tune(&task, 24, 1);
+            assert!(
+                r.best_seconds.is_finite() && r.best_seconds > 0.0,
+                "{}: {}",
+                fw.name(),
+                r.best_seconds
+            );
+            assert!(r.history.len() <= 24, "{}", fw.name());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Criterion micro-benchmarks for the system's components: sketch
+//! generation, annotation sampling, lowering, feature extraction, the
+//! analytical hardware model, GBDT training/prediction, and evolution
+//! operators. These benches track the *framework's* own speed (the paper's
+//! §7.3 notes search overhead matters: "it takes about one to two seconds
+//! to compile one program and measure it").
+
+use std::sync::Arc;
+
+use ansor_core::annotate::{sample_program, AnnotationConfig};
+use ansor_core::{
+    evolutionary_search, generate_sketches, EvolutionConfig, Individual, LearnedCostModel,
+    RandomModel, SearchTask,
+};
+use ansor_core::cost_model::CostModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwsim::{HardwareTarget, Measurer};
+use rand::prelude::*;
+use tensor_ir::lower;
+
+fn conv_task() -> SearchTask {
+    let dag = ansor_workloads::build_case("C2D", 2, 1).expect("case");
+    SearchTask::new("c2d:bench", dag, HardwareTarget::intel_20core())
+}
+
+fn sampled_states(task: &SearchTask, n: usize) -> Vec<Individual> {
+    let sketches = generate_sketches(task);
+    let cfg = AnnotationConfig::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut out = Vec::new();
+    while out.len() < n {
+        let id = rng.gen_range(0..sketches.len());
+        if let Some(state) = sample_program(&sketches[id], task, &cfg, &mut rng) {
+            out.push(Individual { state, sketch: id });
+        }
+    }
+    out
+}
+
+fn bench_sketch_generation(c: &mut Criterion) {
+    let task = conv_task();
+    c.bench_function("sketch_generation_conv2d", |b| {
+        b.iter(|| generate_sketches(&task))
+    });
+}
+
+fn bench_annotation(c: &mut Criterion) {
+    let task = conv_task();
+    let sketches = generate_sketches(&task);
+    let cfg = AnnotationConfig::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("random_annotation_conv2d", |b| {
+        b.iter(|| sample_program(&sketches[0], &task, &cfg, &mut rng))
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let task = conv_task();
+    let states = sampled_states(&task, 1);
+    c.bench_function("lowering_conv2d", |b| {
+        b.iter(|| lower(&states[0].state).unwrap())
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let task = conv_task();
+    let states = sampled_states(&task, 1);
+    let program = lower(&states[0].state).unwrap();
+    c.bench_function("feature_extraction_conv2d", |b| {
+        b.iter(|| ansor_features::extract_program_features(&program))
+    });
+}
+
+fn bench_analytical_model(c: &mut Criterion) {
+    let task = conv_task();
+    let states = sampled_states(&task, 1);
+    let program = lower(&states[0].state).unwrap();
+    c.bench_function("analytical_model_conv2d", |b| {
+        b.iter(|| hwsim::estimate_seconds(&program, &task.target))
+    });
+}
+
+fn bench_cache_simulator(c: &mut Criterion) {
+    // Trace-based simulation of a small matmul.
+    let mut b = tensor_ir::DagBuilder::new();
+    let a = b.placeholder("A", &[32, 32]);
+    let w = b.placeholder("B", &[32, 32]);
+    b.compute_reduce("C", &[32, 32], &[32], tensor_ir::Reducer::Sum, |ax| {
+        tensor_ir::Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+            * tensor_ir::Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+    });
+    let dag = Arc::new(b.build().unwrap());
+    let st = tensor_ir::State::new(dag);
+    let program = lower(&st).unwrap();
+    c.bench_function("cache_simulator_matmul32", |bch| {
+        bch.iter(|| hwsim::miss_traffic(&program, 8 * 1024, 64 * 1024))
+    });
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    let task = conv_task();
+    let states = sampled_states(&task, 64);
+    let mut measurer = Measurer::new(task.target.clone());
+    let secs: Vec<f64> = states
+        .iter()
+        .map(|s| measurer.measure(&s.state).seconds)
+        .collect();
+    let plain: Vec<tensor_ir::State> = states.iter().map(|s| s.state.clone()).collect();
+    c.bench_function("cost_model_train_64", |b| {
+        b.iter(|| {
+            let mut m = LearnedCostModel::new();
+            m.update(&task, &plain, &secs);
+        })
+    });
+    let mut model = LearnedCostModel::new();
+    model.update(&task, &plain, &secs);
+    c.bench_function("cost_model_predict_16", |b| {
+        b.iter(|| model.predict(&task, &plain[..16]))
+    });
+}
+
+fn bench_evolution(c: &mut Criterion) {
+    let task = conv_task();
+    let sketches = generate_sketches(&task);
+    let init = sampled_states(&task, 32);
+    let model = RandomModel::new(3);
+    let cfg = EvolutionConfig {
+        population: 32,
+        generations: 1,
+        ..Default::default()
+    };
+    c.bench_function("evolution_round_pop32", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            evolutionary_search(&task, &sketches, init.clone(), &model, &cfg, 8, &mut rng)
+        })
+    });
+}
+
+fn bench_interpreters(c: &mut Criterion) {
+    // Tree-walking interpreter vs. compiled bytecode on a 32^3 matmul.
+    let mut b = tensor_ir::DagBuilder::new();
+    let a = b.placeholder("A", &[32, 32]);
+    let w = b.placeholder("B", &[32, 32]);
+    b.compute_reduce("C", &[32, 32], &[32], tensor_ir::Reducer::Sum, |ax| {
+        tensor_ir::Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+            * tensor_ir::Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+    });
+    let dag = Arc::new(b.build().unwrap());
+    let program = lower(&tensor_ir::State::new(dag.clone())).unwrap();
+    let inputs = tensor_ir::interp::random_inputs(&dag, 0);
+    c.bench_function("interp_tree_matmul32", |bch| {
+        bch.iter(|| tensor_ir::interp::run(&program, &inputs).unwrap())
+    });
+    let compiled = tensor_ir::CompiledProgram::compile(&program);
+    c.bench_function("interp_bytecode_matmul32", |bch| {
+        bch.iter(|| compiled.run(&inputs).unwrap())
+    });
+}
+
+fn bench_measure(c: &mut Criterion) {
+    let task = conv_task();
+    let states = sampled_states(&task, 1);
+    let mut measurer = Measurer::new(task.target.clone());
+    c.bench_function("measure_trial_conv2d", |b| {
+        b.iter(|| measurer.measure(&states[0].state))
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sketch_generation, bench_annotation, bench_lowering,
+              bench_features, bench_analytical_model, bench_cache_simulator,
+              bench_gbdt, bench_evolution, bench_measure, bench_interpreters
+}
+criterion_main!(components);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of end-to-end search rounds: how long one Ansor
+//! tuning round takes per task class (the framework-side overhead that the
+//! paper amortizes against one-to-two-second hardware measurements).
+
+use ansor_core::{auto_schedule, EvolutionConfig, SearchTask, TuningOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwsim::{HardwareTarget, Measurer};
+
+fn tune_once(op: &str, shape: usize) -> f64 {
+    let dag = ansor_workloads::build_case(op, shape, 1).expect("case");
+    let task = SearchTask::new(format!("{op}:bench"), dag, HardwareTarget::intel_20core());
+    let options = TuningOptions {
+        num_measure_trials: 32,
+        measures_per_round: 16,
+        init_population: 24,
+        evolution: EvolutionConfig {
+            population: 24,
+            generations: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut measurer = Measurer::new(task.target.clone());
+    auto_schedule(&task, options, &mut measurer).best_seconds
+}
+
+fn bench_tuning_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuning_32_trials");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (op, shape) in [("GMM", 0usize), ("C2D", 1), ("DEP", 0), ("NRM", 0)] {
+        g.bench_function(format!("{op}_s{shape}"), |b| {
+            b.iter(|| tune_once(op, shape))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(search, bench_tuning_rounds);
+criterion_main!(search);

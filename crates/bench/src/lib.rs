@@ -1,0 +1,162 @@
+//! Shared harness utilities for the experiment binaries that regenerate
+//! the paper's tables and figures (see DESIGN.md's per-experiment index).
+//!
+//! Every binary accepts:
+//!
+//! - `--smoke`  — CI-speed run (tiny budgets, subset of cases);
+//! - `--full`   — paper-scale budgets (1000 trials per test case);
+//! - `--json <path>` — also dump the result table as JSON.
+//!
+//! Default budgets are scaled down from the paper's (documented per
+//! binary and in EXPERIMENTS.md); the *comparative shapes* are stable
+//! across scales.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+
+use serde::Serialize;
+
+/// Budget scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-speed.
+    Smoke,
+    /// Reduced default.
+    Default,
+    /// Paper-scale.
+    Full,
+}
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Selected budget scale.
+    pub scale: Scale,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Extra free-form flags.
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Args {
+        let mut scale = Scale::Default;
+        let mut json = None;
+        let mut flags = Vec::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--smoke" => scale = Scale::Smoke,
+                "--full" => scale = Scale::Full,
+                "--json" => json = it.next(),
+                other => flags.push(other.to_string()),
+            }
+        }
+        Args { scale, json, flags }
+    }
+
+    /// Picks a budget by scale.
+    pub fn pick(&self, smoke: usize, default: usize, full: usize) -> usize {
+        match self.scale {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+            Scale::Full => full,
+        }
+    }
+
+    /// Whether a free-form flag was passed.
+    pub fn has_flag(&self, f: &str) -> bool {
+        self.flags.iter().any(|x| x == f)
+    }
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-30).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Normalizes values so the maximum becomes 1.0.
+pub fn normalize_to_best(values: &[f64]) -> Vec<f64> {
+    let best = values.iter().copied().fold(f64::MIN, f64::max);
+    if best <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| v / best).collect()
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Dumps a serializable result to JSON if requested.
+pub fn maybe_dump_json<T: Serialize>(args: &Args, value: &T) {
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(value).expect("serializable results");
+        let mut f = std::fs::File::create(path).expect("create json output");
+        f.write_all(json.as_bytes()).expect("write json output");
+        println!("(wrote {path})");
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    if !s.is_finite() {
+        "inf".into()
+    } else if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_powers() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_puts_best_at_one() {
+        let n = normalize_to_best(&[1.0, 2.0, 4.0]);
+        assert_eq!(n, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn fmt_units() {
+        assert!(fmt_seconds(2.0).ends_with(" s"));
+        assert!(fmt_seconds(2e-3).ends_with(" ms"));
+        assert!(fmt_seconds(2e-6).ends_with(" us"));
+    }
+}

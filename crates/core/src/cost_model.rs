@@ -1,0 +1,333 @@
+//! Learned cost model (§5.2).
+//!
+//! The model predicts a score for every innermost non-loop statement of a
+//! lowered program and sums them into a program score; higher scores mean
+//! higher predicted throughput. Following the paper, training uses the
+//! weighted squared error `loss(f, P, y) = y · (Σ_{s∈S(P)} f(s) − y)²`
+//! where `y` is the program's throughput normalized to `[0, 1]` per task,
+//! so that fast programs weigh more. A single model is shared across all
+//! tasks/DAGs.
+
+use std::collections::HashMap;
+
+use ansor_features::extract_program_features;
+use gbdt::{Gbdt, GbdtParams, TreeParams};
+use rand::prelude::*;
+use tensor_ir::{lower, State};
+
+use crate::search_task::SearchTask;
+
+/// Scores used to rank candidate programs; higher is better.
+pub trait CostModel {
+    /// Predicts a throughput score for each state (−∞ for unlowerable
+    /// states).
+    fn predict(&self, task: &SearchTask, states: &[State]) -> Vec<f64>;
+
+    /// Predicts a per-node score breakdown for one state (used by
+    /// node-based crossover to pick the better parent per node). The
+    /// default splits the program score evenly.
+    fn predict_per_node(&self, task: &SearchTask, state: &State) -> HashMap<String, f64> {
+        let score = self.predict(task, std::slice::from_ref(state))[0];
+        let mut out = HashMap::new();
+        for n in &state.dag.nodes {
+            if n.compute().is_some() {
+                out.insert(n.name.clone(), score);
+            }
+        }
+        out
+    }
+
+    /// Feeds back measured execution times (seconds) for programs.
+    fn update(&mut self, task: &SearchTask, states: &[State], seconds: &[f64]);
+
+    /// Whether the model has been trained at least once.
+    fn is_trained(&self) -> bool;
+}
+
+/// One stored training record.
+#[derive(Debug, Clone)]
+struct Record {
+    /// Per-statement feature vectors.
+    features: Vec<Vec<f32>>,
+    /// Measured seconds.
+    seconds: f64,
+    /// Task the record came from (normalization group).
+    task: String,
+}
+
+/// GBDT-backed learned cost model.
+pub struct LearnedCostModel {
+    records: Vec<Record>,
+    model: Option<Gbdt>,
+    params: GbdtParams,
+    /// Cap on the number of most recent records used per training pass.
+    max_train_records: usize,
+}
+
+impl Default for LearnedCostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LearnedCostModel {
+    /// Creates an untrained model with tuned-for-speed GBDT parameters.
+    pub fn new() -> LearnedCostModel {
+        LearnedCostModel {
+            records: Vec::new(),
+            model: None,
+            params: GbdtParams {
+                n_trees: 25,
+                learning_rate: 0.25,
+                colsample: 0.4,
+                tree: TreeParams {
+                    max_depth: 6,
+                    min_child_weight: 1e-4,
+                    min_gain: 1e-12,
+                    feature_subset: vec![],
+                },
+            },
+            max_train_records: 800,
+        }
+    }
+
+    /// Number of stored measurement records.
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    fn retrain(&mut self) {
+        // Per-task normalization: y = min_seconds / seconds ∈ (0, 1].
+        let mut min_per_task: HashMap<&str, f64> = HashMap::new();
+        for r in &self.records {
+            let m = min_per_task.entry(r.task.as_str()).or_insert(f64::INFINITY);
+            *m = m.min(r.seconds);
+        }
+        let start = self.records.len().saturating_sub(self.max_train_records);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut w = Vec::new();
+        for r in &self.records[start..] {
+            if !r.seconds.is_finite() || r.features.is_empty() {
+                continue;
+            }
+            let label = (min_per_task[r.task.as_str()] / r.seconds) as f32;
+            let share = label / r.features.len() as f32;
+            for f in &r.features {
+                x.push(f.clone());
+                y.push(share);
+                // The paper weighs samples by throughput y.
+                w.push(label.max(1e-3));
+            }
+        }
+        if x.is_empty() {
+            return;
+        }
+        self.model = Some(Gbdt::train(&x, &y, &w, &self.params));
+    }
+
+    fn score_program(&self, features: &[Vec<f32>]) -> f64 {
+        match &self.model {
+            None => 0.0,
+            Some(m) => features.iter().map(|f| m.predict(f) as f64).sum(),
+        }
+    }
+}
+
+impl CostModel for LearnedCostModel {
+    /// Predicts scores for a batch; lowering + feature extraction +
+    /// inference run on worker threads (the evolution loop queries the
+    /// model for thousands of candidates per round, §5).
+    fn predict(&self, _task: &SearchTask, states: &[State]) -> Vec<f64> {
+        let score_one = |s: &State| match lower(s) {
+            Ok(p) => self.score_program(&extract_program_features(&p)),
+            Err(_) => f64::NEG_INFINITY,
+        };
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(states.len().max(1));
+        if workers <= 1 || states.len() < 8 {
+            return states.iter().map(score_one).collect();
+        }
+        let mut scores = vec![0.0f64; states.len()];
+        let chunk = states.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (cs, out) in states.chunks(chunk).zip(scores.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (s, o) in cs.iter().zip(out.iter_mut()) {
+                        *o = score_one(s);
+                    }
+                });
+            }
+        })
+        .expect("prediction workers do not panic");
+        scores
+    }
+
+    fn predict_per_node(&self, _task: &SearchTask, state: &State) -> HashMap<String, f64> {
+        let mut out = HashMap::new();
+        let Ok(program) = lower(state) else {
+            return out;
+        };
+        let features = extract_program_features(&program);
+        let analyses = tensor_ir::analysis::analyze(&program);
+        for (f, a) in features.iter().zip(&analyses) {
+            let node = program.dag.nodes[a.buffer].name.clone();
+            let base = node.split('.').next().unwrap_or(&node).to_string();
+            let score = match &self.model {
+                None => 0.0,
+                Some(m) => m.predict(f) as f64,
+            };
+            *out.entry(base).or_insert(0.0) += score;
+        }
+        out
+    }
+
+    fn update(&mut self, task: &SearchTask, states: &[State], seconds: &[f64]) {
+        for (s, &sec) in states.iter().zip(seconds) {
+            let Ok(p) = lower(s) else { continue };
+            let features = extract_program_features(&p);
+            self.records.push(Record {
+                features,
+                seconds: sec,
+                task: task.name.clone(),
+            });
+        }
+        self.retrain();
+    }
+
+    fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+}
+
+/// A model that scores uniformly at random: the "no fine-tuning guidance"
+/// ablation baseline.
+pub struct RandomModel {
+    rng: std::cell::RefCell<StdRng>,
+}
+
+impl RandomModel {
+    /// Creates a random model with a fixed seed.
+    pub fn new(seed: u64) -> RandomModel {
+        RandomModel {
+            rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl CostModel for RandomModel {
+    fn predict(&self, _task: &SearchTask, states: &[State]) -> Vec<f64> {
+        let mut rng = self.rng.borrow_mut();
+        states.iter().map(|_| rng.gen::<f64>()).collect()
+    }
+
+    fn update(&mut self, _task: &SearchTask, _states: &[State], _seconds: &[f64]) {}
+
+    fn is_trained(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{sample_program, AnnotationConfig};
+    use crate::sketch::generate_sketches;
+    use hwsim::{HardwareTarget, Measurer};
+    use std::sync::Arc;
+    use tensor_ir::{DagBuilder, Expr, Reducer};
+
+    fn task() -> SearchTask {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[128, 128]);
+        let w = b.constant("B", &[128, 128]);
+        b.compute_reduce("C", &[128, 128], &[128], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        SearchTask::new(
+            "matmul128",
+            Arc::new(b.build().unwrap()),
+            HardwareTarget::intel_20core(),
+        )
+    }
+
+    fn sample_states(task: &SearchTask, n: usize, seed: u64) -> Vec<State> {
+        let sketches = generate_sketches(task);
+        let cfg = AnnotationConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        while out.len() < n {
+            let sk = &sketches[rng.gen_range(0..sketches.len())];
+            if let Some(s) = sample_program(sk, task, &cfg, &mut rng) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn untrained_model_returns_zero() {
+        let t = task();
+        let m = LearnedCostModel::new();
+        let states = sample_states(&t, 2, 0);
+        assert!(!m.is_trained());
+        assert_eq!(m.predict(&t, &states), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn trained_model_ranks_better_than_chance() {
+        let t = task();
+        let mut measurer = Measurer::new(t.target.clone());
+        let train = sample_states(&t, 60, 1);
+        let secs: Vec<f64> = train.iter().map(|s| measurer.measure(s).seconds).collect();
+        let mut model = LearnedCostModel::new();
+        model.update(&t, &train, &secs);
+        assert!(model.is_trained());
+        assert!(model.num_records() == 60);
+
+        // Evaluate pairwise accuracy on held-out samples.
+        let test = sample_states(&t, 40, 2);
+        let test_secs: Vec<f64> = test.iter().map(|s| measurer.measure(s).seconds).collect();
+        let pred = model.predict(&t, &test);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..test.len() {
+            for j in i + 1..test.len() {
+                if (test_secs[i] / test_secs[j]).ln().abs() > 0.2 {
+                    total += 1;
+                    // Higher score should mean lower seconds.
+                    if (pred[i] > pred[j]) == (test_secs[i] < test_secs[j]) {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let acc = correct as f64 / total.max(1) as f64;
+        assert!(acc > 0.65, "pairwise accuracy {acc} ({correct}/{total})");
+    }
+
+    #[test]
+    fn per_node_scores_cover_compute_nodes() {
+        let t = task();
+        let mut model = LearnedCostModel::new();
+        let mut measurer = Measurer::new(t.target.clone());
+        let train = sample_states(&t, 20, 3);
+        let secs: Vec<f64> = train.iter().map(|s| measurer.measure(s).seconds).collect();
+        model.update(&t, &train, &secs);
+        let per_node = model.predict_per_node(&t, &train[0]);
+        // All statements fold back to base node "C" (cache stages included).
+        assert!(per_node.contains_key("C"), "{per_node:?}");
+    }
+
+    #[test]
+    fn random_model_is_deterministic_per_seed() {
+        let t = task();
+        let states = sample_states(&t, 3, 4);
+        let m1 = RandomModel::new(9);
+        let m2 = RandomModel::new(9);
+        assert_eq!(m1.predict(&t, &states), m2.predict(&t, &states));
+    }
+}

@@ -1,0 +1,633 @@
+//! Evolutionary fine-tuning (§5.1).
+//!
+//! Starting from sampled programs (plus good programs from previous
+//! measurement rounds), evolution repeatedly selects parents with
+//! probability proportional to their cost-model fitness and applies one of
+//! the paper's operators:
+//!
+//! - **tile-size mutation** — move a factor between two levels of one tiled
+//!   loop (the product, hence validity, is preserved), updating any
+//!   follow-splits so fused stages stay compatible;
+//! - **annotation mutation** — resample the parallel / vectorize / unroll
+//!   annotations on top of the same tile structure (granularity changes);
+//! - **computation-location mutation** — move a `compute_at` to a different
+//!   shared-prefix depth;
+//! - **node-based crossover** — merge the per-node rewriting-step groups of
+//!   two parents, taking each node's steps from the parent whose cost-model
+//!   score for that node is higher; merged programs are re-validated by
+//!   replaying the steps (out-of-order rewrites that break dependencies are
+//!   rejected).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use rand::prelude::*;
+use tensor_ir::{State, Step};
+
+use crate::annotate::{annotate_state, follow_lengths, AnnotationConfig};
+use crate::cost_model::CostModel;
+use crate::search_task::SearchTask;
+use crate::sketch::Sketch;
+
+/// A candidate program: a fully annotated state plus the sketch it came
+/// from (needed to locate tunable splits).
+#[derive(Debug, Clone)]
+pub struct Individual {
+    /// Complete program state.
+    pub state: State,
+    /// Index into the task's sketch list.
+    pub sketch: usize,
+}
+
+impl Individual {
+    /// Stable content signature for deduplication.
+    pub fn signature(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for s in &self.state.steps {
+            format!("{s:?}").hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Evolution hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct EvolutionConfig {
+    /// Population size per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Probability of crossover (vs. mutation) for each offspring.
+    pub crossover_prob: f64,
+    /// Annotation policy used when re-annotating.
+    pub annotation: AnnotationConfig,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            population: 128,
+            generations: 4,
+            crossover_prob: 0.15,
+            annotation: AnnotationConfig::default(),
+        }
+    }
+}
+
+/// Runs evolutionary search and returns the `top_k` best individuals found
+/// (ranked by the cost model), deduplicated.
+pub fn evolutionary_search(
+    task: &SearchTask,
+    sketches: &[Sketch],
+    init: Vec<Individual>,
+    model: &dyn CostModel,
+    cfg: &EvolutionConfig,
+    top_k: usize,
+    rng: &mut impl Rng,
+) -> Vec<Individual> {
+    assert!(!init.is_empty(), "evolution needs a non-empty population");
+    let mut population = init;
+    population.truncate(cfg.population);
+    // Best-so-far set across generations.
+    let mut best: Vec<(f64, Individual)> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+
+    for _gen in 0..=cfg.generations {
+        let states: Vec<State> = population.iter().map(|p| p.state.clone()).collect();
+        let scores = model.predict(task, &states);
+        for (ind, &score) in population.iter().zip(&scores) {
+            if !score.is_finite() {
+                continue;
+            }
+            if seen.insert(ind.signature()) {
+                best.push((score, ind.clone()));
+            }
+        }
+        best.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        best.truncate(4 * top_k.max(8));
+        if _gen == cfg.generations {
+            break;
+        }
+        // Fitness-proportional selection.
+        let min = scores
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        let weights: Vec<f64> = scores
+            .iter()
+            .map(|&s| if s.is_finite() { s - min + 1e-9 } else { 0.0 })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let pick = |rng: &mut dyn RngCore| -> usize {
+            if total <= 0.0 {
+                return (rng.next_u64() % population.len() as u64) as usize;
+            }
+            let mut t = (rng.next_u64() as f64 / u64::MAX as f64) * total;
+            for (i, w) in weights.iter().enumerate() {
+                t -= w;
+                if t <= 0.0 {
+                    return i;
+                }
+            }
+            population.len() - 1
+        };
+        let mut next = Vec::with_capacity(cfg.population);
+        while next.len() < cfg.population {
+            let a = pick(rng);
+            let child = if rng.gen_bool(cfg.crossover_prob) {
+                let b = pick(rng);
+                crossover(task, &population[a], &population[b], model)
+            } else {
+                mutate(task, sketches, &population[a], &cfg.annotation, rng)
+            };
+            next.push(child.unwrap_or_else(|| population[a].clone()));
+        }
+        population = next;
+    }
+    best.truncate(top_k);
+    best.into_iter().map(|(_, ind)| ind).collect()
+}
+
+/// Applies one random mutation operator; `None` when the mutation failed to
+/// produce a valid program.
+pub fn mutate(
+    task: &SearchTask,
+    sketches: &[Sketch],
+    parent: &Individual,
+    ann_cfg: &AnnotationConfig,
+    rng: &mut impl Rng,
+) -> Option<Individual> {
+    let sketch = sketches.get(parent.sketch)?;
+    match rng.gen_range(0..4) {
+        0 => mutate_tile_size(task, sketch, parent, rng),
+        1 => reannotate(task, sketch, parent, ann_cfg, rng),
+        2 => mutate_location(task, sketch, parent, ann_cfg, rng),
+        _ => mutate_rfactor_or_tile(task, sketch, parent, ann_cfg, rng),
+    }
+}
+
+/// Current lengths of each tunable split in an individual's step list.
+///
+/// Returns `None` when the step list is not aligned with the sketch (e.g.
+/// the individual came out of crossover, which splices per-node step
+/// groups and reorders the list) — structural mutations then bail out and
+/// the caller falls back to cloning the parent.
+fn split_lengths(sketch: &Sketch, steps: &[Step]) -> Option<Vec<Vec<i64>>> {
+    sketch
+        .splits
+        .iter()
+        .map(|sv| match (steps.get(sv.step), &sketch.steps[sv.step]) {
+            (
+                Some(Step::Split {
+                    node, iter, lengths, ..
+                }),
+                Step::Split {
+                    node: snode,
+                    iter: siter,
+                    ..
+                },
+            ) if node == snode && iter == siter && lengths.len() == sv.nparts => {
+                Some(lengths.clone())
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Patches follower splits after their leader changed.
+fn refresh_followers(sketch: &Sketch, steps: &mut [Step], lengths: &mut [Vec<i64>]) {
+    for (i, sv) in sketch.splits.iter().enumerate() {
+        if let Some(leader) = sv.follow {
+            let l = follow_lengths(&lengths[leader], sv.nparts);
+            if let Step::Split { lengths: sl, .. } = &mut steps[sv.step] {
+                *sl = l.clone();
+            }
+            lengths[i] = l;
+        }
+    }
+}
+
+/// Tile-size mutation: divide one level of a tiled loop by a factor and
+/// multiply it onto another level, keeping the product equal (§5.1).
+fn mutate_tile_size(
+    task: &SearchTask,
+    sketch: &Sketch,
+    parent: &Individual,
+    rng: &mut impl Rng,
+) -> Option<Individual> {
+    let leaders: Vec<usize> = (0..sketch.splits.len())
+        .filter(|&i| {
+            sketch.splits[i].follow.is_none() && sketch.splits[i].follow_rfactor.is_none()
+        })
+        .collect();
+    if leaders.is_empty() {
+        return None;
+    }
+    let mut steps = parent.state.steps.clone();
+    let mut lengths = split_lengths(sketch, &steps)?;
+    let &li = leaders.choose(rng)?;
+    let sv = &sketch.splits[li];
+    let l = &mut lengths[li];
+    if l.is_empty() {
+        return None;
+    }
+    // Positions: 0..nparts are the inner lengths; `nparts` denotes the
+    // implicit outer part.
+    let nparts = l.len();
+    let outer = sv.extent / l.iter().product::<i64>();
+    let from = rng.gen_range(0..=nparts);
+    let to = rng.gen_range(0..=nparts);
+    if from == to {
+        return None;
+    }
+    let from_val = if from == nparts { outer } else { l[from] };
+    let divs: Vec<i64> = crate::annotate::divisors(from_val)
+        .into_iter()
+        .filter(|&d| d > 1)
+        .collect();
+    let &d = divs.choose(rng)?;
+    if from < nparts {
+        l[from] /= d;
+    }
+    if to < nparts {
+        l[to] *= d;
+    }
+    // (Moves involving the outer part only adjust inner lengths; the outer
+    // extent is implicit.)
+    if let Step::Split { lengths: sl, .. } = &mut steps[sv.step] {
+        *sl = l.clone();
+    }
+    refresh_followers(sketch, &mut steps, &mut lengths);
+    let state = State::replay(task.dag.clone(), &steps).ok()?;
+    if !crate::annotate::gpu_limits_ok(&state, task, &AnnotationConfig::default()) {
+        return None;
+    }
+    Some(Individual {
+        state,
+        sketch: parent.sketch,
+    })
+}
+
+/// Annotation mutation: keep the tile structure, resample annotations.
+fn reannotate(
+    task: &SearchTask,
+    sketch: &Sketch,
+    parent: &Individual,
+    ann_cfg: &AnnotationConfig,
+    rng: &mut impl Rng,
+) -> Option<Individual> {
+    if parent.state.steps.len() < sketch.steps.len()
+        || split_lengths(sketch, &parent.state.steps).is_none()
+    {
+        return None; // crossover offspring: steps not sketch-aligned
+    }
+    let structural = &parent.state.steps[..sketch.steps.len()];
+    let mut state = State::replay(task.dag.clone(), structural).ok()?;
+    annotate_state(&mut state, task, ann_cfg, rng).ok()?;
+    if !crate::annotate::gpu_limits_ok(&state, task, ann_cfg) {
+        return None;
+    }
+    Some(Individual {
+        state,
+        sketch: parent.sketch,
+    })
+}
+
+/// Computation-location mutation: change a `compute_at`'s shared-prefix
+/// depth, then re-annotate on the new structure.
+fn mutate_location(
+    task: &SearchTask,
+    sketch: &Sketch,
+    parent: &Individual,
+    ann_cfg: &AnnotationConfig,
+    rng: &mut impl Rng,
+) -> Option<Individual> {
+    if sketch.compute_ats.is_empty() || task.is_gpu() {
+        return None;
+    }
+    if parent.state.steps.len() < sketch.steps.len()
+        || split_lengths(sketch, &parent.state.steps).is_none()
+    {
+        return None;
+    }
+    let mut structural: Vec<Step> = parent.state.steps[..sketch.steps.len()].to_vec();
+    let &ca = sketch.compute_ats.choose(rng)?;
+    let Step::ComputeAt { prefix_len, .. } = &mut structural[ca] else {
+        return None;
+    };
+    let built = match &sketch.steps[ca] {
+        Step::ComputeAt { prefix_len, .. } => *prefix_len,
+        _ => return None,
+    };
+    let choices: Vec<usize> = (1..=built).collect();
+    *prefix_len = *choices.choose(rng)?;
+    let mut state = State::replay(task.dag.clone(), &structural).ok()?;
+    annotate_state(&mut state, task, ann_cfg, rng).ok()?;
+    if !crate::annotate::gpu_limits_ok(&state, task, ann_cfg) {
+        return None;
+    }
+    Some(Individual {
+        state,
+        sketch: parent.sketch,
+    })
+}
+
+/// Rfactor-factor mutation (falls back to tile mutation for sketches
+/// without an rfactor).
+fn mutate_rfactor_or_tile(
+    task: &SearchTask,
+    sketch: &Sketch,
+    parent: &Individual,
+    ann_cfg: &AnnotationConfig,
+    rng: &mut impl Rng,
+) -> Option<Individual> {
+    if sketch.rfactors.is_empty() {
+        return mutate_tile_size(task, sketch, parent, rng);
+    }
+    if parent.state.steps.len() < sketch.steps.len()
+        || split_lengths(sketch, &parent.state.steps).is_none()
+    {
+        return None;
+    }
+    let rf_idx = rng.gen_range(0..sketch.rfactors.len());
+    let rv = &sketch.rfactors[rf_idx];
+    let mut structural: Vec<Step> = parent.state.steps[..sketch.steps.len()].to_vec();
+    let divs: Vec<i64> = crate::annotate::divisors(rv.extent)
+        .into_iter()
+        .filter(|&d| d > 1 && d < rv.extent)
+        .collect();
+    let &factor = divs.choose(rng)?;
+    if let Step::Rfactor { factor: f, .. } = &mut structural[rv.step] {
+        *f = factor;
+    }
+    // Resample splits whose extent is the rfactor factor.
+    for sv in &sketch.splits {
+        if sv.follow_rfactor == Some(rf_idx) {
+            if let Step::Split { lengths, .. } = &mut structural[sv.step] {
+                *lengths = crate::annotate::sample_lengths(factor, sv.nparts, rng);
+            }
+        }
+    }
+    let mut state = State::replay(task.dag.clone(), &structural).ok()?;
+    annotate_state(&mut state, task, ann_cfg, rng).ok()?;
+    Some(Individual {
+        state,
+        sketch: parent.sketch,
+    })
+}
+
+/// Node-based crossover (§5.1): merge per-node step groups from two
+/// parents, choosing each node's genes from the parent with the higher
+/// per-node cost-model score, then verify by replaying.
+pub fn crossover(
+    task: &SearchTask,
+    a: &Individual,
+    b: &Individual,
+    model: &dyn CostModel,
+) -> Option<Individual> {
+    if a.sketch != b.sketch {
+        return None; // different high-level structures rarely merge cleanly
+    }
+    // Cluster nodes that are coupled by compute_at (producer ↔ host): their
+    // steps must travel together or tile ties break.
+    let mut cluster: HashMap<String, String> = HashMap::new();
+    let root = |m: &HashMap<String, String>, mut n: String| -> String {
+        while let Some(p) = m.get(&n) {
+            if *p == n {
+                break;
+            }
+            n = p.clone();
+        }
+        n
+    };
+    for steps in [&a.state.steps, &b.state.steps] {
+        for s in steps.iter() {
+            let base = s.base_node().to_string();
+            cluster.entry(base.clone()).or_insert(base.clone());
+            if let Step::ComputeAt { target, .. } = s {
+                let tbase = target.split('.').next().unwrap_or(target).to_string();
+                cluster.entry(tbase.clone()).or_insert(tbase.clone());
+                let ra = root(&cluster, base.clone());
+                let rb = root(&cluster, tbase);
+                cluster.insert(ra, rb);
+            }
+        }
+    }
+    let scores_a = model.predict_per_node(task, &a.state);
+    let scores_b = model.predict_per_node(task, &b.state);
+    // Decide per cluster-root which parent wins (sum of member scores).
+    let mut take_b: HashSet<String> = HashSet::new();
+    let roots: HashSet<String> = cluster
+        .keys()
+        .map(|k| root(&cluster, k.clone()))
+        .collect();
+    for r in roots {
+        let members: Vec<&String> = cluster
+            .keys()
+            .filter(|k| root(&cluster, (*k).clone()) == r)
+            .collect();
+        let sa: f64 = members.iter().filter_map(|m| scores_a.get(*m)).sum();
+        let sb: f64 = members.iter().filter_map(|m| scores_b.get(*m)).sum();
+        if sb > sa {
+            take_b.insert(r);
+        }
+    }
+    if take_b.is_empty() {
+        return None; // offspring would equal parent A
+    }
+    // Splice: keep A's steps for A-clusters; replace B-clusters' steps (in
+    // B's order) at the position of A's first step of that cluster.
+    let cluster_of = |s: &Step| root(&cluster, s.base_node().to_string());
+    let mut merged: Vec<Step> = Vec::with_capacity(a.state.steps.len());
+    let mut inserted: HashSet<String> = HashSet::new();
+    for s in &a.state.steps {
+        let c = cluster_of(s);
+        if take_b.contains(&c) {
+            if inserted.insert(c.clone()) {
+                for bs in &b.state.steps {
+                    if cluster_of(bs) == c {
+                        merged.push(bs.clone());
+                    }
+                }
+            }
+        } else {
+            merged.push(s.clone());
+        }
+    }
+    // Verify the merged gene sequence by replaying it.
+    let state = State::replay(task.dag.clone(), &merged).ok()?;
+    state.validate().ok()?;
+    Some(Individual {
+        state,
+        sketch: a.sketch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::sample_program;
+    use crate::cost_model::{LearnedCostModel, RandomModel};
+    use crate::sketch::generate_sketches;
+    use hwsim::{HardwareTarget, Measurer};
+    use std::sync::Arc;
+    use tensor_ir::{DagBuilder, Expr, Reducer};
+
+    fn task() -> SearchTask {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[128, 128]);
+        let w = b.constant("B", &[128, 128]);
+        let c = b.compute_reduce("C", &[128, 128], &[128], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        b.compute("D", &[128, 128], |ax| {
+            Expr::max(
+                Expr::load(c, vec![ax[0].clone(), ax[1].clone()]),
+                Expr::float(0.0),
+            )
+        });
+        SearchTask::new(
+            "mm_relu",
+            Arc::new(b.build().unwrap()),
+            HardwareTarget::intel_20core(),
+        )
+    }
+
+    fn init_pop(task: &SearchTask, sketches: &[Sketch], n: usize, seed: u64) -> Vec<Individual> {
+        let cfg = AnnotationConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        while out.len() < n {
+            let id = rng.gen_range(0..sketches.len());
+            if let Some(state) = sample_program(&sketches[id], task, &cfg, &mut rng) {
+                out.push(Individual { state, sketch: id });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tile_mutation_preserves_validity_and_volume() {
+        let t = task();
+        let sketches = generate_sketches(&t);
+        let pop = init_pop(&t, &sketches, 5, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mutated = 0;
+        for p in &pop {
+            for _ in 0..10 {
+                if let Some(child) =
+                    mutate_tile_size(&t, &sketches[p.sketch], p, &mut rng)
+                {
+                    child.state.validate().unwrap();
+                    mutated += 1;
+                }
+            }
+        }
+        assert!(mutated > 10, "only {mutated} successful tile mutations");
+    }
+
+    #[test]
+    fn all_mutation_ops_yield_valid_programs() {
+        let t = task();
+        let sketches = generate_sketches(&t);
+        let pop = init_pop(&t, &sketches, 4, 3);
+        let cfg = AnnotationConfig::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ok = 0;
+        for p in &pop {
+            for _ in 0..20 {
+                if let Some(child) = mutate(&t, &sketches, p, &cfg, &mut rng) {
+                    child.state.validate().unwrap();
+                    tensor_ir::lower(&child.state).unwrap();
+                    ok += 1;
+                }
+            }
+        }
+        assert!(ok > 30, "only {ok} successful mutations");
+    }
+
+    #[test]
+    fn crossover_produces_verified_offspring() {
+        let t = task();
+        let sketches = generate_sketches(&t);
+        let pop = init_pop(&t, &sketches, 12, 5);
+        // Train a quick model so per-node scores differ.
+        let mut model = LearnedCostModel::new();
+        let mut measurer = Measurer::new(t.target.clone());
+        let states: Vec<State> = pop.iter().map(|p| p.state.clone()).collect();
+        let secs: Vec<f64> = states.iter().map(|s| measurer.measure(s).seconds).collect();
+        model.update(&t, &states, &secs);
+        let mut offspring = 0;
+        for i in 0..pop.len() {
+            for j in 0..pop.len() {
+                if i == j || pop[i].sketch != pop[j].sketch {
+                    continue;
+                }
+                if let Some(c) = crossover(&t, &pop[i], &pop[j], &model) {
+                    c.state.validate().unwrap();
+                    tensor_ir::lower(&c.state).unwrap();
+                    offspring += 1;
+                }
+            }
+        }
+        assert!(offspring > 5, "only {offspring} crossover offspring");
+    }
+
+    #[test]
+    fn evolution_improves_over_random_population() {
+        let t = task();
+        let sketches = generate_sketches(&t);
+        let pop = init_pop(&t, &sketches, 32, 7);
+        // Ground-truth fitness of the initial population.
+        let mut measurer = Measurer::new(t.target.clone());
+        let init_best = pop
+            .iter()
+            .map(|p| measurer.measure(&p.state).seconds)
+            .fold(f64::INFINITY, f64::min);
+        // Train a model on that population, then evolve.
+        let mut model = LearnedCostModel::new();
+        let states: Vec<State> = pop.iter().map(|p| p.state.clone()).collect();
+        let secs: Vec<f64> = states.iter().map(|s| measurer.measure(s).seconds).collect();
+        model.update(&t, &states, &secs);
+        let cfg = EvolutionConfig {
+            population: 32,
+            generations: 3,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let best = evolutionary_search(&t, &sketches, pop, &model, &cfg, 8, &mut rng);
+        assert!(!best.is_empty());
+        let evolved_best = best
+            .iter()
+            .map(|p| measurer.measure(&p.state).seconds)
+            .fold(f64::INFINITY, f64::min);
+        // The model-guided evolution should not be (much) worse than the
+        // random initial population, and usually better.
+        assert!(
+            evolved_best <= init_best * 1.5,
+            "evolved {evolved_best} vs init {init_best}"
+        );
+    }
+
+    #[test]
+    fn evolution_with_random_model_still_returns_candidates() {
+        let t = task();
+        let sketches = generate_sketches(&t);
+        let pop = init_pop(&t, &sketches, 16, 9);
+        let model = RandomModel::new(0);
+        let cfg = EvolutionConfig {
+            population: 16,
+            generations: 2,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(10);
+        let best = evolutionary_search(&t, &sketches, pop, &model, &cfg, 5, &mut rng);
+        assert_eq!(best.len(), 5);
+        for b in &best {
+            b.state.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Ansor: automated tensor-program generation (OSDI 2020), reproduced in
+//! Rust. See the crate modules for the three components of Figure 4:
+//! program sampler (`sketch`, `annotate`), performance tuner (`evolution`,
+//! `cost_model`, `search_policy`) and task scheduler (`task_scheduler`).
+
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod cost_model;
+pub mod evolution;
+pub mod records;
+pub mod search_policy;
+pub mod search_task;
+pub mod sketch;
+pub mod task_scheduler;
+
+pub use annotate::{sample_program, AnnotationConfig, AnnotationHint};
+pub use cost_model::{CostModel, LearnedCostModel, RandomModel};
+pub use evolution::{crossover, evolutionary_search, mutate, EvolutionConfig, Individual};
+pub use records::{best_record, load_records, save_records, TuningRecordLog};
+pub use search_policy::{auto_schedule, auto_schedule_with_model, PolicyVariant, SketchPolicy, TuningOptions, TuningRecord, TuningResult};
+pub use search_task::SearchTask;
+pub use sketch::{generate_sketches, generate_sketches_full, generate_sketches_with_rules, RuleSet, Sketch, SketchRule};
+pub use task_scheduler::{Objective, SchedulerRecord, Strategy, TaskScheduler, TaskSchedulerConfig, TuneTask};

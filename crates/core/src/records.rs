@@ -1,0 +1,166 @@
+//! Tuning-record persistence: JSON-lines logs of measured programs.
+//!
+//! Ansor's workflow stores every measurement as a record (task, transform
+//! steps, measured time) so that tuning can resume, logs can train cost
+//! models offline, and the best program can be re-applied at deployment
+//! without re-searching. Records serialize the transform-step history —
+//! the program's complete genome — so `State::replay` reconstructs the
+//! exact schedule.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use tensor_ir::{ComputeDag, State, Step};
+
+/// One measured program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningRecordLog {
+    /// Task name the record belongs to.
+    pub task: String,
+    /// 1-based measurement trial index within the run.
+    pub trial: u64,
+    /// The program's transform-step history.
+    pub steps: Vec<Step>,
+    /// Measured execution time in seconds.
+    pub seconds: f64,
+}
+
+impl TuningRecordLog {
+    /// Reconstructs the schedule state on the task's DAG.
+    pub fn replay(&self, dag: Arc<ComputeDag>) -> Result<State, tensor_ir::Error> {
+        State::replay(dag, &self.steps)
+    }
+}
+
+/// Appends records to a JSON-lines log file.
+pub fn save_records(path: impl AsRef<Path>, records: &[TuningRecordLog]) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for r in records {
+        let line = serde_json::to_string(r).expect("records serialize");
+        writeln!(f, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Loads all records from a JSON-lines log file, skipping corrupt lines.
+pub fn load_records(path: impl AsRef<Path>) -> std::io::Result<Vec<TuningRecordLog>> {
+    let f = std::fs::File::open(path)?;
+    let mut out = Vec::new();
+    for line in BufReader::new(f).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(r) = serde_json::from_str::<TuningRecordLog>(&line) {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+/// The best (fastest, valid) record for a task, if any.
+pub fn best_record<'a>(
+    records: &'a [TuningRecordLog],
+    task: &str,
+) -> Option<&'a TuningRecordLog> {
+    records
+        .iter()
+        .filter(|r| r.task == task && r.seconds.is_finite())
+        .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::{Annotation, DagBuilder, Expr, Reducer};
+
+    fn dag() -> Arc<ComputeDag> {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[32, 32]);
+        let w = b.placeholder("B", &[32, 32]);
+        b.compute_reduce("C", &[32, 32], &[32], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        Arc::new(b.build().unwrap())
+    }
+
+    fn records() -> Vec<TuningRecordLog> {
+        vec![
+            TuningRecordLog {
+                task: "t1".into(),
+                trial: 1,
+                steps: vec![Step::Split {
+                    node: "C".into(),
+                    iter: "i".into(),
+                    lengths: vec![8],
+                }],
+                seconds: 2e-3,
+            },
+            TuningRecordLog {
+                task: "t1".into(),
+                trial: 2,
+                steps: vec![Step::Annotate {
+                    node: "C".into(),
+                    iter: "i".into(),
+                    ann: Annotation::Parallel,
+                }],
+                seconds: 1e-3,
+            },
+            TuningRecordLog {
+                task: "t2".into(),
+                trial: 1,
+                steps: vec![],
+                seconds: 5e-3,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join(format!("ansor-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        let _ = std::fs::remove_file(&path);
+        save_records(&path, &records()).unwrap();
+        // Appending works.
+        save_records(&path, &records()[..1]).unwrap();
+        let loaded = load_records(&path).unwrap();
+        assert_eq!(loaded.len(), 4);
+        assert_eq!(loaded[1].seconds, 1e-3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("ansor-log2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        std::fs::write(&path, "garbage\n{\"also\": \"garbage\"}\n").unwrap();
+        save_records(&path, &records()[..1]).unwrap();
+        let loaded = load_records(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn best_record_filters_by_task() {
+        let rs = records();
+        assert_eq!(best_record(&rs, "t1").unwrap().trial, 2);
+        assert_eq!(best_record(&rs, "t2").unwrap().seconds, 5e-3);
+        assert!(best_record(&rs, "t3").is_none());
+    }
+
+    #[test]
+    fn replay_reconstructs_schedule() {
+        let rs = records();
+        let state = rs[0].replay(dag()).unwrap();
+        let sid = state.stage_by_node_name("C").unwrap();
+        assert!(state.stages[sid].iter_by_name("i.1").is_some());
+    }
+}

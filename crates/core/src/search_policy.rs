@@ -1,0 +1,511 @@
+//! The sketch search policy: Ansor's per-task tuning loop (§3, §5).
+//!
+//! Each round the policy (1) samples fresh random programs from the sketch
+//! space and mixes in the best previously measured programs, (2) fine-tunes
+//! the population with evolutionary search under the learned cost model,
+//! (3) measures a small batch of the most promising unmeasured candidates
+//! on the (simulated) hardware, and (4) retrains the cost model with the
+//! new measurements.
+//!
+//! The ablation variants of Figure 7 / Figure 10 are provided here:
+//! [`PolicyVariant::NoFineTuning`] disables evolution and relies on random
+//! sampling only; [`PolicyVariant::LimitedSpace`] restricts the search space
+//! to roughly what manual templates cover (no cache stages, no rfactor, no
+//! computation-location changes, fixed unroll policy).
+
+use std::collections::HashSet;
+
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use hwsim::Measurer;
+
+use crate::annotate::{sample_program, AnnotationConfig};
+use crate::cost_model::{CostModel, LearnedCostModel};
+use crate::evolution::{evolutionary_search, EvolutionConfig, Individual};
+use crate::records::TuningRecordLog;
+use crate::search_task::SearchTask;
+use crate::sketch::{generate_sketches, Sketch};
+
+/// Search-space / algorithm variant (for the paper's ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PolicyVariant {
+    /// Full Ansor: hierarchical space + evolutionary fine-tuning.
+    #[default]
+    Full,
+    /// Random sampling without evolutionary fine-tuning ("No fine-tuning").
+    NoFineTuning,
+    /// Search space limited to manual-template-like structures
+    /// ("Limited space").
+    LimitedSpace,
+}
+
+/// Tuning options.
+#[derive(Debug, Clone)]
+pub struct TuningOptions {
+    /// Total measurement trials (the paper's resource unit).
+    pub num_measure_trials: usize,
+    /// Programs measured per round (batch size).
+    pub measures_per_round: usize,
+    /// Fresh random samples per round seeding the evolution.
+    pub init_population: usize,
+    /// Best measured programs re-injected into the population each round.
+    pub retained_best: usize,
+    /// Fraction of each measured batch reserved for random exploration
+    /// (ε-greedy).
+    pub eps_random: f64,
+    /// Evolution parameters.
+    pub evolution: EvolutionConfig,
+    /// Variant for ablations.
+    pub variant: PolicyVariant,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TuningOptions {
+    fn default() -> Self {
+        TuningOptions {
+            num_measure_trials: 256,
+            measures_per_round: 64,
+            init_population: 64,
+            retained_best: 16,
+            eps_random: 0.05,
+            evolution: EvolutionConfig::default(),
+            variant: PolicyVariant::Full,
+            seed: 0,
+        }
+    }
+}
+
+/// One measurement record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningRecord {
+    /// 1-based measurement trial index.
+    pub trial: u64,
+    /// Measured seconds of this program.
+    pub seconds: f64,
+    /// Best seconds seen up to and including this trial.
+    pub best_seconds: f64,
+}
+
+/// Final result of tuning one task.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// Best program found.
+    pub best: Option<Individual>,
+    /// Its measured execution time.
+    pub best_seconds: f64,
+    /// Per-trial history (for tuning curves).
+    pub history: Vec<TuningRecord>,
+}
+
+/// Per-task search state; the task scheduler drives `tune_round` directly.
+pub struct SketchPolicy {
+    /// The task being tuned.
+    pub task: SearchTask,
+    /// Options.
+    pub options: TuningOptions,
+    sketches: Vec<Sketch>,
+    annotation: AnnotationConfig,
+    measured_signatures: HashSet<u64>,
+    /// Best measured `(seconds, individual)` pairs, ascending by seconds.
+    best_measured: Vec<(f64, Individual)>,
+    /// Full measurement history.
+    pub history: Vec<TuningRecord>,
+    /// Replayable per-trial records (task, steps, seconds).
+    pub log: Vec<TuningRecordLog>,
+    rng: StdRng,
+    trials: u64,
+}
+
+impl SketchPolicy {
+    /// Creates a policy, generating the task's sketches.
+    pub fn new(task: SearchTask, options: TuningOptions) -> SketchPolicy {
+        let mut sketches = generate_sketches(&task);
+        let mut annotation = options.evolution.annotation.clone();
+        if options.variant == PolicyVariant::LimitedSpace {
+            // Manual-template-like space: no added cache stages, no
+            // rfactor, fixed unroll policy, fixed computation locations.
+            sketches.retain(|s| {
+                !s.steps
+                    .iter()
+                    .any(|st| st.is_structural())
+            });
+            if sketches.is_empty() {
+                sketches = generate_sketches(&task);
+                sketches.truncate(1);
+            }
+            annotation.unroll_pragma_choices = vec![16];
+            annotation.location_mutation_prob = 0.0;
+            annotation.unroll_prob = 0.0;
+        }
+        let rng = StdRng::seed_from_u64(options.seed ^ 0x5eed);
+        SketchPolicy {
+            annotation,
+            sketches,
+            measured_signatures: HashSet::new(),
+            best_measured: Vec::new(),
+            history: Vec::new(),
+            log: Vec::new(),
+            rng,
+            trials: 0,
+            task,
+            options,
+        }
+    }
+
+    /// Creates a policy over caller-provided sketches (used by baseline
+    /// frameworks whose search spaces differ from Ansor's rule set).
+    pub fn with_sketches(
+        task: SearchTask,
+        options: TuningOptions,
+        sketches: Vec<Sketch>,
+    ) -> SketchPolicy {
+        let annotation = options.evolution.annotation.clone();
+        let rng = StdRng::seed_from_u64(options.seed ^ 0x5eed);
+        SketchPolicy {
+            annotation,
+            sketches,
+            measured_signatures: HashSet::new(),
+            best_measured: Vec::new(),
+            history: Vec::new(),
+            log: Vec::new(),
+            rng,
+            trials: 0,
+            task,
+            options,
+        }
+    }
+
+    /// Warm-starts the policy from previously saved tuning records (the
+    /// paper's log-replay workflow): records for this task are replayed,
+    /// deduplicated into the measured set, fed to the cost model, and the
+    /// best ones seed the retained population. Returns how many records
+    /// were absorbed. Absorbed records do not consume measurement trials.
+    pub fn warm_start(&mut self, records: &[TuningRecordLog], model: &mut dyn CostModel) -> usize {
+        let mut absorbed = 0;
+        let mut states = Vec::new();
+        let mut secs = Vec::new();
+        for r in records {
+            if r.task != self.task.name || !r.seconds.is_finite() {
+                continue;
+            }
+            let Ok(state) = r.replay(self.task.dag.clone()) else {
+                continue;
+            };
+            let ind = Individual { state, sketch: 0 };
+            if !self.measured_signatures.insert(ind.signature()) {
+                continue;
+            }
+            self.best_measured.push((r.seconds, ind.clone()));
+            states.push(ind.state);
+            secs.push(r.seconds);
+            absorbed += 1;
+        }
+        self.best_measured
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        self.best_measured.truncate(64);
+        if !states.is_empty() {
+            model.update(&self.task, &states, &secs);
+        }
+        absorbed
+    }
+
+    /// The generated sketches (for inspection / tests).
+    pub fn sketches(&self) -> &[Sketch] {
+        &self.sketches
+    }
+
+    /// Measurement trials consumed so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Best measured seconds so far (∞ before the first measurement).
+    pub fn best_seconds(&self) -> f64 {
+        self.best_measured
+            .first()
+            .map(|(s, _)| *s)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Best measured individual so far.
+    pub fn best_individual(&self) -> Option<&Individual> {
+        self.best_measured.first().map(|(_, i)| i)
+    }
+
+    fn sample_random(&mut self, n: usize) -> Vec<Individual> {
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < 20 * n {
+            attempts += 1;
+            let id = self.rng.gen_range(0..self.sketches.len());
+            if let Some(state) =
+                sample_program(&self.sketches[id], &self.task, &self.annotation, &mut self.rng)
+            {
+                out.push(Individual { state, sketch: id });
+            }
+        }
+        out
+    }
+
+    /// Runs one tuning round: sample → evolve → measure → learn. Returns
+    /// the number of programs measured (0 when the budget is exhausted or
+    /// nothing could be sampled).
+    pub fn tune_round(&mut self, model: &mut dyn CostModel, measurer: &mut Measurer) -> usize {
+        let remaining = self
+            .options
+            .num_measure_trials
+            .saturating_sub(self.trials as usize);
+        if remaining == 0 || self.sketches.is_empty() {
+            return 0;
+        }
+        let batch = self.options.measures_per_round.min(remaining);
+        let mut population = self.sample_random(self.options.init_population);
+        for (_, ind) in self.best_measured.iter().take(self.options.retained_best) {
+            population.push(ind.clone());
+        }
+        if population.is_empty() {
+            return 0;
+        }
+        let candidates = match self.options.variant {
+            PolicyVariant::NoFineTuning => population,
+            _ => {
+                let mut shuffled = population;
+                shuffled.shuffle(&mut self.rng);
+                evolutionary_search(
+                    &self.task,
+                    &self.sketches,
+                    shuffled,
+                    model,
+                    &self.options.evolution,
+                    batch * 2,
+                    &mut self.rng,
+                )
+            }
+        };
+        // Pick unmeasured candidates, reserving an ε share for random
+        // exploration.
+        let n_random = ((batch as f64) * self.options.eps_random).round() as usize;
+        let mut to_measure: Vec<Individual> = Vec::with_capacity(batch);
+        for c in candidates {
+            if to_measure.len() + n_random >= batch {
+                break;
+            }
+            if self.measured_signatures.insert(c.signature()) {
+                to_measure.push(c);
+            }
+        }
+        let extra = self.sample_random(batch - to_measure.len());
+        for c in extra {
+            if to_measure.len() >= batch {
+                break;
+            }
+            if self.measured_signatures.insert(c.signature()) {
+                to_measure.push(c);
+            }
+        }
+        if to_measure.is_empty() {
+            return 0;
+        }
+        let states: Vec<tensor_ir::State> =
+            to_measure.iter().map(|i| i.state.clone()).collect();
+        let results = measurer.measure_batch(&states);
+        let mut measured_states = Vec::new();
+        let mut measured_secs = Vec::new();
+        for (ind, res) in to_measure.into_iter().zip(results) {
+            self.trials += 1;
+            let seconds = res.seconds;
+            self.log.push(TuningRecordLog {
+                task: self.task.name.clone(),
+                trial: self.trials,
+                steps: ind.state.steps.clone(),
+                seconds,
+            });
+            if res.is_valid() {
+                self.best_measured.push((seconds, ind.clone()));
+                self.best_measured
+                    .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                self.best_measured.truncate(64);
+                measured_states.push(ind.state);
+                measured_secs.push(seconds);
+            }
+            self.history.push(TuningRecord {
+                trial: self.trials,
+                seconds,
+                best_seconds: self.best_seconds().min(seconds),
+            });
+        }
+        if self.options.variant != PolicyVariant::NoFineTuning {
+            model.update(&self.task, &measured_states, &measured_secs);
+        }
+        measured_states.len()
+    }
+
+    /// Consumes the policy into a result.
+    pub fn into_result(self) -> TuningResult {
+        TuningResult {
+            best_seconds: self.best_seconds(),
+            best: self.best_measured.into_iter().next().map(|(_, i)| i),
+            history: self.history,
+        }
+    }
+}
+
+/// Tunes a single task to completion with a fresh learned cost model
+/// (or a caller-provided one).
+pub fn auto_schedule(task: &SearchTask, options: TuningOptions, measurer: &mut Measurer) -> TuningResult {
+    let mut model = LearnedCostModel::new();
+    auto_schedule_with_model(task, options, measurer, &mut model)
+}
+
+/// Tunes a single task using the given cost model (shared across tasks when
+/// the task scheduler drives multiple subgraphs).
+pub fn auto_schedule_with_model(
+    task: &SearchTask,
+    options: TuningOptions,
+    measurer: &mut Measurer,
+    model: &mut dyn CostModel,
+) -> TuningResult {
+    let mut policy = SketchPolicy::new(task.clone(), options);
+    loop {
+        let measured = policy.tune_round(model, measurer);
+        if measured == 0 {
+            break;
+        }
+        if policy.trials() as usize >= policy.options.num_measure_trials {
+            break;
+        }
+    }
+    policy.into_result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::HardwareTarget;
+    use std::sync::Arc;
+    use tensor_ir::{DagBuilder, Expr, Reducer};
+
+    fn task(n: i64) -> SearchTask {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[n, n]);
+        let w = b.constant("B", &[n, n]);
+        let c = b.compute_reduce("C", &[n, n], &[n], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        b.compute("D", &[n, n], |ax| {
+            Expr::max(
+                Expr::load(c, vec![ax[0].clone(), ax[1].clone()]),
+                Expr::float(0.0),
+            )
+        });
+        SearchTask::new(
+            format!("mm{n}"),
+            Arc::new(b.build().unwrap()),
+            HardwareTarget::intel_20core(),
+        )
+    }
+
+    fn small_options(trials: usize, variant: PolicyVariant) -> TuningOptions {
+        TuningOptions {
+            num_measure_trials: trials,
+            measures_per_round: 16,
+            init_population: 24,
+            evolution: EvolutionConfig {
+                population: 24,
+                generations: 2,
+                ..Default::default()
+            },
+            variant,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tuning_improves_over_rounds() {
+        let t = task(256);
+        let mut measurer = Measurer::new(t.target.clone());
+        let result = auto_schedule(&t, small_options(64, PolicyVariant::Full), &mut measurer);
+        assert!(result.best.is_some());
+        assert!(result.best_seconds.is_finite());
+        assert_eq!(result.history.len(), 64);
+        // The best at the end is at least as good as the best of the first
+        // measured batch (monotone best curve).
+        let first_best = result.history[15].best_seconds;
+        assert!(result.best_seconds <= first_best);
+        // And tuning must beat the naive schedule by a lot.
+        let naive = {
+            let st = tensor_ir::State::new(t.dag.clone());
+            measurer.measure(&st).seconds
+        };
+        assert!(
+            result.best_seconds * 5.0 < naive,
+            "tuned {} vs naive {naive}",
+            result.best_seconds
+        );
+    }
+
+    #[test]
+    fn full_beats_no_fine_tuning_on_budget() {
+        let t = task(256);
+        let mut m1 = Measurer::new(t.target.clone());
+        let full = auto_schedule(&t, small_options(64, PolicyVariant::Full), &mut m1);
+        let mut m2 = Measurer::new(t.target.clone());
+        let random = auto_schedule(&t, small_options(64, PolicyVariant::NoFineTuning), &mut m2);
+        // Full Ansor should be at least as good (usually strictly better).
+        assert!(
+            full.best_seconds <= random.best_seconds * 1.2,
+            "full {} vs random {}",
+            full.best_seconds,
+            random.best_seconds
+        );
+    }
+
+    #[test]
+    fn limited_space_excludes_structural_steps() {
+        let t = task(128);
+        let policy = SketchPolicy::new(t, small_options(16, PolicyVariant::LimitedSpace));
+        for s in policy.sketches() {
+            assert!(!s.steps.iter().any(|st| st.is_structural()));
+        }
+    }
+
+    #[test]
+    fn warm_start_seeds_best_from_log() {
+        let t = task(128);
+        // First run: tune and capture the log.
+        let mut m = Measurer::new(t.target.clone());
+        let mut model = LearnedCostModel::new();
+        let mut p1 = SketchPolicy::new(t.clone(), small_options(32, PolicyVariant::Full));
+        while p1.tune_round(&mut model, &mut m) > 0 {}
+        let best_first = p1.best_seconds();
+        let log = p1.log.clone();
+        assert!(!log.is_empty());
+
+        // Second run: warm-start from the log; the best is available with
+        // zero trials spent and the model is already trained.
+        let mut p2 = SketchPolicy::new(t.clone(), small_options(32, PolicyVariant::Full));
+        let mut model2 = LearnedCostModel::new();
+        let absorbed = p2.warm_start(&log, &mut model2);
+        assert!(absorbed > 0);
+        assert_eq!(p2.trials(), 0);
+        assert_eq!(p2.best_seconds(), best_first);
+        assert!(model2.is_trained());
+        // Records for other tasks are ignored.
+        let other = task(64);
+        let mut p3 = SketchPolicy::new(other, small_options(32, PolicyVariant::Full));
+        assert_eq!(p3.warm_start(&log, &mut model2), 0);
+    }
+
+    #[test]
+    fn trial_budget_is_respected() {
+        let t = task(128);
+        let mut measurer = Measurer::new(t.target.clone());
+        let result = auto_schedule(&t, small_options(20, PolicyVariant::Full), &mut measurer);
+        assert!(result.history.len() <= 20);
+        assert_eq!(measurer.trials() as usize, result.history.len());
+    }
+}

@@ -1,0 +1,69 @@
+//! Search tasks: a computation definition bound to a hardware target.
+
+use std::sync::Arc;
+
+use hwsim::HardwareTarget;
+use tensor_ir::ComputeDag;
+
+/// A tuning task: generate a high-performance program for one subgraph on
+/// one target (§6: "a task is a process performed to generate
+/// high-performance programs for a subgraph").
+#[derive(Debug, Clone)]
+pub struct SearchTask {
+    /// Unique task name (used in logs and for task-similarity grouping).
+    pub name: String,
+    /// The subgraph to optimize.
+    pub dag: Arc<ComputeDag>,
+    /// The simulated hardware target.
+    pub target: HardwareTarget,
+    /// Operator-class tag used for the task scheduler's similarity set
+    /// `N(i)` (e.g. `"conv2d"`, `"matmul"`).
+    pub tag: String,
+}
+
+impl SearchTask {
+    /// Creates a task.
+    pub fn new(name: impl Into<String>, dag: Arc<ComputeDag>, target: HardwareTarget) -> SearchTask {
+        let name = name.into();
+        let tag = name.split([':', '/']).next().unwrap_or(&name).to_string();
+        SearchTask {
+            name,
+            dag,
+            target,
+            tag,
+        }
+    }
+
+    /// Floating point operations per execution of the task's subgraph
+    /// (the `C_i` of the task scheduler's gradient formula).
+    pub fn flop_count(&self) -> f64 {
+        self.dag.flop_count()
+    }
+
+    /// Whether the target uses the GPU execution model.
+    pub fn is_gpu(&self) -> bool {
+        self.target.kind == hwsim::TargetKind::Gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::{DagBuilder, Expr, Reducer};
+
+    #[test]
+    fn tag_derives_from_name() {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[4, 4]);
+        let w = b.placeholder("B", &[4, 4]);
+        b.compute_reduce("C", &[4, 4], &[4], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        let dag = Arc::new(b.build().unwrap());
+        let t = SearchTask::new("matmul:4x4x4", dag, HardwareTarget::intel_20core());
+        assert_eq!(t.tag, "matmul");
+        assert!(t.flop_count() > 0.0);
+        assert!(!t.is_gpu());
+    }
+}

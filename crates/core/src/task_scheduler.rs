@@ -1,0 +1,580 @@
+//! Task scheduler (§6): allocates tuning time across the subgraphs of one
+//! or more DNNs with gradient descent.
+//!
+//! One *unit* of time resource is one tuning round of one task (a batch of
+//! measurement trials, §6: "we define such an iteration as one unit of time
+//! resources"). At every step the scheduler picks the task with the largest
+//! approximate objective gradient (Appendix A):
+//!
+//! ```text
+//! ∂f/∂tᵢ ≈ ∂f/∂gᵢ · ( α · (gᵢ(tᵢ) − gᵢ(tᵢ−Δt)) / Δt
+//!                    + (1−α) · min(−gᵢ/tᵢ, β·Cᵢ/max_{k∈N(i)} Vₖ − gᵢ) )
+//! ```
+//!
+//! where `Cᵢ` is the task's FLOP count, `Vₖ` the FLOP/s achieved by similar
+//! tasks `N(i)`, and `α`, `β` trust weights. An ε-greedy rule keeps
+//! exploration alive, and a warm-up round-robin initializes `t = (1,…,1)`.
+
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use hwsim::Measurer;
+
+use crate::cost_model::LearnedCostModel;
+use crate::search_policy::{SketchPolicy, TuningOptions};
+use crate::search_task::SearchTask;
+
+/// One task plus its weight (number of appearances, `wᵢ`) and owning DNN.
+#[derive(Debug, Clone)]
+pub struct TuneTask {
+    /// The subgraph tuning task.
+    pub task: SearchTask,
+    /// Number of appearances of the subgraph in its DNN (`wᵢ`).
+    pub weight: f64,
+    /// Index of the DNN this task belongs to (`S(j)` grouping).
+    pub dnn: usize,
+}
+
+/// Multi-DNN objective functions (Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// `f₁ = Σⱼ Σᵢ wᵢ·gᵢ` — total latency of all DNNs.
+    WeightedSum,
+    /// `f₂ = Σⱼ max(Σᵢ wᵢ·gᵢ, Lⱼ)` — stop improving a DNN once it meets its
+    /// latency requirement `Lⱼ`.
+    LatencyRequirement(Vec<f64>),
+    /// `f₃ = −(Πⱼ Bⱼ/Dⱼ)^(1/m)` — maximize the geometric-mean speedup
+    /// against reference latencies `Bⱼ`.
+    GeoMeanSpeedup(Vec<f64>),
+    /// `f₄` — weighted sum with per-task early stopping: a task whose best
+    /// latency has not improved for `patience` of its own allocation units
+    /// stops receiving resources.
+    EarlyStopping {
+        /// Units without improvement before a task is frozen.
+        patience: usize,
+    },
+}
+
+impl Objective {
+    /// Evaluates the objective given per-DNN latencies `d`.
+    pub fn eval(&self, d: &[f64]) -> f64 {
+        match self {
+            Objective::WeightedSum | Objective::EarlyStopping { .. } => d.iter().sum(),
+            Objective::LatencyRequirement(l) => {
+                d.iter().zip(l).map(|(&dj, &lj)| dj.max(lj)).sum()
+            }
+            Objective::GeoMeanSpeedup(b) => {
+                let m = d.len() as f64;
+                let prod: f64 = d
+                    .iter()
+                    .zip(b)
+                    .map(|(&dj, &bj)| (bj / dj.max(1e-12)).ln())
+                    .sum();
+                -((prod / m).exp())
+            }
+        }
+    }
+}
+
+/// Allocation strategy (gradient descent vs. the round-robin ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Strategy {
+    /// Gradient-based allocation (the paper's scheduler).
+    #[default]
+    GradientDescent,
+    /// Uniform round-robin ("No task scheduler" ablation in Figure 10).
+    RoundRobin,
+}
+
+/// Scheduler hyper-parameters (defaults follow the paper).
+#[derive(Debug, Clone)]
+pub struct TaskSchedulerConfig {
+    /// Trust weight for the backward-difference gradient term.
+    pub alpha: f64,
+    /// Trust weight for the similarity-based prediction.
+    pub beta: f64,
+    /// ε-greedy exploration probability.
+    pub eps: f64,
+    /// Backward window Δt.
+    pub backward_window: usize,
+    /// Allocation strategy.
+    pub strategy: Strategy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TaskSchedulerConfig {
+    fn default() -> Self {
+        TaskSchedulerConfig {
+            alpha: 0.2,
+            beta: 2.0,
+            eps: 0.05,
+            backward_window: 3,
+            strategy: Strategy::GradientDescent,
+            seed: 0,
+        }
+    }
+}
+
+/// One scheduler history record (for tuning curves like Figure 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerRecord {
+    /// Total measurement trials spent so far across all tasks.
+    pub total_trials: u64,
+    /// Task chosen at this step.
+    pub chosen_task: usize,
+    /// Per-DNN end-to-end latency estimates after the step.
+    pub dnn_latencies: Vec<f64>,
+    /// Objective value after the step.
+    pub objective: f64,
+}
+
+/// Schedules tuning time across many subgraph tasks (Figure 4's top box).
+pub struct TaskScheduler {
+    /// The tasks under management.
+    pub tasks: Vec<TuneTask>,
+    policies: Vec<SketchPolicy>,
+    /// Shared learned cost model ("a single model is trained for all tensor
+    /// programs coming from all DAGs", §5.2).
+    pub model: LearnedCostModel,
+    objective: Objective,
+    cfg: TaskSchedulerConfig,
+    /// Units allocated per task (`tᵢ`).
+    pub allocations: Vec<u64>,
+    /// Tasks whose search space is exhausted (a tuning round produced no
+    /// new measurable program); they receive no further units.
+    pub exhausted: Vec<bool>,
+    /// `gᵢ` after each unit allocated to task i.
+    best_history: Vec<Vec<f64>>,
+    /// Step-by-step history for curves.
+    pub history: Vec<SchedulerRecord>,
+    rng: StdRng,
+    n_dnns: usize,
+}
+
+impl TaskScheduler {
+    /// Creates a scheduler; `options` is cloned per task (seeds are varied).
+    pub fn new(
+        tasks: Vec<TuneTask>,
+        objective: Objective,
+        options: TuningOptions,
+        cfg: TaskSchedulerConfig,
+    ) -> TaskScheduler {
+        let n_dnns = tasks.iter().map(|t| t.dnn + 1).max().unwrap_or(1);
+        let policies = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut o = options.clone();
+                o.seed = o.seed.wrapping_add(i as u64 * 7919);
+                // The scheduler owns the trial budget; policies are unbounded.
+                o.num_measure_trials = usize::MAX / 2;
+                SketchPolicy::new(t.task.clone(), o)
+            })
+            .collect();
+        let n = tasks.len();
+        TaskScheduler {
+            tasks,
+            policies,
+            model: LearnedCostModel::new(),
+            objective,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xA11C),
+            cfg,
+            allocations: vec![0; n],
+            exhausted: vec![false; n],
+            best_history: vec![Vec::new(); n],
+            history: Vec::new(),
+            n_dnns,
+        }
+    }
+
+    /// Per-task best latencies `gᵢ` — the recorded history when available
+    /// (it tracks the policies exactly), else the live policy value.
+    pub fn best_latencies(&self) -> Vec<f64> {
+        self.policies
+            .iter()
+            .zip(&self.best_history)
+            .map(|(p, h)| h.last().copied().unwrap_or_else(|| p.best_seconds()))
+            .collect()
+    }
+
+    /// Per-DNN end-to-end latency estimates `Dⱼ = Σᵢ wᵢ·gᵢ`.
+    pub fn dnn_latencies(&self) -> Vec<f64> {
+        let g = self.best_latencies();
+        let mut d = vec![0.0; self.n_dnns];
+        for (t, &gi) in self.tasks.iter().zip(&g) {
+            d[t.dnn] += t.weight * gi;
+        }
+        d
+    }
+
+    /// Total measurement trials across tasks.
+    pub fn total_trials(&self) -> u64 {
+        self.policies.iter().map(|p| p.trials()).sum()
+    }
+
+    /// Best individual found for task `i`.
+    pub fn best_individual(&self, i: usize) -> Option<&crate::evolution::Individual> {
+        self.policies[i].best_individual()
+    }
+
+    /// ∂f/∂gᵢ via the chain rule through the task's DNN latency (analytic
+    /// derivatives of the Table 2 objectives).
+    fn dfdg(&self, i: usize, d: &[f64]) -> f64 {
+        let j = self.tasks[i].dnn;
+        let dfd_dj = match &self.objective {
+            Objective::WeightedSum | Objective::EarlyStopping { .. } => 1.0,
+            Objective::LatencyRequirement(l) => {
+                if d[j] > l[j] {
+                    1.0
+                } else {
+                    0.0 // requirement met: no gain from tuning further
+                }
+            }
+            Objective::GeoMeanSpeedup(_) => {
+                // f₃ = −(Πⱼ Bⱼ/Dⱼ)^(1/m) ⇒ ∂f₃/∂Dⱼ = |f₃| / (m·Dⱼ).
+                let f3 = self.objective.eval(d);
+                f3.abs() / (d.len() as f64 * d[j].max(1e-12))
+            }
+        };
+        dfd_dj * self.tasks[i].weight
+    }
+
+    /// The approximate gradient |∂f/∂tᵢ| used to choose the next task.
+    pub fn gradient(&self, i: usize) -> f64 {
+        let g = self.best_latencies();
+        let gi = g[i];
+        if !gi.is_finite() {
+            return f64::INFINITY; // never-touched task: maximal urgency
+        }
+        let ti = self.allocations[i].max(1) as f64;
+        // f4: freeze stagnant tasks.
+        if let Objective::EarlyStopping { patience } = &self.objective {
+            let h = &self.best_history[i];
+            if h.len() > *patience {
+                let recent = &h[h.len() - patience..];
+                let before = h[h.len() - patience - 1];
+                if recent.iter().all(|&v| v >= before * 0.999) {
+                    return 0.0;
+                }
+            }
+        }
+        let d = self.dnn_latencies();
+        let dfdg = self.dfdg(i, &d);
+        // Backward difference over the window Δt.
+        let hist = &self.best_history[i];
+        let dt = self.cfg.backward_window.min(hist.len().saturating_sub(1));
+        let backward = if dt > 0 {
+            (hist[hist.len() - 1] - hist[hist.len() - 1 - dt]) / dt as f64
+        } else {
+            0.0
+        };
+        // Optimistic guess: the latency could drop to 0 with tᵢ more units.
+        let optimistic = -gi / ti;
+        // Similarity-based guess: similar tasks' achieved FLOP/s bound what
+        // this task could reach.
+        let ci = self.tasks[i].task.flop_count();
+        let mut max_v = 0.0f64;
+        for (k, t) in self.tasks.iter().enumerate() {
+            if k != i && t.task.tag == self.tasks[i].task.tag && g[k].is_finite() {
+                max_v = max_v.max(t.task.flop_count() / g[k]);
+            }
+        }
+        let similarity = if max_v > 0.0 {
+            self.cfg.beta * ci / max_v - gi
+        } else {
+            f64::INFINITY
+        };
+        let forward = optimistic.min(similarity);
+        dfdg * (self.cfg.alpha * backward + (1.0 - self.cfg.alpha) * forward)
+    }
+
+    /// Chooses the next task to allocate a unit to, skipping exhausted
+    /// tasks. Returns `None` when every task is exhausted.
+    fn choose(&mut self) -> Option<usize> {
+        let live: Vec<usize> = (0..self.tasks.len())
+            .filter(|&i| !self.exhausted[i])
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        // Warm-up: round-robin until every live task has one unit.
+        if let Some(&i) = live.iter().find(|&&i| self.allocations[i] == 0) {
+            return Some(i);
+        }
+        if self.cfg.strategy == Strategy::RoundRobin {
+            let total: u64 = self.allocations.iter().sum();
+            return Some(live[(total % live.len() as u64) as usize]);
+        }
+        if self.rng.gen_bool(self.cfg.eps) {
+            return Some(live[self.rng.gen_range(0..live.len())]);
+        }
+        let mut best = live[0];
+        let mut best_grad = f64::NEG_INFINITY;
+        for &i in &live {
+            let gr = self.gradient(i).abs();
+            if gr > best_grad {
+                best_grad = gr;
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Runs one scheduling step (one unit = one tuning round of one task).
+    /// A task whose round measures nothing new is marked exhausted and the
+    /// unit is retried on another task. Returns the chosen task, or `None`
+    /// when no task can make progress.
+    pub fn step(&mut self, measurer: &mut Measurer) -> Option<usize> {
+        loop {
+            let i = self.choose()?;
+            let measured = self.policies[i].tune_round(&mut self.model, measurer);
+            if measured == 0 {
+                self.exhausted[i] = true;
+                continue;
+            }
+            self.allocations[i] += 1;
+            self.best_history[i].push(self.policies[i].best_seconds());
+            let d = self.dnn_latencies();
+            self.history.push(SchedulerRecord {
+                total_trials: self.total_trials(),
+                chosen_task: i,
+                objective: self.objective.eval(&d),
+                dnn_latencies: d,
+            });
+            return Some(i);
+        }
+    }
+
+    /// Runs until `total_units` units have been allocated.
+    pub fn tune(&mut self, total_units: usize, measurer: &mut Measurer) {
+        for _ in 0..total_units {
+            if self.step(measurer).is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolution::EvolutionConfig;
+    use hwsim::HardwareTarget;
+    use std::sync::Arc;
+    use tensor_ir::{DagBuilder, Expr, Reducer};
+
+    fn mm_task(name: &str, n: i64) -> SearchTask {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[n, n]);
+        let w = b.constant("B", &[n, n]);
+        b.compute_reduce("C", &[n, n], &[n], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        SearchTask::new(
+            format!("matmul:{name}"),
+            Arc::new(b.build().unwrap()),
+            HardwareTarget::intel_20core(),
+        )
+    }
+
+    fn small_options() -> TuningOptions {
+        TuningOptions {
+            measures_per_round: 8,
+            init_population: 12,
+            evolution: EvolutionConfig {
+                population: 12,
+                generations: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn objectives_match_table2() {
+        let d = vec![2.0, 4.0];
+        assert_eq!(Objective::WeightedSum.eval(&d), 6.0);
+        assert_eq!(
+            Objective::LatencyRequirement(vec![3.0, 3.0]).eval(&d),
+            3.0 + 4.0
+        );
+        // Geo-mean speedup of (4/2, 4/4) = sqrt(2): f3 = -sqrt(2).
+        let f3 = Objective::GeoMeanSpeedup(vec![4.0, 4.0]).eval(&d);
+        assert!((f3 + 2.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(Objective::EarlyStopping { patience: 3 }.eval(&d), 6.0);
+    }
+
+    #[test]
+    fn warmup_touches_every_task_once() {
+        let tasks = vec![
+            TuneTask {
+                task: mm_task("a", 64),
+                weight: 1.0,
+                dnn: 0,
+            },
+            TuneTask {
+                task: mm_task("b", 128),
+                weight: 2.0,
+                dnn: 0,
+            },
+        ];
+        let mut sched = TaskScheduler::new(
+            tasks,
+            Objective::WeightedSum,
+            small_options(),
+            TaskSchedulerConfig::default(),
+        );
+        let mut measurer = Measurer::new(HardwareTarget::intel_20core());
+        sched.tune(2, &mut measurer);
+        assert_eq!(sched.allocations, vec![1, 1]);
+        assert!(sched.dnn_latencies()[0].is_finite());
+    }
+
+    #[test]
+    fn gradient_prioritizes_heavier_bottleneck() {
+        // Two identical-shape tasks; one has 8x the weight. After warm-up
+        // the weighted task must receive more units.
+        let tasks = vec![
+            TuneTask {
+                task: mm_task("light", 128),
+                weight: 1.0,
+                dnn: 0,
+            },
+            TuneTask {
+                task: mm_task("heavy", 128),
+                weight: 8.0,
+                dnn: 0,
+            },
+        ];
+        let mut sched = TaskScheduler::new(
+            tasks,
+            Objective::WeightedSum,
+            small_options(),
+            TaskSchedulerConfig {
+                eps: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut measurer = Measurer::new(HardwareTarget::intel_20core());
+        sched.tune(10, &mut measurer);
+        assert!(
+            sched.allocations[1] > sched.allocations[0],
+            "allocations {:?}",
+            sched.allocations
+        );
+    }
+
+    #[test]
+    fn latency_requirement_freezes_satisfied_dnn() {
+        let tasks = vec![
+            TuneTask {
+                task: mm_task("a", 128),
+                weight: 1.0,
+                dnn: 0,
+            },
+            TuneTask {
+                task: mm_task("b", 128),
+                weight: 1.0,
+                dnn: 1,
+            },
+        ];
+        // DNN 0's requirement is trivially met (huge L); DNN 1 can never
+        // meet its (tiny) requirement, so it should receive the units.
+        let mut sched = TaskScheduler::new(
+            tasks,
+            Objective::LatencyRequirement(vec![1e9, 1e-12]),
+            small_options(),
+            TaskSchedulerConfig {
+                eps: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut measurer = Measurer::new(HardwareTarget::intel_20core());
+        sched.tune(8, &mut measurer);
+        assert!(
+            sched.allocations[1] >= sched.allocations[0] + 4,
+            "allocations {:?}",
+            sched.allocations
+        );
+    }
+
+    #[test]
+    fn f4_freezes_a_fabricated_stagnant_task() {
+        let tasks = vec![
+            TuneTask {
+                task: mm_task("stale", 128),
+                weight: 1.0,
+                dnn: 0,
+            },
+            TuneTask {
+                task: mm_task("fresh", 128),
+                weight: 1.0,
+                dnn: 0,
+            },
+        ];
+        let mut sched = TaskScheduler::new(
+            tasks,
+            Objective::EarlyStopping { patience: 3 },
+            small_options(),
+            TaskSchedulerConfig::default(),
+        );
+        // Fabricate histories: task 0 plateaued for > patience units; task 1
+        // is still improving.
+        sched.allocations = vec![6, 6];
+        sched.best_history[0] = vec![1e-3, 1e-3, 1e-3, 1e-3, 1e-3, 1e-3];
+        sched.best_history[1] = vec![1e-3, 9e-4, 8e-4, 7e-4, 6e-4, 5e-4];
+        assert_eq!(sched.gradient(0), 0.0, "stagnant task must be frozen");
+        assert!(sched.gradient(1).abs() > 0.0);
+    }
+
+    #[test]
+    fn round_robin_allocates_uniformly() {
+        let tasks = vec![
+            TuneTask {
+                task: mm_task("a", 64),
+                weight: 1.0,
+                dnn: 0,
+            },
+            TuneTask {
+                task: mm_task("b", 128),
+                weight: 50.0,
+                dnn: 0,
+            },
+        ];
+        let mut sched = TaskScheduler::new(
+            tasks,
+            Objective::WeightedSum,
+            small_options(),
+            TaskSchedulerConfig {
+                strategy: Strategy::RoundRobin,
+                ..Default::default()
+            },
+        );
+        let mut measurer = Measurer::new(HardwareTarget::intel_20core());
+        sched.tune(8, &mut measurer);
+        assert_eq!(sched.allocations, vec![4, 4]);
+    }
+
+    #[test]
+    fn history_tracks_monotone_objective_for_weighted_sum() {
+        let tasks = vec![TuneTask {
+            task: mm_task("solo", 128),
+            weight: 1.0,
+            dnn: 0,
+        }];
+        let mut sched = TaskScheduler::new(
+            tasks,
+            Objective::WeightedSum,
+            small_options(),
+            TaskSchedulerConfig::default(),
+        );
+        let mut measurer = Measurer::new(HardwareTarget::intel_20core());
+        sched.tune(5, &mut measurer);
+        let objs: Vec<f64> = sched.history.iter().map(|r| r.objective).collect();
+        for w in objs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "objective increased: {objs:?}");
+        }
+    }
+}

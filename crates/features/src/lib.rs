@@ -1,0 +1,446 @@
+//! Program feature extraction (Appendix B of the paper).
+//!
+//! The learned cost model predicts a score for every *innermost non-loop
+//! statement* in the context of the full program; per-statement feature
+//! vectors are extracted here. Each vector has [`FEATURE_DIM`] = 164
+//! entries, matching the paper's dimensionality, and covers the same groups:
+//! arithmetic features, vectorization / unrolling / parallelization
+//! features, GPU thread-binding features, the arithmetic-intensity curve
+//! (10 interpolated samples), per-buffer access features for up to five
+//! buffers, allocation features, and outer-loop features.
+//!
+//! The exact slot assignment inside the 164 entries follows this crate's
+//! layout (documented per group below) rather than TVM's private layout;
+//! the information content is the same.
+//!
+//! Magnitudes are `log2(1 + x)`-scaled, as in the reference implementation.
+
+#![warn(missing_docs)]
+
+use tensor_ir::analysis::{AccessType, BufferAccess, LoopCtx, StoreAnalysis};
+use tensor_ir::{Annotation, IterKind, Program};
+
+/// Number of entries in one statement's feature vector.
+pub const FEATURE_DIM: usize = 164;
+
+/// Number of buffer-access slots (statements touching more buffers have the
+/// smallest buffers dropped; fewer are zero-padded).
+pub const N_BUFFER_SLOTS: usize = 5;
+
+const BUFFER_FEATURES: usize = 18;
+
+/// log2(1 + x), the standard magnitude squashing for features.
+fn lg(x: f64) -> f32 {
+    (1.0 + x.max(0.0)).log2() as f32
+}
+
+/// Extracts feature vectors for every innermost statement of a program.
+pub fn extract_program_features(program: &Program) -> Vec<Vec<f32>> {
+    tensor_ir::analysis::analyze(program)
+        .iter()
+        .map(extract_store_features)
+        .collect()
+}
+
+/// Extracts the 164-entry feature vector of one analyzed statement.
+pub fn extract_store_features(s: &StoreAnalysis) -> Vec<f32> {
+    let mut f = Vec::with_capacity(FEATURE_DIM);
+
+    // --- Arithmetic features (10) ---
+    let trips = s.trip_count();
+    f.push(lg(s.ops.float_add as f64 * trips));
+    f.push(lg(s.ops.float_sub as f64 * trips));
+    f.push(lg(s.ops.float_mul as f64 * trips));
+    f.push(lg(s.ops.float_div as f64 * trips));
+    f.push(lg(s.ops.float_mod as f64 * trips));
+    f.push(lg(s.ops.float_cmp as f64 * trips));
+    f.push(lg(s.ops.math_calls as f64 * trips));
+    f.push(lg(s.ops.int_ops as f64 * trips));
+    f.push(lg(s.ops.selects as f64 * trips));
+    f.push(lg(s.ops.loads as f64 * trips));
+
+    // --- Statement features (4) ---
+    f.push(if s.reduce.is_some() { 1.0 } else { 0.0 });
+    f.push(lg(trips));
+    f.push(lg(s.flops_per_iter()));
+    f.push(lg(s.flops_per_iter() * trips));
+
+    // --- Vectorize / unroll / parallel groups (3 × 11) ---
+    annotation_group(&mut f, s, Annotation::Vectorize);
+    annotation_group(&mut f, s, Annotation::Unroll);
+    annotation_group(&mut f, s, Annotation::Parallel);
+
+    // --- GPU thread binding features (7) ---
+    let prod_of = |ann: Annotation| -> f64 {
+        s.loops
+            .iter()
+            .filter(|l| l.ann == ann)
+            .map(|l| l.extent as f64)
+            .product()
+    };
+    let blocks = prod_of(Annotation::BindBlock);
+    let threads = prod_of(Annotation::BindThread);
+    let vthreads = prod_of(Annotation::BindVthread);
+    f.push(lg(blocks));
+    f.push(lg(threads));
+    f.push(lg(vthreads));
+    f.push(lg(blocks * threads));
+    let warp_eff = if threads > 1.0 {
+        (threads / ((threads / 32.0).ceil() * 32.0)) as f32
+    } else {
+        0.0
+    };
+    f.push(warp_eff);
+    f.push(if blocks > 1.0 { 1.0 } else { 0.0 });
+    f.push(if threads > 1.0 { 1.0 } else { 0.0 });
+
+    // --- Arithmetic intensity curve (10 samples) ---
+    intensity_curve(&mut f, s);
+
+    // --- Allocation features (2) ---
+    let out_bytes = s
+        .accesses
+        .first()
+        .map(|a| a.buffer_elems as f64 * 4.0)
+        .unwrap_or(0.0);
+    f.push(lg(out_bytes));
+    f.push(1.0); // one allocation per statement's output buffer
+
+    // --- Other features (8) ---
+    f.push(s.loops.len() as f32);
+    f.push(lg(trips));
+    f.push(lg(s.pragma_unroll as f64));
+    f.push(
+        s.loops
+            .iter()
+            .filter(|l| l.kind == IterKind::Space)
+            .count() as f32,
+    );
+    f.push(
+        s.loops
+            .iter()
+            .filter(|l| l.kind != IterKind::Space)
+            .count() as f32,
+    );
+    f.push(lg(s.loops.last().map(|l| l.extent as f64).unwrap_or(1.0)));
+    f.push(lg(s.parallel_extent() as f64));
+    f.push(lg(s.independent_accumulators().min(1e6)));
+
+    // --- Buffer access features (5 × 18) ---
+    let mut accesses: Vec<&BufferAccess> = s.accesses.iter().collect();
+    accesses.sort_by(|a, b| {
+        let ba = a.buffer_elems * a.count as i64;
+        let bb = b.buffer_elems * b.count as i64;
+        bb.cmp(&ba)
+    });
+    for slot in 0..N_BUFFER_SLOTS {
+        match accesses.get(slot) {
+            Some(a) => buffer_group(&mut f, s, a),
+            None => f.extend(std::iter::repeat_n(0.0, BUFFER_FEATURES)),
+        }
+    }
+
+    debug_assert_eq!(f.len(), FEATURE_DIM);
+    f
+}
+
+/// The 11 features of one annotation kind: innermost annotated length,
+/// position one-hot (8), product of annotated lengths, count.
+fn annotation_group(f: &mut Vec<f32>, s: &StoreAnalysis, ann: Annotation) {
+    let annotated: Vec<(usize, &LoopCtx)> = s
+        .loops
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.ann == ann)
+        .collect();
+    let innermost = annotated.last();
+    f.push(lg(innermost.map(|(_, l)| l.extent as f64).unwrap_or(0.0)));
+    // Position one-hot: InnerSpatial, MiddleSpatial, OuterSpatial,
+    // InnerReduce, MiddleReduce, OuterReduce, Mixed, None.
+    let mut onehot = [0.0f32; 8];
+    match innermost {
+        None => onehot[7] = 1.0,
+        Some(&(pos, l)) => {
+            let same_kind: Vec<usize> = s
+                .loops
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| x.kind == l.kind)
+                .map(|(i, _)| i)
+                .collect();
+            let slot = match l.kind {
+                IterKind::Space | IterKind::Reduce => {
+                    let base = if l.kind == IterKind::Space { 0 } else { 3 };
+                    if Some(&pos) == same_kind.last() {
+                        base // inner
+                    } else if Some(&pos) == same_kind.first() {
+                        base + 2 // outer
+                    } else {
+                        base + 1 // middle
+                    }
+                }
+                IterKind::Mixed => 6,
+            };
+            onehot[slot] = 1.0;
+        }
+    }
+    f.extend_from_slice(&onehot);
+    let product: f64 = annotated.iter().map(|(_, l)| l.extent as f64).product();
+    f.push(lg(if annotated.is_empty() { 0.0 } else { product }));
+    f.push(annotated.len() as f32);
+}
+
+/// Ten samples of the arithmetic-intensity curve over loop levels
+/// (flops ÷ bytes of the sub-nest at each level, log-scaled, linearly
+/// interpolated onto a fixed grid).
+fn intensity_curve(f: &mut Vec<f32>, s: &StoreAnalysis) {
+    let n = s.loops.len();
+    let mut points: Vec<f32> = Vec::with_capacity(n + 1);
+    for lvl in (0..=n).rev() {
+        let sub_trips: f64 = s.loops[lvl..].iter().map(|l| l.extent as f64).product();
+        let flops = s.flops_per_iter() * sub_trips;
+        let bytes: f64 = s
+            .accesses
+            .iter()
+            .map(|a| a.touched_elems(lvl, &s.loops) * 4.0)
+            .sum();
+        points.push(lg(flops / bytes.max(4.0)));
+    }
+    // points[0] = innermost statement … points[n] = whole nest.
+    if points.is_empty() {
+        f.extend(std::iter::repeat_n(0.0, 10));
+        return;
+    }
+    for i in 0..10 {
+        let t = i as f64 / 9.0 * (points.len() - 1) as f64;
+        let lo = t.floor() as usize;
+        let hi = t.ceil() as usize;
+        let frac = (t - lo as f64) as f32;
+        f.push(points[lo] * (1.0 - frac) + points[hi] * frac);
+    }
+}
+
+/// The 18 features of one buffer access.
+fn buffer_group(f: &mut Vec<f32>, s: &StoreAnalysis, a: &BufferAccess) {
+    let trips = s.trip_count();
+    // Access type one-hot.
+    f.push(if a.access == AccessType::Read { 1.0 } else { 0.0 });
+    f.push(if a.access == AccessType::Write { 1.0 } else { 0.0 });
+    f.push(if a.access == AccessType::ReadWrite {
+        1.0
+    } else {
+        0.0
+    });
+    let bytes = trips * a.count as f64 * 4.0;
+    let unique_bytes = a.touched_elems(0, &s.loops) * 4.0;
+    let line_elems = 16;
+    let stride = a.min_stride(0).unwrap_or(0) as f64;
+    let per_line = if stride > 0.0 {
+        (line_elems as f64 / stride).clamp(1.0, line_elems as f64)
+    } else {
+        line_elems as f64
+    };
+    let lines = (bytes / 4.0 / per_line).max(1.0);
+    let unique_lines = a.touched_lines(0, &s.loops, line_elems);
+    f.push(lg(bytes));
+    f.push(lg(unique_bytes));
+    f.push(lg(lines));
+    f.push(lg(unique_lines));
+    // Reuse classification.
+    let invariant_lvl = a
+        .strides
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &st)| st == 0)
+        .map(|(i, _)| i);
+    let (reuse_onehot, dist_iters, dist_bytes, counter) = match invariant_lvl {
+        Some(lvl) => {
+            // LoopMultipleRead: the loop at `lvl` re-reads the same region.
+            let dist: f64 = s.loops[lvl + 1..].iter().map(|l| l.extent as f64).product();
+            let bytes_per: f64 = s
+                .accesses
+                .iter()
+                .map(|x| x.touched_elems(lvl + 1, &s.loops) * 4.0)
+                .sum();
+            (
+                [1.0, 0.0, 0.0],
+                dist,
+                bytes_per,
+                s.loops[lvl].extent as f64,
+            )
+        }
+        None if a.count > 1 => ([0.0, 1.0, 0.0], 1.0, 0.0, a.count as f64),
+        None => ([0.0, 0.0, 1.0], 0.0, 0.0, 1.0),
+    };
+    f.extend_from_slice(&reuse_onehot);
+    f.push(lg(dist_iters));
+    f.push(lg(dist_bytes));
+    f.push(lg(counter));
+    f.push(lg(a.innermost_stride().unsigned_abs() as f64));
+    f.push(lg(bytes / counter));
+    f.push(lg(unique_bytes / counter));
+    f.push(lg(lines / counter));
+    f.push(lg(unique_lines / counter));
+}
+
+/// Human-readable names of all 164 features (for debugging and importances).
+pub fn feature_names() -> Vec<String> {
+    let mut names: Vec<String> = [
+        "f_add", "f_sub", "f_mul", "f_div", "f_mod", "f_cmp", "f_math", "i_ops", "selects",
+        "loads", "is_reduce", "trips", "flops_iter", "flops_total",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for g in ["vec", "unroll", "par"] {
+        names.push(format!("{g}_len"));
+        for p in [
+            "inner_sp", "mid_sp", "outer_sp", "inner_rd", "mid_rd", "outer_rd", "mixed", "none",
+        ] {
+            names.push(format!("{g}_pos_{p}"));
+        }
+        names.push(format!("{g}_prod"));
+        names.push(format!("{g}_num"));
+    }
+    for n in [
+        "gpu_blocks", "gpu_threads", "gpu_vthreads", "gpu_total", "gpu_warp_eff", "gpu_has_b",
+        "gpu_has_t",
+    ] {
+        names.push(n.to_string());
+    }
+    for i in 0..10 {
+        names.push(format!("ai_{i}"));
+    }
+    names.push("alloc_bytes".into());
+    names.push("alloc_count".into());
+    for n in [
+        "n_loops", "outer_prod", "pragma_unroll", "n_space", "n_reduce", "inner_extent",
+        "par_extent", "indep_acc",
+    ] {
+        names.push(n.to_string());
+    }
+    for b in 0..N_BUFFER_SLOTS {
+        for n in [
+            "rd", "wr", "rw", "bytes", "ubytes", "lines", "ulines", "reuse_loop", "reuse_serial",
+            "reuse_none", "rdist_it", "rdist_b", "rctr", "stride", "b_per_r", "ub_per_r",
+            "l_per_r", "ul_per_r",
+        ] {
+            names.push(format!("buf{b}_{n}"));
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tensor_ir::{lower, DagBuilder, Expr, Reducer, State, Step};
+
+    fn matmul_features(steps: &[Step]) -> Vec<Vec<f32>> {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[64, 64]);
+        let w = b.placeholder("B", &[64, 64]);
+        b.compute_reduce("C", &[64, 64], &[64], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        let dag = Arc::new(b.build().unwrap());
+        let st = State::replay(dag, steps).unwrap();
+        extract_program_features(&lower(&st).unwrap())
+    }
+
+    #[test]
+    fn dimension_is_exactly_164() {
+        let feats = matmul_features(&[]);
+        assert_eq!(feats.len(), 2); // init + compute statements
+        for f in &feats {
+            assert_eq!(f.len(), FEATURE_DIM);
+        }
+        assert_eq!(feature_names().len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn vectorize_changes_the_vector_group() {
+        let base = matmul_features(&[]);
+        let vect = matmul_features(&[
+            Step::Split {
+                node: "C".into(),
+                iter: "j".into(),
+                lengths: vec![8],
+            },
+            Step::Reorder {
+                node: "C".into(),
+                order: vec!["i".into(), "j.0".into(), "k".into(), "j.1".into()],
+            },
+            Step::Annotate {
+                node: "C".into(),
+                iter: "j.1".into(),
+                ann: Annotation::Vectorize,
+            },
+        ]);
+        // The compute statement is the one with a reduction flag set.
+        let names = feature_names();
+        let vec_len = names.iter().position(|n| n == "vec_len").unwrap();
+        let base_c = &base[1];
+        let vect_c = &vect[1];
+        assert_eq!(base_c[vec_len], 0.0);
+        assert!((vect_c[vec_len] - lg(8.0)).abs() < 1e-6);
+        let pos_none = names.iter().position(|n| n == "vec_pos_none").unwrap();
+        assert_eq!(base_c[pos_none], 1.0);
+        assert_eq!(vect_c[pos_none], 0.0);
+        let pos_inner = names.iter().position(|n| n == "vec_pos_inner_sp").unwrap();
+        assert_eq!(vect_c[pos_inner], 1.0);
+    }
+
+    #[test]
+    fn buffer_reuse_classification() {
+        let feats = matmul_features(&[]);
+        let names = feature_names();
+        let compute = &feats[1];
+        // All three big buffers (C store, A, B) show loop reuse: each has an
+        // invariant loop in the naive matmul nest.
+        for b in 0..3 {
+            let slot = names
+                .iter()
+                .position(|n| n == &format!("buf{b}_reuse_loop"))
+                .unwrap();
+            assert_eq!(compute[slot], 1.0, "buffer {b}");
+        }
+        // Slot 4/5 are padding (only 3 buffers accessed).
+        let pad = names.iter().position(|n| n == "buf4_bytes").unwrap();
+        assert_eq!(compute[pad], 0.0);
+    }
+
+    #[test]
+    fn parallel_annotation_sets_parallel_extent() {
+        let feats = matmul_features(&[Step::Annotate {
+            node: "C".into(),
+            iter: "i".into(),
+            ann: Annotation::Parallel,
+        }]);
+        let names = feature_names();
+        let pe = names.iter().position(|n| n == "par_extent").unwrap();
+        assert!((feats[1][pe] - lg(64.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intensity_curve_is_monotone_for_matmul() {
+        // Matmul's arithmetic intensity grows with sub-nest size.
+        let feats = matmul_features(&[]);
+        let names = feature_names();
+        let ai0 = names.iter().position(|n| n == "ai_0").unwrap();
+        let c = &feats[1];
+        assert!(c[ai0 + 9] >= c[ai0], "{:?}", &c[ai0..ai0 + 10]);
+    }
+
+    #[test]
+    fn features_are_finite() {
+        for f in matmul_features(&[]) {
+            for (i, v) in f.iter().enumerate() {
+                assert!(v.is_finite(), "feature {i} = {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Gradient-boosted regression trees, implemented from scratch.
+//!
+//! This is the model family the paper uses for its learned cost model
+//! (§5.2: "We train a gradient boosting decision tree as the underlying
+//! model f"), with the weighted squared-error loss the paper specifies:
+//! `loss(f, P, y) = y · (Σ_{s∈S(P)} f(s) − y)²` — faster programs carry
+//! more weight. The per-statement summation lives in `ansor-core`'s cost
+//! model; this crate provides the generic weighted GBDT.
+//!
+//! # Examples
+//!
+//! ```
+//! use gbdt::{Gbdt, GbdtParams};
+//!
+//! // y = 2·x₀ + x₁, uniformly weighted.
+//! let x: Vec<Vec<f32>> = (0..200)
+//!     .map(|i| vec![(i % 20) as f32, (i / 20) as f32])
+//!     .collect();
+//! let y: Vec<f32> = x.iter().map(|v| 2.0 * v[0] + v[1]).collect();
+//! let w = vec![1.0; x.len()];
+//! let model = Gbdt::train(&x, &y, &w, &GbdtParams::default());
+//! let err = (model.predict(&[10.0, 5.0]) - 25.0).abs();
+//! assert!(err < 2.0, "{err}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod tree;
+
+use serde::{Deserialize, Serialize};
+
+pub use tree::{RegressionTree, TreeNode, TreeParams};
+
+/// Hyper-parameters of the boosted ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbdtParams {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f32,
+    /// Fraction of features each tree may split on (1.0 = all). Subsets are
+    /// drawn deterministically per tree.
+    pub colsample: f64,
+    /// Per-tree growth parameters.
+    pub tree: TreeParams,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            n_trees: 50,
+            learning_rate: 0.3,
+            colsample: 1.0,
+            tree: TreeParams::default(),
+        }
+    }
+}
+
+/// A trained gradient-boosted regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gbdt {
+    base: f32,
+    trees: Vec<RegressionTree>,
+    learning_rate: f32,
+}
+
+impl Gbdt {
+    /// Trains on `(x, y)` with per-sample weights `w` (weighted squared
+    /// error). Each boosting round fits a tree to the current residuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`, `y` and `w` have different lengths.
+    pub fn train(x: &[Vec<f32>], y: &[f32], w: &[f32], params: &GbdtParams) -> Gbdt {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), w.len());
+        let wsum: f64 = w.iter().map(|&v| v as f64).sum();
+        let base = if wsum > 0.0 {
+            (y.iter()
+                .zip(w)
+                .map(|(&yi, &wi)| (yi * wi) as f64)
+                .sum::<f64>()
+                / wsum) as f32
+        } else {
+            0.0
+        };
+        let mut residual: Vec<f32> = y.iter().map(|&yi| yi - base).collect();
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let n_features = x.first().map(|r| r.len()).unwrap_or(0);
+        for round in 0..params.n_trees {
+            let mut tp = params.tree.clone();
+            if params.colsample < 1.0 && n_features > 0 {
+                // Deterministic per-round feature subset via an LCG.
+                let keep = ((n_features as f64 * params.colsample).ceil() as usize).max(1);
+                let mut s = 0x2545_F491_4F6C_DD1Du64.wrapping_mul(round as u64 + 1);
+                let mut subset: Vec<usize> = Vec::with_capacity(keep);
+                while subset.len() < keep {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let f = (s >> 33) as usize % n_features;
+                    if !subset.contains(&f) {
+                        subset.push(f);
+                    }
+                }
+                tp.feature_subset = subset;
+            }
+            let tree = RegressionTree::fit(x, &residual, w, &tp);
+            if tree.num_nodes() <= 1 {
+                // No useful split left; residuals are (weighted-)constant.
+                let leaf = tree.predict(&[]);
+                if leaf.abs() < 1e-12 {
+                    break;
+                }
+            }
+            for (i, r) in residual.iter_mut().enumerate() {
+                *r -= params.learning_rate * tree.predict(&x[i]);
+            }
+            trees.push(tree);
+        }
+        Gbdt {
+            base,
+            trees,
+            learning_rate: params.learning_rate,
+        }
+    }
+
+    /// Trains with early stopping: after each boosting round the weighted
+    /// MSE on the validation set is evaluated; training stops once it has
+    /// not improved for `patience` rounds, and the ensemble is truncated to
+    /// the best round.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_with_validation(
+        x: &[Vec<f32>],
+        y: &[f32],
+        w: &[f32],
+        val_x: &[Vec<f32>],
+        val_y: &[f32],
+        val_w: &[f32],
+        params: &GbdtParams,
+        patience: usize,
+    ) -> Gbdt {
+        let mut model = Gbdt::train(x, y, w, &GbdtParams {
+            n_trees: 0,
+            ..params.clone()
+        });
+        let mut residual: Vec<f32> = y.iter().map(|&yi| yi - model.base).collect();
+        let n_features = x.first().map(|r| r.len()).unwrap_or(0);
+        let mut best_mse = model.weighted_mse(val_x, val_y, val_w);
+        let mut best_len = 0usize;
+        for round in 0..params.n_trees {
+            let mut tp = params.tree.clone();
+            if params.colsample < 1.0 && n_features > 0 {
+                let keep = ((n_features as f64 * params.colsample).ceil() as usize).max(1);
+                let mut s = 0x2545_F491_4F6C_DD1Du64.wrapping_mul(round as u64 + 1);
+                let mut subset: Vec<usize> = Vec::with_capacity(keep);
+                while subset.len() < keep {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let f = (s >> 33) as usize % n_features;
+                    if !subset.contains(&f) {
+                        subset.push(f);
+                    }
+                }
+                tp.feature_subset = subset;
+            }
+            let tree = RegressionTree::fit(x, &residual, w, &tp);
+            for (i, r) in residual.iter_mut().enumerate() {
+                *r -= params.learning_rate * tree.predict(&x[i]);
+            }
+            model.trees.push(tree);
+            let mse = model.weighted_mse(val_x, val_y, val_w);
+            if mse < best_mse - 1e-12 {
+                best_mse = mse;
+                best_len = model.trees.len();
+            } else if model.trees.len() - best_len >= patience {
+                break;
+            }
+        }
+        model.trees.truncate(best_len.max(1));
+        model
+    }
+
+    /// Predicts one feature vector.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut v = self.base;
+        for t in &self.trees {
+            v += self.learning_rate * t.predict(x);
+        }
+        v
+    }
+
+    /// Predicts a batch of feature vectors.
+    pub fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Weighted mean squared error on a dataset.
+    pub fn weighted_mse(&self, x: &[Vec<f32>], y: &[f32], w: &[f32]) -> f64 {
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for i in 0..x.len() {
+            let d = (self.predict(&x[i]) - y[i]) as f64;
+            num += w[i] as f64 * d * d;
+            den += w[i] as f64;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// Total split gain per feature across all trees.
+    pub fn feature_importance(&self, n_features: usize) -> Vec<f64> {
+        let mut imp = vec![0.0; n_features];
+        for t in &self.trees {
+            t.accumulate_importance(&mut imp);
+        }
+        imp
+    }
+
+    /// Number of trees actually fit.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize) -> (Vec<Vec<f32>>, Vec<f32>, Vec<f32>) {
+        let x: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let a = (i % 17) as f32;
+                let b = ((i * 7) % 13) as f32;
+                vec![a, b, (i % 3) as f32]
+            })
+            .collect();
+        let y: Vec<f32> = x.iter().map(|v| v[0] * v[0] * 0.1 + 2.0 * v[1]).collect();
+        let w = vec![1.0; n];
+        (x, y, w)
+    }
+
+    #[test]
+    fn boosting_reduces_training_error_monotonically() {
+        let (x, y, w) = toy_dataset(300);
+        let mut prev = f64::INFINITY;
+        for n_trees in [1, 5, 20, 60] {
+            let m = Gbdt::train(
+                &x,
+                &y,
+                &w,
+                &GbdtParams {
+                    n_trees,
+                    ..Default::default()
+                },
+            );
+            let mse = m.weighted_mse(&x, &y, &w);
+            assert!(mse <= prev + 1e-9, "mse {mse} should be <= {prev}");
+            prev = mse;
+        }
+        assert!(prev < 1.0, "final mse {prev}");
+    }
+
+    #[test]
+    fn ranking_is_preserved_on_train_data() {
+        let (x, y, w) = toy_dataset(200);
+        let m = Gbdt::train(&x, &y, &w, &GbdtParams::default());
+        // Pairwise comparison accuracy must be well above chance.
+        let pred = m.predict_batch(&x);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in (0..200).step_by(7) {
+            for j in (1..200).step_by(11) {
+                if (y[i] - y[j]).abs() > 1e-6 {
+                    total += 1;
+                    if (pred[i] > pred[j]) == (y[i] > y[j]) {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.9, "pairwise accuracy {acc}");
+    }
+
+    #[test]
+    fn high_weight_samples_fit_better() {
+        // Two contradictory regimes; weights decide which one wins.
+        let x: Vec<Vec<f32>> = (0..100).map(|i| vec![(i % 10) as f32]).collect();
+        let y: Vec<f32> = (0..100)
+            .map(|i| if i < 50 { 1.0 } else { -1.0 })
+            .collect();
+        // Same features repeat in both halves; weight the first half high.
+        let w: Vec<f32> = (0..100).map(|i| if i < 50 { 10.0 } else { 0.1 }).collect();
+        let m = Gbdt::train(&x, &y, &w, &GbdtParams::default());
+        let p = m.predict(&[5.0]);
+        assert!(p > 0.8, "prediction {p} should lean toward heavy samples");
+    }
+
+    #[test]
+    fn feature_importance_finds_the_informative_feature() {
+        // y depends only on feature 1.
+        let x: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![((i * 13) % 7) as f32, (i % 10) as f32, 0.5])
+            .collect();
+        let y: Vec<f32> = x.iter().map(|v| v[1] * 3.0).collect();
+        let w = vec![1.0; 200];
+        let m = Gbdt::train(&x, &y, &w, &GbdtParams::default());
+        let imp = m.feature_importance(3);
+        assert!(imp[1] > 10.0 * imp[0]);
+        assert!(imp[1] > 10.0 * imp[2]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (x, y, w) = toy_dataset(50);
+        let m = Gbdt::train(&x, &y, &w, &GbdtParams::default());
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Gbdt = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict(&x[0]), m.predict(&x[0]));
+    }
+
+    #[test]
+    fn empty_dataset_predicts_zero() {
+        let m = Gbdt::train(&[], &[], &[], &GbdtParams::default());
+        assert_eq!(m.predict(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn early_stopping_prevents_overfitting_noise() {
+        // Train targets = signal + strong noise; validation = clean signal.
+        // Early stopping must keep fewer trees than the full budget.
+        let n = 200;
+        let x: Vec<Vec<f32>> = (0..n).map(|i| vec![(i % 20) as f32]).collect();
+        let noise = |i: usize| ((i * 2654435761) % 1000) as f32 / 250.0 - 2.0;
+        let y: Vec<f32> = (0..n).map(|i| x[i][0] * 2.0 + noise(i)).collect();
+        let w = vec![1.0; n];
+        let val_x: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 20) as f32]).collect();
+        let val_y: Vec<f32> = val_x.iter().map(|v| v[0] * 2.0).collect();
+        let val_w = vec![1.0; 40];
+        let params = GbdtParams {
+            n_trees: 200,
+            learning_rate: 0.5,
+            ..Default::default()
+        };
+        let es = Gbdt::train_with_validation(&x, &y, &w, &val_x, &val_y, &val_w, &params, 5);
+        assert!(es.num_trees() < 200, "kept {} trees", es.num_trees());
+        let full = Gbdt::train(&x, &y, &w, &params);
+        // Early-stopped model generalizes at least as well.
+        assert!(
+            es.weighted_mse(&val_x, &val_y, &val_w)
+                <= full.weighted_mse(&val_x, &val_y, &val_w) + 1e-9
+        );
+    }
+
+    #[test]
+    fn early_stopping_matches_plain_training_on_clean_data() {
+        let (x, y, w) = toy_dataset(150);
+        let params = GbdtParams::default();
+        let es = Gbdt::train_with_validation(&x, &y, &w, &x, &y, &w, &params, 10);
+        // On clean data validated against itself, it trains to completion
+        // (or stops only when converged) and fits well.
+        assert!(es.weighted_mse(&x, &y, &w) < 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Weighted regression trees: the weak learner of the boosting ensemble.
+
+use serde::{Deserialize, Serialize};
+
+/// One node of a regression tree, stored in a flat arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// Internal split: `x[feature] < threshold` goes left, else right.
+    Split {
+        /// Feature index.
+        feature: usize,
+        /// Split threshold.
+        threshold: f32,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+        /// Variance reduction achieved by this split (for importances).
+        gain: f64,
+    },
+    /// Leaf prediction.
+    Leaf {
+        /// Predicted value.
+        value: f32,
+    },
+}
+
+/// A binary regression tree fit to weighted squared error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<TreeNode>,
+}
+
+/// Hyper-parameters for growing one tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum total sample weight in a leaf.
+    pub min_child_weight: f64,
+    /// Minimum gain (weighted variance reduction) for a split to be kept.
+    pub min_gain: f64,
+    /// When non-empty, only these feature indices are considered for
+    /// splits (per-tree column subsampling).
+    pub feature_subset: Vec<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 6,
+            min_child_weight: 1e-6,
+            min_gain: 1e-12,
+            feature_subset: Vec::new(),
+        }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree on `(x, y, w)` triples. `x` is row-major: one feature
+    /// vector per sample. Rows with non-positive weight are ignored.
+    pub fn fit(x: &[Vec<f32>], y: &[f32], w: &[f32], params: &TreeParams) -> RegressionTree {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), w.len());
+        let idx: Vec<usize> = (0..x.len()).filter(|&i| w[i] > 0.0).collect();
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        if idx.is_empty() {
+            tree.nodes.push(TreeNode::Leaf { value: 0.0 });
+            return tree;
+        }
+        tree.grow(x, y, w, idx, 0, params);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f32>],
+        y: &[f32],
+        w: &[f32],
+        idx: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let (wsum, mean) = weighted_mean(&idx, y, w);
+        let node_id = self.nodes.len();
+        if depth >= params.max_depth || idx.len() < 2 || wsum < 2.0 * params.min_child_weight {
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return node_id;
+        }
+        let Some(best) = best_split(x, y, w, &idx, params) else {
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return node_id;
+        };
+        // Reserve a slot, then grow children.
+        self.nodes.push(TreeNode::Leaf { value: mean });
+        let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+        for &i in &idx {
+            if x[i][best.feature] < best.threshold {
+                left_idx.push(i);
+            } else {
+                right_idx.push(i);
+            }
+        }
+        let left = self.grow(x, y, w, left_idx, depth + 1, params);
+        let right = self.grow(x, y, w, right_idx, depth + 1, params);
+        self.nodes[node_id] = TreeNode::Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            left,
+            right,
+            gain: best.gain,
+        };
+        node_id
+    }
+
+    /// Predicts one sample.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if x.get(*feature).copied().unwrap_or(0.0) < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Accumulates split gains per feature into `importance`.
+    pub fn accumulate_importance(&self, importance: &mut [f64]) {
+        for n in &self.nodes {
+            if let TreeNode::Split { feature, gain, .. } = n {
+                if *feature < importance.len() {
+                    importance[*feature] += gain;
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+struct Split {
+    feature: usize,
+    threshold: f32,
+    gain: f64,
+}
+
+fn weighted_mean(idx: &[usize], y: &[f32], w: &[f32]) -> (f64, f32) {
+    let mut wsum = 0.0f64;
+    let mut ysum = 0.0f64;
+    for &i in idx {
+        wsum += w[i] as f64;
+        ysum += (w[i] * y[i]) as f64;
+    }
+    if wsum <= 0.0 {
+        (0.0, 0.0)
+    } else {
+        (wsum, (ysum / wsum) as f32)
+    }
+}
+
+/// Exact greedy split search: for every feature, sort the node's samples by
+/// value and scan boundaries between distinct values, maximizing the
+/// weighted-variance reduction.
+fn best_split(
+    x: &[Vec<f32>],
+    y: &[f32],
+    w: &[f32],
+    idx: &[usize],
+    params: &TreeParams,
+) -> Option<Split> {
+    let n_features = x[idx[0]].len();
+    let mut total_w = 0.0f64;
+    let mut total_wy = 0.0f64;
+    for &i in idx {
+        total_w += w[i] as f64;
+        total_wy += (w[i] * y[i]) as f64;
+    }
+    let mut best: Option<Split> = None;
+    let mut order: Vec<usize> = idx.to_vec();
+    let all_features: Vec<usize> = (0..n_features).collect();
+    let candidates: &[usize] = if params.feature_subset.is_empty() {
+        &all_features
+    } else {
+        &params.feature_subset
+    };
+    for &f in candidates {
+        if f >= n_features {
+            continue;
+        }
+        order.sort_unstable_by(|&a, &b| {
+            x[a][f]
+                .partial_cmp(&x[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut lw = 0.0f64;
+        let mut lwy = 0.0f64;
+        for k in 0..order.len() - 1 {
+            let i = order[k];
+            lw += w[i] as f64;
+            lwy += (w[i] * y[i]) as f64;
+            let xv = x[i][f];
+            let xn = x[order[k + 1]][f];
+            if xn <= xv {
+                continue; // no boundary between equal values
+            }
+            let rw = total_w - lw;
+            let rwy = total_wy - lwy;
+            if lw < params.min_child_weight || rw < params.min_child_weight {
+                continue;
+            }
+            // Variance reduction ∝ (Σwy)²/Σw for each side.
+            let gain = lwy * lwy / lw + rwy * rwy / rw - total_wy * total_wy / total_w;
+            if gain > params.min_gain
+                && best.as_ref().map(|b| gain > b.gain).unwrap_or(true)
+            {
+                best = Some(Split {
+                    feature: f,
+                    threshold: (xv + xn) * 0.5,
+                    gain,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function() {
+        let x: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let y: Vec<f32> = (0..100).map(|i| if i < 50 { 1.0 } else { 3.0 }).collect();
+        let w = vec![1.0; 100];
+        let tree = RegressionTree::fit(&x, &y, &w, &TreeParams::default());
+        assert!((tree.predict(&[10.0]) - 1.0).abs() < 1e-5);
+        assert!((tree.predict(&[90.0]) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
+        let y: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let w = vec![1.0; 64];
+        let params = TreeParams {
+            max_depth: 1,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &w, &params);
+        // Depth 1 → at most 3 nodes.
+        assert!(tree.num_nodes() <= 3);
+    }
+
+    #[test]
+    fn weights_shift_the_split() {
+        // Two clusters; the heavier cluster dominates the leaf values.
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 10.0];
+        let w = vec![1.0, 100.0];
+        let tree = RegressionTree::fit(&x, &y, &w, &TreeParams::default());
+        assert!((tree.predict(&[0.0]) - 0.0).abs() < 1e-5);
+        assert!((tree.predict(&[1.0]) - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_weight_rows_are_ignored() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![5.0, 7.0, 1000.0];
+        let w = vec![1.0, 1.0, 0.0];
+        let tree = RegressionTree::fit(&x, &y, &w, &TreeParams::default());
+        assert!(tree.predict(&[2.0]) <= 7.0 + 1e-5);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let y = vec![2.5; 10];
+        let w = vec![1.0; 10];
+        let tree = RegressionTree::fit(&x, &y, &w, &TreeParams::default());
+        assert_eq!(tree.num_nodes(), 1);
+        assert!((tree.predict(&[3.0]) - 2.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,21 @@
+//! Simulated hardware: analytical machine model, trace-based cache
+//! simulator and the program measurer.
+//!
+//! The paper measures candidate tensor programs on real machines (a 20-core
+//! Intel Xeon, an ARM Cortex-A53 and an NVIDIA V100) through TVM's code
+//! generators. This crate substitutes a deterministic simulated machine:
+//! the tuner still only observes `(program → execution time)`, so the
+//! search-quality comparisons of the evaluation are preserved (see
+//! DESIGN.md, "Substitutions").
+
+#![warn(missing_docs)]
+
+pub mod analytical;
+pub mod cache;
+pub mod measure;
+pub mod target;
+
+pub use analytical::{estimate_detailed, estimate_seconds, explain, gflops, StoreCost};
+pub use cache::{miss_traffic, CacheHierarchy, CacheLevel};
+pub use measure::{MeasureOptions, MeasureResult, Measurer};
+pub use target::{HardwareTarget, TargetKind};

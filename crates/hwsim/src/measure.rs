@@ -1,0 +1,259 @@
+//! The measurer: turns schedule states into "measured" execution times.
+//!
+//! Mirrors the paper's builder/runner pipeline (Figure 4's Measurer box):
+//! programs are lowered ("built") and timed on the simulated machine
+//! ("run"). Invalid programs yield errors rather than panics, exactly as a
+//! compilation or runtime failure would on real hardware. Measurements can
+//! carry deterministic, seeded log-normal noise to mimic real measurement
+//! variance; noise defaults to zero so experiments are reproducible.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+use tensor_ir::{lower, Program, State};
+
+use crate::analytical::estimate_seconds;
+use crate::target::HardwareTarget;
+
+/// Options controlling the measurer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureOptions {
+    /// Relative standard deviation of the multiplicative measurement noise
+    /// (0 = deterministic).
+    pub noise: f64,
+    /// Seed mixed into the per-program noise.
+    pub seed: u64,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions { noise: 0.0, seed: 0 }
+    }
+}
+
+/// Result of measuring one program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureResult {
+    /// Execution time in seconds; `f64::INFINITY` when the build failed.
+    pub seconds: f64,
+    /// Error message when the program could not be built.
+    pub error: Option<String>,
+}
+
+impl MeasureResult {
+    /// Whether the measurement succeeded.
+    pub fn is_valid(&self) -> bool {
+        self.error.is_none() && self.seconds.is_finite()
+    }
+}
+
+/// Measures programs on a simulated target and counts measurement trials —
+/// the resource unit of the paper's evaluation (§7.1: "at most 1,000
+/// measurement trials").
+#[derive(Debug, Clone)]
+pub struct Measurer {
+    /// The simulated hardware.
+    pub target: HardwareTarget,
+    /// Noise options.
+    pub options: MeasureOptions,
+    trials: u64,
+}
+
+impl Measurer {
+    /// Creates a measurer for a target with default (noise-free) options.
+    pub fn new(target: HardwareTarget) -> Measurer {
+        Measurer {
+            target,
+            options: MeasureOptions::default(),
+            trials: 0,
+        }
+    }
+
+    /// Creates a measurer with explicit options.
+    pub fn with_options(target: HardwareTarget, options: MeasureOptions) -> Measurer {
+        Measurer {
+            target,
+            options,
+            trials: 0,
+        }
+    }
+
+    /// Number of measurement trials performed so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Resets the trial counter.
+    pub fn reset_trials(&mut self) {
+        self.trials = 0;
+    }
+
+    /// Builds and measures one state, consuming one trial.
+    pub fn measure(&mut self, state: &State) -> MeasureResult {
+        self.trials += 1;
+        self.measure_one(state)
+    }
+
+    /// Measures a batch of states (one trial each). Builds and times the
+    /// programs on worker threads — the paper's measurer also builds and
+    /// runs candidates in parallel — while keeping results deterministic
+    /// and in submission order.
+    pub fn measure_batch(&mut self, states: &[State]) -> Vec<MeasureResult> {
+        self.trials += states.len() as u64;
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(states.len().max(1));
+        if workers <= 1 || states.len() < 4 {
+            return states.iter().map(|s| self.measure_one(s)).collect();
+        }
+        let this = &*self;
+        let mut results: Vec<Option<MeasureResult>> = vec![None; states.len()];
+        crossbeam::thread::scope(|scope| {
+            for (chunk_states, chunk_results) in states
+                .chunks(states.len().div_ceil(workers))
+                .zip(results.chunks_mut(states.len().div_ceil(workers)))
+            {
+                scope.spawn(move |_| {
+                    for (s, slot) in chunk_states.iter().zip(chunk_results.iter_mut()) {
+                        *slot = Some(this.measure_one(s));
+                    }
+                });
+            }
+        })
+        .expect("measurement workers do not panic");
+        results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+
+    /// Builds and times one state without touching the trial counter.
+    fn measure_one(&self, state: &State) -> MeasureResult {
+        let program = match lower(state) {
+            Ok(p) => p,
+            Err(e) => {
+                return MeasureResult {
+                    seconds: f64::INFINITY,
+                    error: Some(e.to_string()),
+                }
+            }
+        };
+        MeasureResult {
+            seconds: self.time_program(&program, state),
+            error: None,
+        }
+    }
+
+    /// Times an already-lowered program without counting a trial (used by
+    /// oracle evaluations in the experiment harnesses).
+    pub fn time_only(&self, program: &Program) -> f64 {
+        estimate_seconds(program, &self.target)
+    }
+
+    fn time_program(&self, program: &Program, state: &State) -> f64 {
+        let base = estimate_seconds(program, &self.target);
+        if self.options.noise <= 0.0 {
+            return base;
+        }
+        // Deterministic per-program noise: hash the transform history.
+        let mut h = DefaultHasher::new();
+        self.options.seed.hash(&mut h);
+        for s in &state.steps {
+            format!("{s:?}").hash(&mut h);
+        }
+        let bits = h.finish();
+        // Two uniforms from the hash → one standard normal (Box–Muller).
+        let u1 = ((bits >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+        let u2 = (bits & 0xFFFF_FFFF) as f64 / 4294967296.0;
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        base * (self.options.noise * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tensor_ir::{DagBuilder, Expr, Reducer, State, Step};
+
+    fn simple_state() -> State {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[64, 64]);
+        let w = b.placeholder("B", &[64, 64]);
+        b.compute_reduce("C", &[64, 64], &[64], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        State::new(Arc::new(b.build().unwrap()))
+    }
+
+    #[test]
+    fn measure_counts_trials() {
+        let mut m = Measurer::new(HardwareTarget::intel_20core());
+        let st = simple_state();
+        let r = m.measure(&st);
+        assert!(r.is_valid());
+        assert!(r.seconds > 0.0);
+        m.measure_batch(&[st.clone(), st]);
+        assert_eq!(m.trials(), 3);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_order_and_values() {
+        let mut m = Measurer::new(HardwareTarget::intel_20core());
+        // Build 12 distinct states by splitting with different factors.
+        let mut states = Vec::new();
+        for f in [1i64, 2, 4, 8, 16, 32] {
+            for ax in ["i", "j"] {
+                let mut st = simple_state();
+                if f > 1 {
+                    st.apply(Step::Split {
+                        node: "C".into(),
+                        iter: ax.into(),
+                        lengths: vec![f],
+                    })
+                    .unwrap();
+                }
+                states.push(st);
+            }
+        }
+        let batch = m.measure_batch(&states);
+        assert_eq!(m.trials(), 12);
+        let mut m2 = Measurer::new(HardwareTarget::intel_20core());
+        for (s, b) in states.iter().zip(&batch) {
+            assert_eq!(m2.measure(s).seconds, b.seconds);
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_program() {
+        let opts = MeasureOptions {
+            noise: 0.05,
+            seed: 1,
+        };
+        let mut m1 = Measurer::with_options(HardwareTarget::intel_20core(), opts.clone());
+        let mut m2 = Measurer::with_options(HardwareTarget::intel_20core(), opts);
+        let st = simple_state();
+        assert_eq!(m1.measure(&st).seconds, m2.measure(&st).seconds);
+    }
+
+    #[test]
+    fn noise_differs_across_programs() {
+        let opts = MeasureOptions {
+            noise: 0.05,
+            seed: 1,
+        };
+        let mut m = Measurer::with_options(HardwareTarget::intel_20core(), opts);
+        let st1 = simple_state();
+        let mut st2 = simple_state();
+        st2.apply(Step::Split {
+            node: "C".into(),
+            iter: "i".into(),
+            lengths: vec![8],
+        })
+        .unwrap();
+        // Nearly identical base time, but different noise draw.
+        let r1 = m.measure(&st1);
+        let r2 = m.measure(&st2);
+        assert_ne!(r1.seconds, r2.seconds);
+    }
+}

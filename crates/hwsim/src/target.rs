@@ -1,0 +1,194 @@
+//! Hardware target descriptions.
+//!
+//! These parameterise the analytical machine model. The three presets mirror
+//! the paper's evaluation platforms (§7): a 20-core Intel Xeon Platinum
+//! 8269CY, a 4-core ARM Cortex-A53 (Raspberry Pi 3b+), and an NVIDIA V100.
+//! Absolute numbers are approximate; what matters for reproducing the
+//! paper's *comparisons* is that all searchers are measured against the same
+//! machine.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU-style or GPU-style execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// Multi-core CPU with SIMD units and a cache hierarchy.
+    Cpu,
+    /// Streaming-multiprocessor GPU with thread-block execution.
+    Gpu,
+}
+
+/// A simulated hardware platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareTarget {
+    /// Display name, e.g. `intel-20c`.
+    pub name: String,
+    /// Execution model.
+    pub kind: TargetKind,
+    /// Physical cores (CPU) or streaming multiprocessors (GPU).
+    pub num_cores: u32,
+    /// f32 SIMD lanes per vector operation (8 = AVX2, 16 = AVX-512,
+    /// 4 = NEON). For GPUs this is the warp width used for coalescing.
+    pub vector_lanes: u32,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Scalar FLOPs retired per cycle per core (2 = one FMA).
+    pub flops_per_cycle: f64,
+    /// Latency of a dependent FMA chain in cycles (limits single-accumulator
+    /// reductions).
+    pub fma_latency: f64,
+    /// L1 data cache per core, bytes.
+    pub l1_bytes: i64,
+    /// L2 cache per core, bytes.
+    pub l2_bytes: i64,
+    /// Shared last-level cache, bytes (0 = none).
+    pub l3_bytes: i64,
+    /// Cache line size, bytes.
+    pub line_bytes: i64,
+    /// L2 bandwidth per core, GB/s.
+    pub l2_bw_gbs: f64,
+    /// L3 bandwidth (shared), GB/s.
+    pub l3_bw_gbs: f64,
+    /// DRAM bandwidth (shared), GB/s.
+    pub mem_bw_gbs: f64,
+    /// Fixed cost of entering a parallel region, seconds.
+    pub parallel_launch_s: f64,
+    /// Per-task scheduling cost of a parallel loop, seconds.
+    pub parallel_task_s: f64,
+    /// Loop maintenance overhead (increment + branch) in cycles.
+    pub loop_overhead_cycles: f64,
+    /// GPU only: maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// GPU only: kernel launch overhead, seconds.
+    pub kernel_launch_s: f64,
+}
+
+impl HardwareTarget {
+    /// Peak scalar FLOP/s of one core.
+    pub fn core_flops(&self) -> f64 {
+        self.freq_ghz * 1e9 * self.flops_per_cycle
+    }
+
+    /// Peak vector FLOP/s of one core.
+    pub fn core_vector_flops(&self) -> f64 {
+        self.core_flops() * self.vector_lanes as f64
+    }
+
+    /// Elements of `f32` per cache line.
+    pub fn line_elems(&self) -> i64 {
+        self.line_bytes / 4
+    }
+
+    /// The paper's main evaluation CPU: 20-core Intel Platinum 8269CY.
+    /// AVX-512 is disabled to mirror §7.1 (8 lanes = AVX2).
+    pub fn intel_20core() -> HardwareTarget {
+        HardwareTarget {
+            name: "intel-20c".into(),
+            kind: TargetKind::Cpu,
+            num_cores: 20,
+            vector_lanes: 8,
+            freq_ghz: 3.1,
+            flops_per_cycle: 2.0,
+            fma_latency: 4.0,
+            l1_bytes: 32 * 1024,
+            l2_bytes: 1024 * 1024,
+            l3_bytes: 36 * 1024 * 1024,
+            line_bytes: 64,
+            l2_bw_gbs: 100.0,
+            l3_bw_gbs: 200.0,
+            mem_bw_gbs: 90.0,
+            parallel_launch_s: 3e-6,
+            parallel_task_s: 0.3e-6,
+            loop_overhead_cycles: 2.0,
+            max_threads_per_sm: 0,
+            kernel_launch_s: 0.0,
+        }
+    }
+
+    /// The same CPU with AVX-512 enabled (used for the PyTorch/MKL-DNN
+    /// vendor baseline in Figure 6, which uses AVX-512 by default).
+    pub fn intel_20core_avx512() -> HardwareTarget {
+        HardwareTarget {
+            name: "intel-20c-avx512".into(),
+            vector_lanes: 16,
+            ..Self::intel_20core()
+        }
+    }
+
+    /// The paper's edge platform: 4-core ARM Cortex-A53 @1.4 GHz.
+    pub fn arm_4core() -> HardwareTarget {
+        HardwareTarget {
+            name: "arm-4c".into(),
+            kind: TargetKind::Cpu,
+            num_cores: 4,
+            vector_lanes: 4,
+            freq_ghz: 1.4,
+            flops_per_cycle: 2.0,
+            fma_latency: 4.0,
+            l1_bytes: 32 * 1024,
+            l2_bytes: 512 * 1024,
+            l3_bytes: 0,
+            line_bytes: 64,
+            l2_bw_gbs: 10.0,
+            l3_bw_gbs: 0.0,
+            mem_bw_gbs: 4.0,
+            parallel_launch_s: 8e-6,
+            parallel_task_s: 1e-6,
+            loop_overhead_cycles: 3.0,
+            max_threads_per_sm: 0,
+            kernel_launch_s: 0.0,
+        }
+    }
+
+    /// The paper's GPU: NVIDIA V100 (80 SMs).
+    pub fn nvidia_v100() -> HardwareTarget {
+        HardwareTarget {
+            name: "nvidia-v100".into(),
+            kind: TargetKind::Gpu,
+            num_cores: 80,
+            vector_lanes: 32,
+            freq_ghz: 1.38,
+            flops_per_cycle: 128.0, // 64 FP32 cores x FMA per SM
+            fma_latency: 4.0,
+            l1_bytes: 96 * 1024,       // shared memory / L1 per SM
+            l2_bytes: 6 * 1024 * 1024, // device L2 (shared)
+            l3_bytes: 0,
+            line_bytes: 128,
+            l2_bw_gbs: 2000.0,
+            l3_bw_gbs: 0.0,
+            mem_bw_gbs: 900.0,
+            parallel_launch_s: 0.0,
+            parallel_task_s: 0.0,
+            loop_overhead_cycles: 1.0,
+            max_threads_per_sm: 2048,
+            kernel_launch_s: 5e-6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_roofs() {
+        let intel = HardwareTarget::intel_20core();
+        // 20 cores x 3.1 GHz x 2 flops x 8 lanes ≈ 992 GFLOP/s.
+        let peak = intel.core_vector_flops() * intel.num_cores as f64;
+        assert!(peak > 0.9e12 && peak < 1.1e12, "{peak}");
+        let arm = HardwareTarget::arm_4core();
+        assert!(arm.core_vector_flops() < intel.core_vector_flops());
+        let gpu = HardwareTarget::nvidia_v100();
+        // ~14 TFLOP/s FP32.
+        let gpeak = gpu.core_flops() * gpu.num_cores as f64;
+        assert!(gpeak > 10e12 && gpeak < 16e12, "{gpeak}");
+    }
+
+    #[test]
+    fn avx512_doubles_lanes() {
+        assert_eq!(
+            HardwareTarget::intel_20core_avx512().vector_lanes,
+            2 * HardwareTarget::intel_20core().vector_lanes
+        );
+    }
+}

@@ -1,0 +1,558 @@
+//! Loop-nest analysis of lowered programs.
+//!
+//! Produces, for every innermost store statement, the data both the
+//! analytical hardware model (`hwsim`) and the feature extractor
+//! (`ansor-features`, Appendix B of the paper) need: the enclosing loop
+//! chain, arithmetic operation counts, and per-buffer access descriptors
+//! with flat strides and touched-footprint estimates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dag::Reducer;
+use crate::expr::{Expr, NodeId, OpCounts, VarId};
+use crate::lower::{Program, Stmt};
+use crate::state::{Annotation, IterKind};
+
+/// One loop of the chain enclosing a store statement (outer→inner).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopCtx {
+    /// Loop variable.
+    pub var: VarId,
+    /// Trip count.
+    pub extent: i64,
+    /// Annotation.
+    pub ann: Annotation,
+    /// Spatial / reduce / mixed classification of the iterator.
+    pub kind: IterKind,
+}
+
+/// Access type of a buffer within one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessType {
+    /// Read only.
+    Read,
+    /// Write only.
+    Write,
+    /// Read-modify-write (reduction update).
+    ReadWrite,
+}
+
+/// How one statement accesses one buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferAccess {
+    /// The accessed node's buffer.
+    pub node: NodeId,
+    /// Read / write / read+write.
+    pub access: AccessType,
+    /// Flat element stride with respect to each enclosing loop (outer→inner,
+    /// aligned with [`StoreAnalysis::loops`]). Strides are measured by
+    /// evaluating the flattened index with the loop variable at 0 and 1.
+    pub strides: Vec<i64>,
+    /// Number of syntactic accesses to this buffer in the statement.
+    pub count: u32,
+    /// Total number of elements in the buffer.
+    pub buffer_elems: i64,
+    /// Whether this access is to a constant tensor whose layout was
+    /// rewritten to be packed for this stage (§4.2).
+    pub packed: bool,
+}
+
+impl BufferAccess {
+    /// Distinct elements touched by the loops at levels `lvl..` (i.e. one
+    /// full execution of the sub-nest rooted at `lvl`), capped by the buffer
+    /// size.
+    pub fn touched_elems(&self, lvl: usize, loops: &[LoopCtx]) -> f64 {
+        let mut n = 1.0f64;
+        for (i, lp) in loops.iter().enumerate().skip(lvl) {
+            if self.strides[i] != 0 {
+                n *= lp.extent as f64;
+            }
+        }
+        n.min(self.buffer_elems as f64)
+    }
+
+    /// Smallest non-zero absolute stride among levels `lvl..`; `None` when
+    /// the access is invariant in the sub-nest.
+    pub fn min_stride(&self, lvl: usize) -> Option<i64> {
+        self.strides[lvl..]
+            .iter()
+            .filter(|&&s| s != 0)
+            .map(|s| s.abs())
+            .min()
+    }
+
+    /// Estimated distinct cache lines touched by the sub-nest at `lvl`,
+    /// assuming `line_elems` elements per cache line.
+    pub fn touched_lines(&self, lvl: usize, loops: &[LoopCtx], line_elems: i64) -> f64 {
+        let elems = self.touched_elems(lvl, loops);
+        let stride = if self.packed {
+            1
+        } else {
+            self.min_stride(lvl).unwrap_or(0)
+        };
+        if stride == 0 {
+            return 1.0;
+        }
+        let per_line = (line_elems as f64 / stride as f64).clamp(1.0, line_elems as f64);
+        (elems / per_line).max(1.0)
+    }
+
+    /// Stride with respect to the innermost loop.
+    pub fn innermost_stride(&self) -> i64 {
+        *self.strides.last().unwrap_or(&0)
+    }
+}
+
+/// Analysis of one innermost store statement in the context of the full
+/// program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreAnalysis {
+    /// Buffer being stored to.
+    pub buffer: NodeId,
+    /// Enclosing loop chain, outer→inner.
+    pub loops: Vec<LoopCtx>,
+    /// Operation counts of the stored value expression.
+    pub ops: OpCounts,
+    /// Reduction operator if the store is a read-modify-write.
+    pub reduce: Option<Reducer>,
+    /// All buffer accesses made by the statement (store + loads, merged
+    /// per buffer/pattern).
+    pub accesses: Vec<BufferAccess>,
+    /// `auto_unroll_max_step` pragma in effect for this statement's stage.
+    pub pragma_unroll: i64,
+    /// Loop variables appearing inside `Select` conditions of the stored
+    /// value. When the loops carrying these variables are unrolled, a real
+    /// code generator constant-folds the guards (e.g. the zero
+    /// multiplications of strided transposed convolution).
+    pub guard_vars: Vec<VarId>,
+}
+
+impl StoreAnalysis {
+    /// Product of all loop extents: how many times the statement executes.
+    pub fn trip_count(&self) -> f64 {
+        self.loops.iter().map(|l| l.extent as f64).product()
+    }
+
+    /// Floating point operations per single execution (including the
+    /// reduction combine).
+    pub fn flops_per_iter(&self) -> f64 {
+        self.ops.total_flops() as f64 + if self.reduce.is_some() { 1.0 } else { 0.0 }
+    }
+
+    /// Innermost loop annotated `Vectorize` at or below which this statement
+    /// sits, if any: `(level index, extent)`.
+    pub fn vectorized_level(&self) -> Option<(usize, i64)> {
+        self.loops
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, l)| l.ann == Annotation::Vectorize)
+            .map(|(i, l)| (i, l.extent))
+    }
+
+    /// Outermost loop annotated `Parallel`, if any: `(level index, extent)`.
+    ///
+    /// Adjacent parallel loops at the top of the chain are combined into a
+    /// single parallel extent by [`StoreAnalysis::parallel_extent`].
+    pub fn parallel_level(&self) -> Option<(usize, i64)> {
+        self.loops
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.ann == Annotation::Parallel)
+            .map(|(i, l)| (i, l.extent))
+    }
+
+    /// Product of the extents of leading `Parallel` loops (the paper's
+    /// fused-outer-parallel pattern yields one loop; explicit collapsed
+    /// nests also work).
+    pub fn parallel_extent(&self) -> i64 {
+        let mut p = 1;
+        for l in &self.loops {
+            if l.ann == Annotation::Parallel {
+                p *= l.extent;
+            } else if p > 1 {
+                break;
+            }
+        }
+        p
+    }
+
+    /// Number of independent accumulation chains available below the
+    /// innermost reduction loop: the product of extents of spatial loops
+    /// nested inside the innermost reduce loop that are vectorized or
+    /// unrolled (these become independent registers in real codegen).
+    pub fn independent_accumulators(&self) -> f64 {
+        let Some(last_reduce) = self
+            .loops
+            .iter()
+            .rposition(|l| l.kind != IterKind::Space)
+        else {
+            return f64::INFINITY; // no reduction chain at all
+        };
+        let mut acc = 1.0;
+        for l in &self.loops[last_reduce + 1..] {
+            if l.kind == IterKind::Space
+                && matches!(l.ann, Annotation::Vectorize | Annotation::Unroll)
+            {
+                acc *= l.extent as f64;
+            }
+        }
+        // Small trailing spatial loops may also be unrolled implicitly when
+        // the pragma allows it.
+        if self.pragma_unroll > 0 {
+            let mut body = 1.0;
+            for l in self.loops[last_reduce + 1..].iter().rev() {
+                if l.kind == IterKind::Space && l.ann == Annotation::None {
+                    body *= l.extent as f64;
+                    if body <= self.pragma_unroll as f64 {
+                        acc *= l.extent as f64;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl StoreAnalysis {
+    /// Multiplier (≤ 1) on compute cost from constant-folding of select
+    /// guards: when every loop feeding a `Select` condition is unrolled
+    /// (explicitly or via the unroll pragma), the code generator
+    /// specializes the body per iteration and dead guarded work disappears
+    /// (the paper's transposed-convolution example, §7.1).
+    pub fn guard_fold_factor(&self) -> f64 {
+        if self.guard_vars.is_empty() {
+            return 1.0;
+        }
+        let mut body = 1.0f64;
+        let mut guard_loops = 0;
+        let mut folded = 0;
+        for l in self.loops.iter().rev() {
+            body *= l.extent as f64;
+            if !self.guard_vars.contains(&l.var) {
+                continue;
+            }
+            guard_loops += 1;
+            let implicit = self.pragma_unroll > 0 && body <= self.pragma_unroll as f64;
+            if l.ann == Annotation::Unroll || l.ann == Annotation::Vectorize || implicit {
+                folded += 1;
+            }
+        }
+        if guard_loops == 0 {
+            1.0 // guards depend only on constants; always folded
+        } else if folded == guard_loops {
+            0.35
+        } else if folded > 0 {
+            0.7
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Analyzes every innermost store statement of a program.
+pub fn analyze(program: &Program) -> Vec<StoreAnalysis> {
+    let mut out = Vec::new();
+    let const_nodes: Vec<bool> = program
+        .dag
+        .nodes
+        .iter()
+        .map(|n| n.is_const_placeholder())
+        .collect();
+    program.for_each_store(&mut |chain, stmt| {
+        let Stmt::Store {
+            buffer,
+            indices,
+            value,
+            reduce,
+        } = stmt
+        else {
+            return;
+        };
+        let loops: Vec<LoopCtx> = chain
+            .iter()
+            .map(|&(var, extent, ann)| LoopCtx {
+                var,
+                extent,
+                ann,
+                kind: program.vars[var as usize].kind,
+            })
+            .collect();
+        let vars: Vec<VarId> = loops.iter().map(|l| l.var).collect();
+        let pragma = *program.pragma_unroll.get(buffer).unwrap_or(&0);
+        let rewritten = program.layout_rewritten.contains(buffer);
+        let mut accesses: Vec<BufferAccess> = Vec::new();
+        // The store itself.
+        push_access(
+            &mut accesses,
+            program,
+            *buffer,
+            indices,
+            if reduce.is_some() {
+                AccessType::ReadWrite
+            } else {
+                AccessType::Write
+            },
+            &vars,
+            false,
+        );
+        // Loads in the value.
+        value.visit(&mut |e| {
+            if let Expr::Load { node, indices } = e {
+                let packed = rewritten && const_nodes[*node];
+                push_access(
+                    &mut accesses,
+                    program,
+                    *node,
+                    indices,
+                    AccessType::Read,
+                    &vars,
+                    packed,
+                );
+            }
+        });
+        let mut guard_vars = Vec::new();
+        value.visit(&mut |e| {
+            if let Expr::Select { cond, .. } = e {
+                cond.visit(&mut |c| {
+                    if let Expr::LoopVar(v) = c {
+                        if !guard_vars.contains(v) {
+                            guard_vars.push(*v);
+                        }
+                    }
+                });
+            }
+        });
+        out.push(StoreAnalysis {
+            buffer: *buffer,
+            loops,
+            ops: value.op_counts(),
+            reduce: *reduce,
+            accesses,
+            pragma_unroll: pragma,
+            guard_vars,
+        });
+    });
+    out
+}
+
+fn push_access(
+    accesses: &mut Vec<BufferAccess>,
+    program: &Program,
+    node: NodeId,
+    indices: &[Expr],
+    access: AccessType,
+    vars: &[VarId],
+    packed: bool,
+) {
+    let strides = flat_strides(program, node, indices, vars);
+    // Merge with an existing identical access pattern.
+    for a in accesses.iter_mut() {
+        if a.node == node && a.strides == strides {
+            a.count += 1;
+            if a.access != access {
+                a.access = AccessType::ReadWrite;
+            }
+            return;
+        }
+    }
+    accesses.push(BufferAccess {
+        node,
+        access,
+        strides,
+        count: 1,
+        buffer_elems: program.dag.nodes[node].num_elements(),
+        packed,
+    });
+}
+
+/// Flat element stride of the access for each loop variable, measured by
+/// finite differences of the flattened index expression.
+fn flat_strides(program: &Program, node: NodeId, indices: &[Expr], vars: &[VarId]) -> Vec<i64> {
+    let shape = program.dag.nodes[node].shape();
+    let mut dim_strides = vec![1i64; shape.len()];
+    for d in (0..shape.len().saturating_sub(1)).rev() {
+        dim_strides[d] = dim_strides[d + 1] * shape[d + 1];
+    }
+    let flatten = |env: &dyn Fn(VarId) -> i64| -> i64 {
+        indices
+            .iter()
+            .zip(&dim_strides)
+            .map(|(ix, &s)| eval_int(ix, env) * s)
+            .sum()
+    };
+    let base = flatten(&|_| 0);
+    vars.iter()
+        .map(|&v| {
+            let with_v = flatten(&|x| if x == v { 1 } else { 0 });
+            with_v - base
+        })
+        .collect()
+}
+
+/// Integer evaluation of an index expression under a variable assignment.
+/// Non-integer constructs evaluate to 0 (they do not appear in indices
+/// produced by lowering).
+fn eval_int(e: &Expr, env: &dyn Fn(VarId) -> i64) -> i64 {
+    use crate::expr::BinOp;
+    match e {
+        Expr::IntConst(v) => *v,
+        Expr::FloatConst(v) => *v as i64,
+        Expr::LoopVar(v) => env(*v),
+        Expr::Axis(_) | Expr::Load { .. } | Expr::Select { .. } | Expr::Unary { .. } => 0,
+        Expr::Cmp { .. } => 0,
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_int(lhs, env);
+            let r = eval_int(rhs, env);
+            match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => {
+                    if r == 0 {
+                        0
+                    } else {
+                        l / r
+                    }
+                }
+                BinOp::Mod => {
+                    if r == 0 {
+                        0
+                    } else {
+                        l % r
+                    }
+                }
+                BinOp::Min => l.min(r),
+                BinOp::Max => l.max(r),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use crate::lower::lower;
+    use crate::state::State;
+    use crate::steps::Step;
+    use std::sync::Arc;
+
+    fn matmul_program() -> Program {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[64, 32]);
+        let w = b.placeholder("B", &[32, 16]);
+        b.compute_reduce("C", &[64, 16], &[32], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        let dag = Arc::new(b.build().unwrap());
+        let st = State::new(dag);
+        lower(&st).unwrap()
+    }
+
+    #[test]
+    fn strides_of_naive_matmul() {
+        let prog = matmul_program();
+        let an = analyze(&prog);
+        // Two stores: init (C) and compute (C += A*B).
+        assert_eq!(an.len(), 2);
+        let compute = an.iter().find(|s| s.reduce.is_some()).unwrap();
+        assert_eq!(compute.loops.len(), 3); // i, j, k
+        // Store C[i, j]: strides (16, 1, 0).
+        let store = &compute.accesses[0];
+        assert_eq!(store.access, AccessType::ReadWrite);
+        assert_eq!(store.strides, vec![16, 1, 0]);
+        // Load A[i, k]: strides (32, 0, 1).
+        let a = compute.accesses.iter().find(|x| x.node == 0).unwrap();
+        assert_eq!(a.strides, vec![32, 0, 1]);
+        // Load B[k, j]: strides (0, 1, 16).
+        let b = compute.accesses.iter().find(|x| x.node == 1).unwrap();
+        assert_eq!(b.strides, vec![0, 1, 16]);
+    }
+
+    #[test]
+    fn touched_footprints() {
+        let prog = matmul_program();
+        let an = analyze(&prog);
+        let compute = an.iter().find(|s| s.reduce.is_some()).unwrap();
+        let a = compute.accesses.iter().find(|x| x.node == 0).unwrap();
+        // Innermost k loop touches 32 A-elements; full nest touches all 2048.
+        assert_eq!(a.touched_elems(2, &compute.loops), 32.0);
+        assert_eq!(a.touched_elems(0, &compute.loops), 2048.0);
+        // B is invariant to i: full nest touches 512 B-elements.
+        let b = compute.accesses.iter().find(|x| x.node == 1).unwrap();
+        assert_eq!(b.touched_elems(0, &compute.loops), 512.0);
+    }
+
+    #[test]
+    fn trip_count_and_flops() {
+        let prog = matmul_program();
+        let an = analyze(&prog);
+        let compute = an.iter().find(|s| s.reduce.is_some()).unwrap();
+        assert_eq!(compute.trip_count(), (64 * 16 * 32) as f64);
+        assert_eq!(compute.flops_per_iter(), 2.0); // mul + reduce add
+    }
+
+    #[test]
+    fn independent_accumulators_reflect_unrolled_spatial_loops() {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[64, 32]);
+        let w = b.placeholder("B", &[32, 16]);
+        b.compute_reduce("C", &[64, 16], &[32], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        let dag = Arc::new(b.build().unwrap());
+        let mut st = State::new(dag);
+        // Split j, put j.1 innermost with vectorization: C's reduction gains
+        // 8 independent accumulators.
+        st.apply(Step::Split {
+            node: "C".into(),
+            iter: "j".into(),
+            lengths: vec![8],
+        })
+        .unwrap();
+        let sid = st.stage_by_node_name("C").unwrap();
+        let i = st.stages[sid].iter_by_name("i").unwrap();
+        let j0 = st.stages[sid].iter_by_name("j.0").unwrap();
+        let j1 = st.stages[sid].iter_by_name("j.1").unwrap();
+        let k = st.stages[sid].iter_by_name("k").unwrap();
+        st.reorder(sid, &[i, j0, k, j1]).unwrap();
+        st.apply(Step::Annotate {
+            node: "C".into(),
+            iter: "j.1".into(),
+            ann: Annotation::Vectorize,
+        })
+        .unwrap();
+        let prog = lower(&st).unwrap();
+        let an = analyze(&prog);
+        let compute = an.iter().find(|s| s.reduce.is_some()).unwrap();
+        assert_eq!(compute.independent_accumulators(), 8.0);
+        assert_eq!(compute.vectorized_level().map(|(_, e)| e), Some(8));
+    }
+
+    #[test]
+    fn parallel_extent_combines_leading_parallel_loops() {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[16, 8]);
+        b.compute("R", &[16, 8], |ax| {
+            Expr::max(
+                Expr::load(a, vec![ax[0].clone(), ax[1].clone()]),
+                Expr::float(0.0),
+            )
+        });
+        let dag = Arc::new(b.build().unwrap());
+        let mut st = State::new(dag);
+        let sid = st.stage_by_node_name("R").unwrap();
+        let i = st.stages[sid].iter_by_name("i").unwrap();
+        let j = st.stages[sid].iter_by_name("j").unwrap();
+        let f = st.fuse(sid, &[i, j]).unwrap();
+        st.annotate(sid, f, Annotation::Parallel).unwrap();
+        let prog = lower(&st).unwrap();
+        let an = analyze(&prog);
+        assert_eq!(an[0].parallel_extent(), 128);
+    }
+}

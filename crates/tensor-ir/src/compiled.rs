@@ -1,0 +1,482 @@
+//! Compiled execution: flattens a lowered [`Program`] into a stack bytecode
+//! that runs several times faster than the tree-walking interpreter.
+//!
+//! The functional interpreter (`crate::interp`) is the semantic reference;
+//! this module compiles each statement's expressions to postfix
+//! instructions over a small value stack (with explicit jumps for
+//! short-circuit `Select`), so large equivalence tests and
+//! interpreter-backed experiments stay fast. A differential property test
+//! pins the two implementations together.
+
+use crate::dag::Reducer;
+use crate::error::Error;
+use crate::expr::{BinOp, CmpOp, Expr, NodeId, UnOp, VarId};
+use crate::interp::Buffers;
+use crate::lower::{Program, Stmt};
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+enum Inst {
+    /// Push a float constant.
+    PushF(f32),
+    /// Push an integer constant.
+    PushI(i64),
+    /// Push the value of a loop variable.
+    PushVar(VarId),
+    /// Pop `ndim` indices (innermost last) and push `buffer[indices]`.
+    Load {
+        /// Source buffer.
+        node: NodeId,
+        /// Number of index values on the stack.
+        ndim: usize,
+    },
+    /// Pop two values, push the result.
+    Bin(BinOp),
+    /// Pop two values, push 1/0.
+    Cmp(CmpOp),
+    /// Pop one value, push the result.
+    Un(UnOp),
+    /// Pop one value; jump to `target` when it is zero.
+    JumpIfZero {
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Instruction index to jump to.
+        target: usize,
+    },
+}
+
+/// A value on the evaluation stack (integer index math or f32 data).
+#[derive(Debug, Clone, Copy)]
+enum V {
+    /// Integer.
+    I(i64),
+    /// Float.
+    F(f32),
+}
+
+impl V {
+    #[inline]
+    fn f(self) -> f32 {
+        match self {
+            V::I(v) => v as f32,
+            V::F(v) => v,
+        }
+    }
+
+    #[inline]
+    fn i(self) -> i64 {
+        match self {
+            V::I(v) => v,
+            V::F(v) => v as i64,
+        }
+    }
+
+    #[inline]
+    fn truthy(self) -> bool {
+        match self {
+            V::I(v) => v != 0,
+            V::F(v) => v != 0.0,
+        }
+    }
+}
+
+/// A compiled store statement: index programs plus a value program.
+#[derive(Debug, Clone)]
+struct CompiledStore {
+    buffer: NodeId,
+    index_code: Vec<Inst>,
+    n_indices: usize,
+    value_code: Vec<Inst>,
+    reduce: Option<Reducer>,
+}
+
+/// A compiled loop-nest operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Enter a loop: set `var` to 0..extent around the nested block.
+    For {
+        var: VarId,
+        extent: i64,
+        body: Vec<Op>,
+    },
+    /// Execute a store.
+    Store(usize),
+}
+
+/// A program compiled to bytecode, reusable across executions.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    ops: Vec<Op>,
+    stores: Vec<CompiledStore>,
+    n_vars: usize,
+    /// The source program (for buffer allocation).
+    program: Program,
+}
+
+impl CompiledProgram {
+    /// Compiles a lowered program.
+    pub fn compile(program: &Program) -> CompiledProgram {
+        let mut stores = Vec::new();
+        let ops = compile_block(&program.body, &mut stores);
+        CompiledProgram {
+            ops,
+            stores,
+            n_vars: program.vars.len(),
+            program: program.clone(),
+        }
+    }
+
+    /// Executes the compiled program over fresh buffers with the given
+    /// inputs (same contract as [`crate::interp::run`]).
+    pub fn run(
+        &self,
+        inputs: &std::collections::HashMap<NodeId, Vec<f32>>,
+    ) -> Result<Buffers, Error> {
+        let mut bufs = Buffers::for_program(&self.program);
+        for (node, data) in inputs {
+            bufs.set_input(*node, data);
+        }
+        let mut env = vec![0i64; self.n_vars];
+        let mut stack: Vec<V> = Vec::with_capacity(32);
+        let mut idx: Vec<i64> = Vec::with_capacity(8);
+        for op in &self.ops {
+            self.exec(op, &mut env, &mut bufs, &mut stack, &mut idx)?;
+        }
+        Ok(bufs)
+    }
+
+    fn exec(
+        &self,
+        op: &Op,
+        env: &mut [i64],
+        bufs: &mut Buffers,
+        stack: &mut Vec<V>,
+        idx: &mut Vec<i64>,
+    ) -> Result<(), Error> {
+        match op {
+            Op::For { var, extent, body } => {
+                for v in 0..*extent {
+                    env[*var as usize] = v;
+                    for o in body {
+                        self.exec(o, env, bufs, stack, idx)?;
+                    }
+                }
+                Ok(())
+            }
+            Op::Store(s) => {
+                let st = &self.stores[*s];
+                // Indices.
+                stack.clear();
+                eval_code(&st.index_code, env, bufs, stack)?;
+                debug_assert_eq!(stack.len(), st.n_indices);
+                idx.clear();
+                idx.extend(stack.iter().map(|v| v.i()));
+                // Value.
+                stack.clear();
+                eval_code(&st.value_code, env, bufs, stack)?;
+                let v = stack.pop().ok_or_else(|| {
+                    Error::Interp("value program left an empty stack".into())
+                })?;
+                bufs.store(st.buffer, idx, v.f(), st.reduce)
+            }
+        }
+    }
+}
+
+fn compile_block(stmts: &[Stmt], stores: &mut Vec<CompiledStore>) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::For {
+                var, extent, body, ..
+            } => ops.push(Op::For {
+                var: *var,
+                extent: *extent,
+                body: compile_block(body, stores),
+            }),
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+                reduce,
+            } => {
+                let mut index_code = Vec::new();
+                for ix in indices {
+                    compile_expr(ix, &mut index_code);
+                }
+                let mut value_code = Vec::new();
+                compile_expr(value, &mut value_code);
+                let id = stores.len();
+                stores.push(CompiledStore {
+                    buffer: *buffer,
+                    n_indices: indices.len(),
+                    index_code,
+                    value_code,
+                    reduce: *reduce,
+                });
+                ops.push(Op::Store(id));
+            }
+        }
+    }
+    ops
+}
+
+fn compile_expr(e: &Expr, code: &mut Vec<Inst>) {
+    match e {
+        Expr::FloatConst(v) => code.push(Inst::PushF(*v as f32)),
+        Expr::IntConst(v) => code.push(Inst::PushI(*v)),
+        Expr::LoopVar(v) => code.push(Inst::PushVar(*v)),
+        Expr::Axis(_) => {
+            // Unresolved axes cannot appear in lowered programs; compile to
+            // a poison value that trips the interpreter equivalence tests.
+            code.push(Inst::PushF(f32::NAN));
+        }
+        Expr::Load { node, indices } => {
+            for ix in indices {
+                compile_expr(ix, code);
+            }
+            code.push(Inst::Load {
+                node: *node,
+                ndim: indices.len(),
+            });
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            compile_expr(lhs, code);
+            compile_expr(rhs, code);
+            code.push(Inst::Bin(*op));
+        }
+        Expr::Unary { op, arg } => {
+            compile_expr(arg, code);
+            code.push(Inst::Un(*op));
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            compile_expr(lhs, code);
+            compile_expr(rhs, code);
+            code.push(Inst::Cmp(*op));
+        }
+        Expr::Select { cond, then, other } => {
+            compile_expr(cond, code);
+            let jz = code.len();
+            code.push(Inst::JumpIfZero { target: usize::MAX });
+            compile_expr(then, code);
+            let jmp = code.len();
+            code.push(Inst::Jump { target: usize::MAX });
+            let else_start = code.len();
+            compile_expr(other, code);
+            let end = code.len();
+            code[jz] = Inst::JumpIfZero { target: else_start };
+            code[jmp] = Inst::Jump { target: end };
+        }
+    }
+}
+
+fn eval_code(code: &[Inst], env: &[i64], bufs: &Buffers, stack: &mut Vec<V>) -> Result<(), Error> {
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match &code[pc] {
+            Inst::PushF(v) => stack.push(V::F(*v)),
+            Inst::PushI(v) => stack.push(V::I(*v)),
+            Inst::PushVar(v) => stack.push(V::I(env[*v as usize])),
+            Inst::Load { node, ndim } => {
+                let base = stack.len() - ndim;
+                let value = bufs.load_iter(*node, stack[base..].iter().map(|v| v.i()))?;
+                stack.truncate(base);
+                stack.push(V::F(value));
+            }
+            Inst::Bin(op) => {
+                let r = stack.pop().expect("binary rhs");
+                let l = stack.pop().expect("binary lhs");
+                let out = match (l, r) {
+                    (V::I(a), V::I(b)) => V::I(match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => {
+                            if b == 0 {
+                                return Err(Error::Interp("integer division by zero".into()));
+                            }
+                            a / b
+                        }
+                        BinOp::Mod => {
+                            if b == 0 {
+                                return Err(Error::Interp("integer modulo by zero".into()));
+                            }
+                            a % b
+                        }
+                        BinOp::Min => a.min(b),
+                        BinOp::Max => a.max(b),
+                    }),
+                    (l, r) => {
+                        let (a, b) = (l.f(), r.f());
+                        V::F(match op {
+                            BinOp::Add => a + b,
+                            BinOp::Sub => a - b,
+                            BinOp::Mul => a * b,
+                            BinOp::Div => a / b,
+                            BinOp::Mod => a % b,
+                            BinOp::Min => a.min(b),
+                            BinOp::Max => a.max(b),
+                        })
+                    }
+                };
+                stack.push(out);
+            }
+            Inst::Cmp(op) => {
+                let r = stack.pop().expect("cmp rhs");
+                let l = stack.pop().expect("cmp lhs");
+                let b = match (l, r) {
+                    (V::I(a), V::I(b)) => match op {
+                        CmpOp::Lt => a < b,
+                        CmpOp::Le => a <= b,
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        CmpOp::Ge => a >= b,
+                        CmpOp::Gt => a > b,
+                    },
+                    (l, r) => {
+                        let (a, b) = (l.f(), r.f());
+                        match op {
+                            CmpOp::Lt => a < b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Eq => a == b,
+                            CmpOp::Ne => a != b,
+                            CmpOp::Ge => a >= b,
+                            CmpOp::Gt => a > b,
+                        }
+                    }
+                };
+                stack.push(V::I(b as i64));
+            }
+            Inst::Un(op) => {
+                let v = stack.pop().expect("unary arg").f();
+                stack.push(V::F(match op {
+                    UnOp::Neg => -v,
+                    UnOp::Abs => v.abs(),
+                    UnOp::Sqrt => v.sqrt(),
+                    UnOp::Exp => v.exp(),
+                    UnOp::Tanh => v.tanh(),
+                    UnOp::Erf => crate::interp::erf_approx(v),
+                }));
+            }
+            Inst::JumpIfZero { target } => {
+                let c = stack.pop().expect("jump condition");
+                if !c.truthy() {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Inst::Jump { target } => {
+                pc = *target;
+                continue;
+            }
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use crate::interp;
+    use crate::lower::lower;
+    use crate::state::State;
+    use crate::steps::Step;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn conv_like_dag() -> Arc<crate::dag::ComputeDag> {
+        // Padding (selects), index math, reduction: exercises every opcode.
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[2, 6, 6]);
+        let w = b.constant("W", &[2, 3, 3]);
+        b.compute_reduce(
+            "C",
+            &[2, 6, 6],
+            &[3, 3],
+            crate::dag::Reducer::Sum,
+            |ax| {
+                let h = ax[1].clone() + ax[3].clone() - Expr::int(1);
+                let wd = ax[2].clone() + ax[4].clone() - Expr::int(1);
+                let conds = [
+                    Expr::cmp(CmpOp::Ge, h.clone(), Expr::int(0)),
+                    Expr::cmp(CmpOp::Lt, h.clone(), Expr::int(6)),
+                    Expr::cmp(CmpOp::Ge, wd.clone(), Expr::int(0)),
+                    Expr::cmp(CmpOp::Lt, wd.clone(), Expr::int(6)),
+                ];
+                let mut v = Expr::load(a, vec![ax[0].clone(), h, wd])
+                    * Expr::load(w, vec![ax[0].clone(), ax[3].clone(), ax[4].clone()]);
+                for c in conds.into_iter().rev() {
+                    v = Expr::select(c, v, Expr::float(0.0));
+                }
+                v
+            },
+        );
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_conv() {
+        let dag = conv_like_dag();
+        let st = State::new(dag.clone());
+        let program = lower(&st).unwrap();
+        let inputs = interp::random_inputs(&dag, 3);
+        let reference = interp::run(&program, &inputs).unwrap();
+        let compiled = CompiledProgram::compile(&program);
+        let got = compiled.run(&inputs).unwrap();
+        for n in 0..dag.nodes.len() {
+            assert_eq!(got.get(n), reference.get(n), "buffer {n} differs");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Differential test: the bytecode engine agrees with the
+        /// tree-walking interpreter bit-for-bit across random schedules.
+        #[test]
+        fn compiled_matches_interpreter_on_random_schedules(
+            seed in 0u64..200,
+            li in prop::sample::select(vec![1i64, 2, 3, 6]),
+            fuse in any::<bool>(),
+        ) {
+            let dag = conv_like_dag();
+            let mut st = State::new(dag.clone());
+            st.apply(Step::Split {
+                node: "C".into(), iter: "j".into(), lengths: vec![li],
+            }).unwrap();
+            if fuse {
+                st.apply(Step::Fuse {
+                    node: "C".into(),
+                    iters: vec!["i".into(), "j.0".into()],
+                }).unwrap();
+            }
+            let program = lower(&st).unwrap();
+            let inputs = interp::random_inputs(&dag, seed);
+            let reference = interp::run(&program, &inputs).unwrap();
+            let got = CompiledProgram::compile(&program).run(&inputs).unwrap();
+            for n in 0..dag.nodes.len() {
+                prop_assert_eq!(got.get(n), reference.get(n));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_is_reusable_across_runs() {
+        let dag = conv_like_dag();
+        let program = lower(&State::new(dag.clone())).unwrap();
+        let compiled = CompiledProgram::compile(&program);
+        let i1 = interp::random_inputs(&dag, 1);
+        let i2 = interp::random_inputs(&dag, 2);
+        let r1 = compiled.run(&i1).unwrap();
+        let r2 = compiled.run(&i2).unwrap();
+        assert_ne!(r1.get(2), r2.get(2));
+        // Same inputs → same outputs (no state leaks between runs).
+        let r1b = compiled.run(&i1).unwrap();
+        assert_eq!(r1.get(2), r1b.get(2));
+    }
+}

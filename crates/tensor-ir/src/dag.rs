@@ -1,0 +1,500 @@
+//! Compute DAG: the declarative description of a (sub)graph of tensor
+//! operators, plus the static analyses used by sketch-generation rules.
+//!
+//! A [`ComputeDag`] mirrors the role of TVM's compute DAG in the paper: nodes
+//! are placeholders or compute definitions, and edges are implied by
+//! [`Expr::Load`] references inside compute bodies.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{Expr, NodeId, OpCounts};
+
+/// Associative reduction operators supported by compute nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reducer {
+    /// Sum reduction (identity 0).
+    Sum,
+    /// Max reduction (identity -inf).
+    Max,
+    /// Min reduction (identity +inf).
+    Min,
+}
+
+impl Reducer {
+    /// Identity element of the reduction.
+    pub fn identity(&self) -> f32 {
+        match self {
+            Reducer::Sum => 0.0,
+            Reducer::Max => f32::NEG_INFINITY,
+            Reducer::Min => f32::INFINITY,
+        }
+    }
+
+    /// Combines an accumulator with a new value.
+    pub fn combine(&self, acc: f32, v: f32) -> f32 {
+        match self {
+            Reducer::Sum => acc + v,
+            Reducer::Max => acc.max(v),
+            Reducer::Min => acc.min(v),
+        }
+    }
+}
+
+/// The computation performed by a compute node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeSpec {
+    /// Output shape (extent of each spatial axis).
+    pub shape: Vec<i64>,
+    /// Extents of the reduction axes (empty for element-wise nodes).
+    pub reduce_extents: Vec<i64>,
+    /// Reduction operator; `None` iff `reduce_extents` is empty.
+    pub reducer: Option<Reducer>,
+    /// Body expression. For reductions this is the per-element value that is
+    /// folded by [`ComputeSpec::reducer`]; axes `0..shape.len()` are spatial
+    /// and the rest are reduction axes.
+    pub body: Expr,
+    /// Human-readable axis names, spatial then reduction.
+    pub axis_names: Vec<String>,
+}
+
+impl ComputeSpec {
+    /// Number of spatial axes.
+    pub fn num_spatial(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of reduction axes.
+    pub fn num_reduce(&self) -> usize {
+        self.reduce_extents.len()
+    }
+
+    /// Extent of axis `i` (spatial axes first, then reduction axes).
+    pub fn axis_extent(&self, i: usize) -> i64 {
+        if i < self.shape.len() {
+            self.shape[i]
+        } else {
+            self.reduce_extents[i - self.shape.len()]
+        }
+    }
+
+    /// Product of all spatial extents.
+    pub fn spatial_volume(&self) -> i64 {
+        self.shape.iter().product()
+    }
+
+    /// Product of all reduction extents (1 when there is no reduction).
+    pub fn reduce_volume(&self) -> i64 {
+        self.reduce_extents.iter().product()
+    }
+}
+
+/// A node in the compute DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An input tensor.
+    Placeholder {
+        /// Tensor shape.
+        shape: Vec<i64>,
+        /// Whether the tensor holds constant data (e.g. trained weights).
+        /// Constant tensors may have their layout rewritten (§4.2).
+        is_const: bool,
+        /// Known constant contents (row-major), e.g. the fixed transform
+        /// matrices of Winograd convolution. The interpreter initializes
+        /// the buffer from these values; `None` means the data is an
+        /// external input.
+        data: Option<Vec<f32>>,
+    },
+    /// A computed tensor.
+    Compute(ComputeSpec),
+}
+
+/// A named node of the DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Stable identifier (index into [`ComputeDag::nodes`]).
+    pub id: NodeId,
+    /// Unique, human-readable name (used to address nodes in transform steps).
+    pub name: String,
+    /// Node payload.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Shape of the tensor produced by this node.
+    pub fn shape(&self) -> &[i64] {
+        match &self.kind {
+            NodeKind::Placeholder { shape, .. } => shape,
+            NodeKind::Compute(c) => &c.shape,
+        }
+    }
+
+    /// Number of elements in the produced tensor.
+    pub fn num_elements(&self) -> i64 {
+        self.shape().iter().product()
+    }
+
+    /// Returns the compute spec, or `None` for placeholders.
+    pub fn compute(&self) -> Option<&ComputeSpec> {
+        match &self.kind {
+            NodeKind::Compute(c) => Some(c),
+            NodeKind::Placeholder { .. } => None,
+        }
+    }
+
+    /// Whether this node is a placeholder holding constant data.
+    pub fn is_const_placeholder(&self) -> bool {
+        matches!(
+            self.kind,
+            NodeKind::Placeholder {
+                is_const: true,
+                ..
+            }
+        )
+    }
+
+    /// Known constant contents, if any.
+    pub fn const_data(&self) -> Option<&[f32]> {
+        match &self.kind {
+            NodeKind::Placeholder { data: Some(d), .. } => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Whether an index expression is affine in at most one axis variable
+/// (axis, constant, or +/-/* combinations thereof).
+fn is_affine_single_axis(e: &Expr) -> bool {
+    fn walk(e: &Expr, axes: &mut usize) -> bool {
+        match e {
+            Expr::IntConst(_) => true,
+            Expr::Axis(_) => {
+                *axes += 1;
+                true
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                matches!(op, crate::expr::BinOp::Add | crate::expr::BinOp::Sub | crate::expr::BinOp::Mul)
+                    && walk(lhs, axes)
+                    && walk(rhs, axes)
+            }
+            _ => false,
+        }
+    }
+    let mut axes = 0;
+    walk(e, &mut axes) && axes <= 1
+}
+
+/// A directed acyclic graph of tensor computations.
+///
+/// Nodes are stored in topological order (producers before consumers); the
+/// builder validates this. Scheduling may append derived nodes (cache stages,
+/// rfactor stages); appended nodes keep all existing ids stable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeDag {
+    /// All nodes, producers before consumers.
+    pub nodes: Vec<Node>,
+}
+
+impl ComputeDag {
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Looks up a node id by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Direct consumers of `id` (nodes whose body loads `id`).
+    pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                n.compute()
+                    .map(|c| c.body.loaded_nodes().contains(&id))
+                    .unwrap_or(false)
+            })
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Direct producers of `id` (nodes loaded by its body).
+    pub fn producers(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes[id]
+            .compute()
+            .map(|c| c.body.loaded_nodes())
+            .unwrap_or_default()
+    }
+
+    /// Output nodes (compute nodes with no consumers).
+    pub fn outputs(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.compute().is_some() && self.consumers(n.id).is_empty())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Total floating point operations performed by one evaluation of the DAG.
+    pub fn flop_count(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.compute().map(|c| (n, c)))
+            .map(|(_, c)| {
+                let per_elem = c.body.op_counts().total_flops() as f64
+                    + if c.reducer.is_some() { 1.0 } else { 0.0 };
+                per_elem * c.spatial_volume() as f64 * c.reduce_volume() as f64
+            })
+            .sum()
+    }
+
+    /// `IsStrictInlinable(S, i)`: a simple element-wise node that can always
+    /// be inlined into its consumers (e.g. ReLU, bias add, padding).
+    ///
+    /// Conditions: it computes no reduction and every load in its body uses
+    /// *simple* indices (each index is a single axis reference or a
+    /// constant), so inlining never duplicates non-trivial index math.
+    pub fn is_strict_inlinable(&self, id: NodeId) -> bool {
+        let Some(c) = self.nodes[id].compute() else {
+            return false;
+        };
+        if !c.reduce_extents.is_empty() {
+            return false;
+        }
+        // Every load index must be an affine function of at most one axis
+        // (e.g. `h - pad`, `w * 2`), so inlining duplicates no interesting
+        // index math. Padding nodes (select-guarded shifted loads) qualify.
+        let mut simple = true;
+        c.body.visit(&mut |e| {
+            if let Expr::Load { indices, .. } = e {
+                for ix in indices {
+                    if !is_affine_single_axis(ix) {
+                        simple = false;
+                    }
+                }
+            }
+        });
+        simple
+    }
+
+    /// `HasDataReuse(S, i)`: a compute-intensive node with plentiful data
+    /// reuse (e.g. matmul, conv2d) that deserves multi-level tiling.
+    ///
+    /// We require at least one reduction axis: every element of the inputs is
+    /// then used by several output elements, which is exactly the reuse that
+    /// multi-level tiling exploits.
+    pub fn has_data_reuse(&self, id: NodeId) -> bool {
+        self.nodes[id]
+            .compute()
+            .map(|c| !c.reduce_extents.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// `HasFusibleConsumer(S, i)`: node `i` has exactly one consumer and that
+    /// consumer accesses `i` element-wise with identity spatial indices, so
+    /// the consumer can be fused into `i`'s tile structure.
+    pub fn has_fusible_consumer(&self, id: NodeId) -> bool {
+        self.fusible_consumer(id).is_some()
+    }
+
+    /// Returns the unique fusible consumer of `id`, if any.
+    pub fn fusible_consumer(&self, id: NodeId) -> Option<NodeId> {
+        let consumers = self.consumers(id);
+        if consumers.len() != 1 {
+            return None;
+        }
+        let cons = consumers[0];
+        let c = self.nodes[cons].compute()?;
+        // The consumer must be elementwise (no reduction) and every access to
+        // `id` must be the identity on the consumer's spatial axes.
+        if !c.reduce_extents.is_empty() {
+            return None;
+        }
+        if c.shape != self.nodes[id].shape() {
+            return None;
+        }
+        let mut ok = true;
+        c.body.visit(&mut |e| {
+            if let Expr::Load { node, indices } = e {
+                if *node == id {
+                    let identity = indices.len() == c.shape.len()
+                        && indices
+                            .iter()
+                            .enumerate()
+                            .all(|(d, ix)| matches!(ix, Expr::Axis(a) if *a == d));
+                    if !identity {
+                        ok = false;
+                    }
+                }
+            }
+        });
+        if ok {
+            Some(cons)
+        } else {
+            None
+        }
+    }
+
+    /// `HasMoreReductionParallel(S, i)`: little parallelism in space
+    /// dimensions but ample parallelism in reduction dimensions (e.g. the
+    /// 2-norm of a matrix, or `C[2,2] = A[2,512] x B[512,2]`).
+    pub fn has_more_reduction_parallel(&self, id: NodeId) -> bool {
+        self.nodes[id]
+            .compute()
+            .map(|c| {
+                let s = c.spatial_volume();
+                let r = c.reduce_volume();
+                s < 256 && r >= 16 * s.max(1)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Appends a node, returning its id. The caller must keep topological
+    /// order valid (used by cache/rfactor scheduling steps, which rewrite
+    /// bodies accordingly).
+    pub fn push_node(&mut self, name: String, kind: NodeKind) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node { id, name, kind });
+        id
+    }
+
+    /// Per-node op counts of the body expression (placeholders yield zeros).
+    pub fn node_op_counts(&self, id: NodeId) -> OpCounts {
+        self.nodes[id]
+            .compute()
+            .map(|c| c.body.op_counts())
+            .unwrap_or_default()
+    }
+
+    /// Validates internal consistency (topological order, axis arity,
+    /// load arity). Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.id != i {
+                return Err(format!("node {} has id {}", i, n.id));
+            }
+            if seen.insert(&n.name, i).is_some() {
+                return Err(format!("duplicate node name {:?}", n.name));
+            }
+            if let Some(c) = n.compute() {
+                if c.reducer.is_some() == c.reduce_extents.is_empty() {
+                    return Err(format!("node {:?}: reducer/reduce_extents mismatch", n.name));
+                }
+                if c.axis_names.len() != c.shape.len() + c.reduce_extents.len() {
+                    return Err(format!("node {:?}: axis_names arity mismatch", n.name));
+                }
+                let mut err = None;
+                let n_axes = c.shape.len() + c.reduce_extents.len();
+                c.body.visit(&mut |e| match e {
+                    Expr::Load { node, indices } => {
+                        if *node >= i {
+                            err = Some(format!(
+                                "node {:?} loads node {} which is not earlier in topo order",
+                                n.name, node
+                            ));
+                        } else if indices.len() != self.nodes[*node].shape().len() {
+                            err = Some(format!(
+                                "node {:?} loads node {:?} with wrong arity",
+                                n.name, self.nodes[*node].name
+                            ));
+                        }
+                    }
+                    Expr::Axis(a)
+                        if *a >= n_axes => {
+                            err = Some(format!("node {:?} references axis {}", n.name, a));
+                        }
+                    Expr::LoopVar(_) => {
+                        err = Some(format!("node {:?} body contains a loop var", n.name));
+                    }
+                    _ => {}
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    fn matmul_relu() -> ComputeDag {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[64, 32]);
+        let w = b.constant("B", &[32, 16]);
+        let c = b.compute_reduce("C", &[64, 16], &[32], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        b.compute("D", &[64, 16], |ax| {
+            Expr::max(
+                Expr::load(c, vec![ax[0].clone(), ax[1].clone()]),
+                Expr::float(0.0),
+            )
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn predicates_on_matmul_relu() {
+        let dag = matmul_relu();
+        let c = dag.node_id("C").unwrap();
+        let d = dag.node_id("D").unwrap();
+        assert!(dag.has_data_reuse(c));
+        assert!(!dag.has_data_reuse(d));
+        assert!(dag.is_strict_inlinable(d));
+        assert!(!dag.is_strict_inlinable(c));
+        assert_eq!(dag.fusible_consumer(c), Some(d));
+        assert!(!dag.has_more_reduction_parallel(c));
+    }
+
+    #[test]
+    fn small_spatial_large_reduce_triggers_rfactor_predicate() {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[8, 512]);
+        let d = b.placeholder("D", &[512, 4]);
+        b.compute_reduce("E", &[8, 4], &[512], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(d, vec![ax[2].clone(), ax[1].clone()])
+        });
+        let dag = b.build().unwrap();
+        let e = dag.node_id("E").unwrap();
+        assert!(dag.has_more_reduction_parallel(e));
+    }
+
+    #[test]
+    fn flop_count_matmul() {
+        let dag = matmul_relu();
+        // Matmul: 64*16*32 iterations x (1 mul + 1 reduce-add) + relu: 64*16 cmp.
+        let expect = (64.0 * 16.0 * 32.0) * 2.0 + 64.0 * 16.0;
+        assert!((dag.flop_count() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outputs_and_consumers() {
+        let dag = matmul_relu();
+        let c = dag.node_id("C").unwrap();
+        let d = dag.node_id("D").unwrap();
+        assert_eq!(dag.outputs(), vec![d]);
+        assert_eq!(dag.consumers(c), vec![d]);
+        assert_eq!(dag.producers(d), vec![c]);
+    }
+
+    #[test]
+    fn validate_catches_bad_order() {
+        let mut dag = matmul_relu();
+        // Make node D load a node that comes after it.
+        let d = dag.node_id("D").unwrap();
+        if let NodeKind::Compute(c) = &mut dag.nodes[d].kind {
+            c.body = Expr::load(d, vec![Expr::axis(0), Expr::axis(1)]);
+        }
+        assert!(dag.validate().is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type shared by scheduling, lowering and interpretation.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced while transforming, lowering or executing programs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Error {
+    /// A step referenced a node name that does not exist in the DAG.
+    UnknownNode(String),
+    /// A step referenced an iterator name that is not live in the stage.
+    UnknownIter {
+        /// Node whose stage was addressed.
+        node: String,
+        /// The missing iterator name.
+        iter: String,
+    },
+    /// A split whose factors do not divide the extent.
+    BadSplit {
+        /// Extent being split.
+        extent: i64,
+        /// Product of the requested inner lengths.
+        inner: i64,
+    },
+    /// A structurally invalid transformation.
+    Invalid(String),
+    /// Lowering failed.
+    Lower(String),
+    /// Interpretation failed.
+    Interp(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            Error::UnknownIter { node, iter } => {
+                write!(f, "unknown iterator {iter:?} in stage of node {node:?}")
+            }
+            Error::BadSplit { extent, inner } => {
+                write!(f, "split lengths (product {inner}) do not divide extent {extent}")
+            }
+            Error::Invalid(msg) => write!(f, "invalid transform: {msg}"),
+            Error::Lower(msg) => write!(f, "lowering error: {msg}"),
+            Error::Interp(msg) => write!(f, "interpreter error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::UnknownNode("X".into()).to_string().contains("X"));
+        assert!(Error::BadSplit { extent: 10, inner: 3 }
+            .to_string()
+            .contains("10"));
+    }
+}

@@ -1,0 +1,884 @@
+//! Schedule state: the loop structure of a partially or fully scheduled
+//! program, together with its transform-step history.
+//!
+//! A [`State`] plays the role of Ansor's program state σ = (S, i): it holds
+//! one [`Stage`] per DAG node, each stage owning an iterator-derivation graph
+//! that records how its current loop nest was derived from the node's root
+//! axes via splits and fusions. The recorded [`Step`]
+//! history is the program's "genes" (§5.1): any state can be reproduced by
+//! replaying its steps on a fresh state, which is the basis of tile-size
+//! mutation and node-based crossover.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dag::{ComputeDag, ComputeSpec, NodeKind};
+use crate::error::Error;
+use crate::expr::{Expr, NodeId};
+use crate::steps::Step;
+
+/// Identifier of a stage (index into [`State::stages`]).
+pub type StageId = usize;
+
+/// Identifier of an iterator within a stage's iterator arena.
+pub type IterId = usize;
+
+/// Loop iterator classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IterKind {
+    /// Spatial (data-parallel) iterator.
+    Space,
+    /// Reduction iterator.
+    Reduce,
+    /// Result of fusing spatial and reduction iterators.
+    Mixed,
+}
+
+/// Loop annotations (§4.2); `Bind*` variants are the GPU thread bindings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Annotation {
+    /// No annotation.
+    #[default]
+    None,
+    /// Multi-core parallel loop (CPU).
+    Parallel,
+    /// SIMD-vectorized loop.
+    Vectorize,
+    /// Fully unrolled loop.
+    Unroll,
+    /// GPU block index binding.
+    BindBlock,
+    /// GPU thread index binding.
+    BindThread,
+    /// GPU virtual-thread binding.
+    BindVthread,
+}
+
+impl Annotation {
+    /// Whether this annotation requires a data-parallel (spatial) iterator.
+    pub fn requires_space(&self) -> bool {
+        matches!(
+            self,
+            Annotation::Parallel
+                | Annotation::Vectorize
+                | Annotation::BindBlock
+                | Annotation::BindThread
+                | Annotation::BindVthread
+        )
+    }
+}
+
+/// How an iterator came to exist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IterSource {
+    /// One of the stage's root axes (index into spatial ++ reduce axes).
+    Root(usize),
+    /// Part `part` (0 = outermost) of splitting `parent` into `nparts`.
+    SplitPart {
+        /// Iterator that was split.
+        parent: IterId,
+        /// Which part this is, 0 = outermost.
+        part: usize,
+    },
+    /// Result of fusing the listed iterators (outer to inner).
+    Fused(Vec<IterId>),
+}
+
+/// A loop iterator node in a stage's derivation graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterInfo {
+    /// Unique (within the stage) display name, e.g. `i.0` or `i.0@j.0`.
+    pub name: String,
+    /// Trip count.
+    pub extent: i64,
+    /// Spatial / reduction / mixed.
+    pub kind: IterKind,
+    /// Derivation record.
+    pub source: IterSource,
+    /// Current annotation.
+    pub annotation: Annotation,
+    /// Set when this iterator has been split; children ids, outer→inner.
+    pub split_children: Option<Vec<IterId>>,
+    /// Set when this iterator was fused into another: (fused iter, position).
+    pub fused_into: Option<(IterId, usize)>,
+}
+
+impl IterInfo {
+    /// An iterator is live while it has been neither split nor fused away.
+    pub fn is_live(&self) -> bool {
+        self.split_children.is_none() && self.fused_into.is_none()
+    }
+}
+
+/// Where a stage's computation is placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ComputeLoc {
+    /// Emitted at the top level as its own loop nest.
+    #[default]
+    Root,
+    /// Substituted into consumers at load sites; no loops emitted.
+    Inlined,
+    /// Computed inside another stage's loop nest: the first `prefix_len`
+    /// iterators of this stage are identified with the first `prefix_len`
+    /// loops of the stage that computes `target` (matching extents).
+    At {
+        /// Consumer node whose loop nest hosts this stage.
+        target: NodeId,
+        /// Number of leading iterators shared with the target's nest.
+        prefix_len: usize,
+    },
+}
+
+/// Per-node scheduling state: the node's loop nest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// The DAG node this stage computes.
+    pub node: NodeId,
+    /// Iterator arena; never shrinks.
+    pub iters: Vec<IterInfo>,
+    /// Root iterators, one per axis (spatial then reduce).
+    pub root_iters: Vec<IterId>,
+    /// Current loop nest: live iterators, outermost first.
+    pub loop_order: Vec<IterId>,
+    /// Placement.
+    pub loc: ComputeLoc,
+    /// `auto_unroll_max_step` pragma (0 = none): the code generator may
+    /// unroll inner loops whose body size does not exceed this value.
+    pub max_unroll_step: i64,
+    /// Whether constant-input layouts were rewritten to match this stage's
+    /// tile structure (§4.2).
+    pub layout_rewritten: bool,
+}
+
+impl Stage {
+    /// Creates the naive-loop stage for a compute node.
+    pub fn from_spec(node: NodeId, spec: &ComputeSpec) -> Stage {
+        let mut iters = Vec::new();
+        let mut root_iters = Vec::new();
+        let n_spatial = spec.num_spatial();
+        for a in 0..n_spatial + spec.num_reduce() {
+            let id = iters.len();
+            iters.push(IterInfo {
+                name: spec.axis_names[a].clone(),
+                extent: spec.axis_extent(a),
+                kind: if a < n_spatial {
+                    IterKind::Space
+                } else {
+                    IterKind::Reduce
+                },
+                source: IterSource::Root(a),
+                annotation: Annotation::None,
+                split_children: None,
+                fused_into: None,
+            });
+            root_iters.push(id);
+        }
+        Stage {
+            node,
+            loop_order: (0..iters.len()).collect(),
+            iters,
+            root_iters,
+            loc: ComputeLoc::Root,
+            max_unroll_step: 0,
+            layout_rewritten: false,
+        }
+    }
+
+    /// Finds a live iterator by name.
+    pub fn iter_by_name(&self, name: &str) -> Option<IterId> {
+        self.loop_order
+            .iter()
+            .copied()
+            .find(|&i| self.iters[i].name == name)
+    }
+
+    /// Position of an iterator in the current loop order.
+    pub fn iter_pos(&self, id: IterId) -> Option<usize> {
+        self.loop_order.iter().position(|&i| i == id)
+    }
+
+    /// Product of the extents of the current loop nest.
+    pub fn loop_volume(&self) -> i64 {
+        self.loop_order.iter().map(|&i| self.iters[i].extent).product()
+    }
+
+    /// Live iterators of the given kind, in loop order.
+    pub fn iters_of_kind(&self, kind: IterKind) -> Vec<IterId> {
+        self.loop_order
+            .iter()
+            .copied()
+            .filter(|&i| self.iters[i].kind == kind)
+            .collect()
+    }
+}
+
+/// A (partially) scheduled program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct State {
+    /// The scheduled DAG; scheduling steps may extend it with cache and
+    /// rfactor nodes, so this is an owned copy of the original.
+    pub dag: ComputeDag,
+    /// The original, unscheduled DAG (replay target).
+    #[serde(skip)]
+    pub original_dag: Option<Arc<ComputeDag>>,
+    /// One stage per DAG node, in DAG order.
+    pub stages: Vec<Stage>,
+    /// Transform history — the program's genes.
+    pub steps: Vec<Step>,
+}
+
+impl State {
+    /// Creates the initial (naive-program) state for a DAG.
+    pub fn new(dag: Arc<ComputeDag>) -> State {
+        let stages = dag
+            .nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Compute(spec) => Stage::from_spec(n.id, spec),
+                NodeKind::Placeholder { .. } => Stage {
+                    node: n.id,
+                    iters: vec![],
+                    root_iters: vec![],
+                    loop_order: vec![],
+                    loc: ComputeLoc::Inlined,
+                    max_unroll_step: 0,
+                    layout_rewritten: false,
+                },
+            })
+            .collect();
+        State {
+            dag: (*dag).clone(),
+            original_dag: Some(dag),
+            stages,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Replays a step sequence on a fresh state for `dag`.
+    pub fn replay(dag: Arc<ComputeDag>, steps: &[Step]) -> Result<State, Error> {
+        let mut s = State::new(dag);
+        for step in steps {
+            s.apply(step.clone())?;
+        }
+        Ok(s)
+    }
+
+    /// The stage computing the node with the given name.
+    pub fn stage_by_node_name(&self, name: &str) -> Option<StageId> {
+        let id = self.dag.node_id(name)?;
+        self.stages.iter().position(|s| s.node == id)
+    }
+
+    /// The stage computing the given node.
+    pub fn stage_of_node(&self, node: NodeId) -> Option<StageId> {
+        self.stages.iter().position(|s| s.node == node)
+    }
+
+    /// Applies one transform step, recording it in the history.
+    pub fn apply(&mut self, step: Step) -> Result<(), Error> {
+        self.apply_inner(&step)?;
+        self.steps.push(step);
+        Ok(())
+    }
+
+    fn resolve(&self, node: &str) -> Result<StageId, Error> {
+        self.stage_by_node_name(node)
+            .ok_or_else(|| Error::UnknownNode(node.to_string()))
+    }
+
+    fn resolve_iter(&self, sid: StageId, iter: &str) -> Result<IterId, Error> {
+        self.stages[sid]
+            .iter_by_name(iter)
+            .ok_or_else(|| Error::UnknownIter {
+                node: self.dag.nodes[self.stages[sid].node].name.clone(),
+                iter: iter.to_string(),
+            })
+    }
+
+    fn apply_inner(&mut self, step: &Step) -> Result<(), Error> {
+        match step {
+            Step::Split {
+                node,
+                iter,
+                lengths,
+            } => {
+                let sid = self.resolve(node)?;
+                let it = self.resolve_iter(sid, iter)?;
+                self.split(sid, it, lengths)?;
+            }
+            Step::Fuse { node, iters } => {
+                let sid = self.resolve(node)?;
+                let ids = iters
+                    .iter()
+                    .map(|n| self.resolve_iter(sid, n))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.fuse(sid, &ids)?;
+            }
+            Step::Reorder { node, order } => {
+                let sid = self.resolve(node)?;
+                let ids = order
+                    .iter()
+                    .map(|n| self.resolve_iter(sid, n))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.reorder(sid, &ids)?;
+            }
+            Step::ComputeAt {
+                node,
+                target,
+                prefix_len,
+            } => {
+                let sid = self.resolve(node)?;
+                let tnode = self
+                    .dag
+                    .node_id(target)
+                    .ok_or_else(|| Error::UnknownNode(target.clone()))?;
+                self.compute_at(sid, tnode, *prefix_len)?;
+            }
+            Step::ComputeInline { node } => {
+                let sid = self.resolve(node)?;
+                self.compute_inline(sid)?;
+            }
+            Step::ComputeRoot { node } => {
+                let sid = self.resolve(node)?;
+                self.stages[sid].loc = ComputeLoc::Root;
+            }
+            Step::CacheWrite { node } => {
+                let sid = self.resolve(node)?;
+                self.cache_write(sid)?;
+            }
+            Step::Rfactor { node, factor } => {
+                let sid = self.resolve(node)?;
+                self.rfactor(sid, *factor)?;
+            }
+            Step::Annotate { node, iter, ann } => {
+                let sid = self.resolve(node)?;
+                let it = self.resolve_iter(sid, iter)?;
+                self.annotate(sid, it, *ann)?;
+            }
+            Step::Pragma { node, max_unroll } => {
+                let sid = self.resolve(node)?;
+                self.stages[sid].max_unroll_step = *max_unroll;
+            }
+            Step::LayoutRewrite { node } => {
+                let sid = self.resolve(node)?;
+                self.stages[sid].layout_rewritten = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits a live iterator into `lengths.len() + 1` parts. `lengths` are
+    /// the extents of the inner parts (outer→inner); the outermost extent is
+    /// inferred and all lengths must divide exactly.
+    pub fn split(&mut self, sid: StageId, iter: IterId, lengths: &[i64]) -> Result<Vec<IterId>, Error> {
+        if lengths.is_empty() {
+            return Err(Error::Invalid("split needs at least one length".into()));
+        }
+        let stage = &mut self.stages[sid];
+        let pos = stage
+            .iter_pos(iter)
+            .ok_or_else(|| Error::Invalid("split target not live".into()))?;
+        let extent = stage.iters[iter].extent;
+        let inner: i64 = lengths.iter().product();
+        if inner <= 0 || extent % inner != 0 {
+            return Err(Error::BadSplit { extent, inner });
+        }
+        let kind = stage.iters[iter].kind;
+        let base = stage.iters[iter].name.clone();
+        let mut parts = Vec::with_capacity(lengths.len() + 1);
+        let mut extents = Vec::with_capacity(lengths.len() + 1);
+        extents.push(extent / inner);
+        extents.extend_from_slice(lengths);
+        for (p, &e) in extents.iter().enumerate() {
+            let id = stage.iters.len();
+            stage.iters.push(IterInfo {
+                name: format!("{}.{}", base, p),
+                extent: e,
+                kind,
+                source: IterSource::SplitPart { parent: iter, part: p },
+                annotation: Annotation::None,
+                split_children: None,
+                fused_into: None,
+            });
+            parts.push(id);
+        }
+        stage.iters[iter].split_children = Some(parts.clone());
+        stage.loop_order.splice(pos..=pos, parts.iter().copied());
+        Ok(parts)
+    }
+
+    /// Fuses adjacent live iterators (outer→inner order) into one.
+    pub fn fuse(&mut self, sid: StageId, ids: &[IterId]) -> Result<IterId, Error> {
+        if ids.len() < 2 {
+            return Err(Error::Invalid("fuse needs at least two iterators".into()));
+        }
+        let stage = &mut self.stages[sid];
+        let pos0 = stage
+            .iter_pos(ids[0])
+            .ok_or_else(|| Error::Invalid("fuse target not live".into()))?;
+        for (off, &id) in ids.iter().enumerate() {
+            match stage.iter_pos(id) {
+                Some(p) if p == pos0 + off => {}
+                _ => return Err(Error::Invalid("fused iterators must be adjacent".into())),
+            }
+        }
+        let extent = ids.iter().map(|&i| stage.iters[i].extent).product();
+        let kinds: Vec<IterKind> = ids.iter().map(|&i| stage.iters[i].kind).collect();
+        let kind = if kinds.iter().all(|&k| k == IterKind::Space) {
+            IterKind::Space
+        } else if kinds.iter().all(|&k| k == IterKind::Reduce) {
+            IterKind::Reduce
+        } else {
+            IterKind::Mixed
+        };
+        let name = ids
+            .iter()
+            .map(|&i| stage.iters[i].name.clone())
+            .collect::<Vec<_>>()
+            .join("@");
+        let fid = stage.iters.len();
+        stage.iters.push(IterInfo {
+            name,
+            extent,
+            kind,
+            source: IterSource::Fused(ids.to_vec()),
+            annotation: Annotation::None,
+            split_children: None,
+            fused_into: None,
+        });
+        for (p, &id) in ids.iter().enumerate() {
+            stage.iters[id].fused_into = Some((fid, p));
+        }
+        stage
+            .loop_order
+            .splice(pos0..pos0 + ids.len(), std::iter::once(fid));
+        Ok(fid)
+    }
+
+    /// Reorders the loop nest; `order` must be a permutation of the live
+    /// iterators.
+    pub fn reorder(&mut self, sid: StageId, order: &[IterId]) -> Result<(), Error> {
+        let stage = &mut self.stages[sid];
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        let mut cur = stage.loop_order.clone();
+        cur.sort_unstable();
+        if sorted != cur {
+            return Err(Error::Invalid(
+                "reorder must permute exactly the live iterators".into(),
+            ));
+        }
+        stage.loop_order = order.to_vec();
+        Ok(())
+    }
+
+    /// Marks a stage as computed at the loop nest of the stage computing
+    /// `target`: the first `prefix_len` iterators of the stage are identified
+    /// with the first `prefix_len` loops of the target stage.
+    pub fn compute_at(&mut self, sid: StageId, target: NodeId, prefix_len: usize) -> Result<(), Error> {
+        let tsid = self
+            .stage_of_node(target)
+            .ok_or(Error::Invalid("compute_at target has no stage".into()))?;
+        if tsid == sid {
+            return Err(Error::Invalid("compute_at onto itself".into()));
+        }
+        if prefix_len == 0 {
+            return Err(Error::Invalid("compute_at needs a non-empty prefix".into()));
+        }
+        let (this, tgt) = (&self.stages[sid], &self.stages[tsid]);
+        if this.loop_order.len() < prefix_len || tgt.loop_order.len() < prefix_len {
+            return Err(Error::Invalid("compute_at prefix too long".into()));
+        }
+        for p in 0..prefix_len {
+            let a = &this.iters[this.loop_order[p]];
+            let b = &tgt.iters[tgt.loop_order[p]];
+            if a.extent != b.extent {
+                return Err(Error::Invalid(format!(
+                    "compute_at prefix extent mismatch at {}: {} vs {}",
+                    p, a.extent, b.extent
+                )));
+            }
+            if a.kind != IterKind::Space {
+                return Err(Error::Invalid(
+                    "compute_at prefix must be spatial".into(),
+                ));
+            }
+        }
+        self.stages[sid].loc = ComputeLoc::At {
+            target,
+            prefix_len,
+        };
+        Ok(())
+    }
+
+    /// Inlines a strictly-inlinable stage into its consumers.
+    pub fn compute_inline(&mut self, sid: StageId) -> Result<(), Error> {
+        let node = self.stages[sid].node;
+        if !self.dag.is_strict_inlinable(node) {
+            return Err(Error::Invalid(format!(
+                "node {:?} is not strictly inlinable",
+                self.dag.nodes[node].name
+            )));
+        }
+        if self.dag.consumers(node).is_empty() {
+            return Err(Error::Invalid("cannot inline an output node".into()));
+        }
+        self.stages[sid].loc = ComputeLoc::Inlined;
+        Ok(())
+    }
+
+    /// Annotates an iterator (parallel / vectorize / unroll / GPU bind).
+    pub fn annotate(&mut self, sid: StageId, iter: IterId, ann: Annotation) -> Result<(), Error> {
+        let stage = &mut self.stages[sid];
+        if stage.iter_pos(iter).is_none() {
+            return Err(Error::Invalid("annotate target not live".into()));
+        }
+        let info = &mut stage.iters[iter];
+        if ann.requires_space() && info.kind != IterKind::Space {
+            return Err(Error::Invalid(format!(
+                "{:?} requires a spatial iterator, got {:?} ({:?})",
+                ann, info.name, info.kind
+            )));
+        }
+        info.annotation = ann;
+        Ok(())
+    }
+
+    /// Adds a cache-write stage (Rule 5): a new node `X.cache` computes the
+    /// original body, and `X` becomes an element-wise copy from the cache,
+    /// giving `X.cache` a fusible consumer.
+    pub fn cache_write(&mut self, sid: StageId) -> Result<NodeId, Error> {
+        let node = self.stages[sid].node;
+        let spec = self.dag.nodes[node]
+            .compute()
+            .ok_or(Error::Invalid("cache_write on placeholder".into()))?
+            .clone();
+        let cache_name = format!("{}.cache", self.dag.nodes[node].name);
+        let cache_spec = spec.clone();
+        let cache_id = self.insert_node_before(node, cache_name, NodeKind::Compute(cache_spec));
+        // After insertion, the original node is at `node + 1`.
+        let orig = node + 1;
+        let n_spatial = self.dag.nodes[orig].compute().unwrap().num_spatial();
+        let copy_body = Expr::Load {
+            node: cache_id,
+            indices: (0..n_spatial).map(Expr::axis).collect(),
+        };
+        if let NodeKind::Compute(c) = &mut self.dag.nodes[orig].kind {
+            let names: Vec<String> = c.axis_names[..n_spatial].to_vec();
+            c.body = copy_body;
+            c.reduce_extents.clear();
+            c.reducer = None;
+            c.axis_names = names;
+        }
+        // Rebuild the original node's stage: it is now element-wise.
+        let spec = self.dag.nodes[orig].compute().unwrap().clone();
+        let sid_orig = self.stage_of_node(orig).expect("stage exists");
+        self.stages[sid_orig] = Stage::from_spec(orig, &spec);
+        Ok(cache_id)
+    }
+
+    /// Factorizes a reduction (Rule 6, rfactor): splits the single reduction
+    /// axis `k` by `factor` into `(k_o, k_i)` and materializes partial sums
+    /// `X.rf[spatial.., k_i] = reduce_{k_o} body`, leaving `X` to reduce the
+    /// `k_i` axis of `X.rf`.
+    pub fn rfactor(&mut self, sid: StageId, factor: i64) -> Result<NodeId, Error> {
+        let node = self.stages[sid].node;
+        let spec = self.dag.nodes[node]
+            .compute()
+            .ok_or(Error::Invalid("rfactor on placeholder".into()))?
+            .clone();
+        if spec.reduce_extents.len() != 1 {
+            return Err(Error::Invalid(
+                "rfactor requires exactly one reduction axis".into(),
+            ));
+        }
+        let k_extent = spec.reduce_extents[0];
+        if factor <= 0 || k_extent % factor != 0 {
+            return Err(Error::BadSplit {
+                extent: k_extent,
+                inner: factor,
+            });
+        }
+        let n = spec.num_spatial();
+        // New body: old Axis(n) (= k) becomes k_o * factor + k_i where
+        // k_i = new Axis(n) (spatial) and k_o = new Axis(n + 1) (reduce).
+        let substituted = spec.body.map(&mut |e| match e {
+            Expr::Axis(a) if a == n => {
+                Expr::axis(n + 1) * Expr::int(factor) + Expr::axis(n)
+            }
+            other => other,
+        });
+        let mut rf_shape = spec.shape.clone();
+        rf_shape.push(factor);
+        let mut rf_axis_names: Vec<String> = spec.axis_names[..n].to_vec();
+        rf_axis_names.push(format!("{}_i", spec.axis_names[n]));
+        rf_axis_names.push(format!("{}_o", spec.axis_names[n]));
+        let rf_spec = ComputeSpec {
+            shape: rf_shape,
+            reduce_extents: vec![k_extent / factor],
+            reducer: spec.reducer,
+            body: substituted,
+            axis_names: rf_axis_names,
+        };
+        let rf_name = format!("{}.rf", self.dag.nodes[node].name);
+        let rf_id = self.insert_node_before(node, rf_name, NodeKind::Compute(rf_spec));
+        let orig = node + 1;
+        // The original node reduces X.rf over k_i.
+        let mut idx: Vec<Expr> = (0..n).map(Expr::axis).collect();
+        idx.push(Expr::axis(n)); // the new reduce axis k_i
+        if let NodeKind::Compute(c) = &mut self.dag.nodes[orig].kind {
+            c.body = Expr::Load {
+                node: rf_id,
+                indices: idx,
+            };
+            c.reduce_extents = vec![factor];
+            let base = c.axis_names[n].clone();
+            c.axis_names = c.axis_names[..n].to_vec();
+            c.axis_names.push(format!("{}_i", base));
+        }
+        let spec = self.dag.nodes[orig].compute().unwrap().clone();
+        let sid_orig = self.stage_of_node(orig).expect("stage exists");
+        self.stages[sid_orig] = Stage::from_spec(orig, &spec);
+        Ok(rf_id)
+    }
+
+    /// Inserts a new compute node immediately before `pos`, renumbering all
+    /// node ids ≥ `pos` in DAG bodies and stages. Returns the new node's id
+    /// (= `pos`).
+    fn insert_node_before(&mut self, pos: NodeId, name: String, kind: NodeKind) -> NodeId {
+        // Renumber loads in all bodies.
+        for n in &mut self.dag.nodes {
+            if let NodeKind::Compute(c) = &mut n.kind {
+                c.body = c.body.map(&mut |e| match e {
+                    Expr::Load { node, indices } if node >= pos => Expr::Load {
+                        node: node + 1,
+                        indices,
+                    },
+                    other => other,
+                });
+            }
+        }
+        for n in &mut self.dag.nodes {
+            if n.id >= pos {
+                n.id += 1;
+            }
+        }
+        for s in &mut self.stages {
+            if s.node >= pos {
+                s.node += 1;
+            }
+            if let ComputeLoc::At { target, .. } = &mut s.loc {
+                if *target >= pos {
+                    *target += 1;
+                }
+            }
+        }
+        self.dag.nodes.insert(
+            pos,
+            crate::dag::Node {
+                id: pos,
+                name,
+                kind: kind.clone(),
+            },
+        );
+        let stage = match &kind {
+            NodeKind::Compute(spec) => Stage::from_spec(pos, spec),
+            NodeKind::Placeholder { .. } => unreachable!("only compute nodes are inserted"),
+        };
+        // Insert the stage right before the stage of the shifted original.
+        let insert_at = self
+            .stages
+            .iter()
+            .position(|s| s.node == pos + 1)
+            .unwrap_or(self.stages.len());
+        self.stages.insert(insert_at, stage);
+        pos
+    }
+
+    /// Checks structural invariants; used by tests and by crossover
+    /// verification.
+    pub fn validate(&self) -> Result<(), Error> {
+        for stage in &self.stages {
+            let Some(spec) = self.dag.nodes[stage.node].compute() else {
+                continue;
+            };
+            if stage.loc == ComputeLoc::Inlined && self.dag.nodes[stage.node].compute().is_some() {
+                continue;
+            }
+            let expect: i64 = spec.spatial_volume() * spec.reduce_volume();
+            let got = stage.loop_volume();
+            if expect != got {
+                return Err(Error::Invalid(format!(
+                    "stage {:?}: loop volume {} != iteration domain {}",
+                    self.dag.nodes[stage.node].name, got, expect
+                )));
+            }
+            for &i in &stage.loop_order {
+                if !stage.iters[i].is_live() {
+                    return Err(Error::Invalid(format!(
+                        "stage {:?}: dead iterator {:?} in loop order",
+                        self.dag.nodes[stage.node].name, stage.iters[i].name
+                    )));
+                }
+            }
+            if let ComputeLoc::At { target, prefix_len } = stage.loc {
+                let t = self
+                    .stage_of_node(target)
+                    .ok_or(Error::Invalid("dangling compute_at target".into()))?;
+                let tgt = &self.stages[t];
+                if tgt.loop_order.len() < prefix_len || stage.loop_order.len() < prefix_len {
+                    return Err(Error::Invalid("compute_at prefix out of range".into()));
+                }
+                for p in 0..prefix_len {
+                    if stage.iters[stage.loop_order[p]].extent
+                        != tgt.iters[tgt.loop_order[p]].extent
+                    {
+                        return Err(Error::Invalid("compute_at prefix mismatch".into()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use crate::dag::Reducer;
+
+    fn matmul_dag() -> Arc<ComputeDag> {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[64, 32]);
+        let w = b.placeholder("B", &[32, 16]);
+        b.compute_reduce("C", &[64, 16], &[32], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn split_preserves_volume_and_names() {
+        let mut st = State::new(matmul_dag());
+        let sid = st.stage_by_node_name("C").unwrap();
+        let i = st.stages[sid].iter_by_name("i").unwrap();
+        let parts = st.split(sid, i, &[4, 2]).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(st.stages[sid].iters[parts[0]].extent, 8);
+        assert_eq!(st.stages[sid].iters[parts[1]].extent, 4);
+        assert_eq!(st.stages[sid].iters[parts[2]].extent, 2);
+        assert_eq!(st.stages[sid].iters[parts[0]].name, "i.0");
+        assert_eq!(st.stages[sid].loop_volume(), 64 * 16 * 32);
+        st.validate().unwrap();
+    }
+
+    #[test]
+    fn split_rejects_non_divisor() {
+        let mut st = State::new(matmul_dag());
+        let sid = st.stage_by_node_name("C").unwrap();
+        let i = st.stages[sid].iter_by_name("i").unwrap();
+        assert!(st.split(sid, i, &[7]).is_err());
+    }
+
+    #[test]
+    fn fuse_requires_adjacency() {
+        let mut st = State::new(matmul_dag());
+        let sid = st.stage_by_node_name("C").unwrap();
+        let i = st.stages[sid].iter_by_name("i").unwrap();
+        let k = st.stages[sid].iter_by_name("k").unwrap();
+        // i and k are not adjacent (j is between them).
+        assert!(st.fuse(sid, &[i, k]).is_err());
+        let j = st.stages[sid].iter_by_name("j").unwrap();
+        let f = st.fuse(sid, &[i, j]).unwrap();
+        assert_eq!(st.stages[sid].iters[f].extent, 64 * 16);
+        assert_eq!(st.stages[sid].iters[f].name, "i@j");
+        assert_eq!(st.stages[sid].iters[f].kind, IterKind::Space);
+        st.validate().unwrap();
+    }
+
+    #[test]
+    fn mixed_fuse_blocks_parallel_annotation() {
+        let mut st = State::new(matmul_dag());
+        let sid = st.stage_by_node_name("C").unwrap();
+        let j = st.stages[sid].iter_by_name("j").unwrap();
+        let k = st.stages[sid].iter_by_name("k").unwrap();
+        let f = st.fuse(sid, &[j, k]).unwrap();
+        assert_eq!(st.stages[sid].iters[f].kind, IterKind::Mixed);
+        assert!(st.annotate(sid, f, Annotation::Parallel).is_err());
+        assert!(st.annotate(sid, f, Annotation::Unroll).is_ok());
+    }
+
+    #[test]
+    fn reorder_checks_permutation() {
+        let mut st = State::new(matmul_dag());
+        let sid = st.stage_by_node_name("C").unwrap();
+        let i = st.stages[sid].iter_by_name("i").unwrap();
+        let j = st.stages[sid].iter_by_name("j").unwrap();
+        let k = st.stages[sid].iter_by_name("k").unwrap();
+        assert!(st.reorder(sid, &[k, j]).is_err());
+        st.reorder(sid, &[k, j, i]).unwrap();
+        assert_eq!(st.stages[sid].loop_order, vec![k, j, i]);
+    }
+
+    #[test]
+    fn cache_write_splits_node() {
+        let mut st = State::new(matmul_dag());
+        st.apply(Step::CacheWrite { node: "C".into() }).unwrap();
+        assert!(st.dag.node_by_name("C.cache").is_some());
+        let c = st.dag.node_by_name("C").unwrap();
+        let spec = c.compute().unwrap();
+        assert!(spec.reduce_extents.is_empty());
+        let cache = st.dag.node_by_name("C.cache").unwrap();
+        assert_eq!(cache.compute().unwrap().reduce_extents, vec![32]);
+        assert_eq!(st.dag.fusible_consumer(cache.id), Some(c.id));
+        st.dag.validate().unwrap();
+        st.validate().unwrap();
+    }
+
+    #[test]
+    fn rfactor_factorizes_reduction() {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[4, 512]);
+        b.compute_reduce("E", &[4], &[512], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[1].clone()])
+                * Expr::load(a, vec![ax[0].clone(), ax[1].clone()])
+        });
+        let dag = Arc::new(b.build().unwrap());
+        let mut st = State::new(dag);
+        st.apply(Step::Rfactor {
+            node: "E".into(),
+            factor: 16,
+        })
+        .unwrap();
+        let rf = st.dag.node_by_name("E.rf").unwrap();
+        assert_eq!(rf.compute().unwrap().shape, vec![4, 16]);
+        assert_eq!(rf.compute().unwrap().reduce_extents, vec![32]);
+        let e = st.dag.node_by_name("E").unwrap();
+        assert_eq!(e.compute().unwrap().reduce_extents, vec![16]);
+        st.dag.validate().unwrap();
+        st.validate().unwrap();
+    }
+
+    #[test]
+    fn replay_reproduces_state() {
+        let dag = matmul_dag();
+        let mut st = State::new(dag.clone());
+        st.apply(Step::Split {
+            node: "C".into(),
+            iter: "i".into(),
+            lengths: vec![8, 2],
+        })
+        .unwrap();
+        st.apply(Step::Annotate {
+            node: "C".into(),
+            iter: "i.2".into(),
+            ann: Annotation::Vectorize,
+        })
+        .unwrap();
+        let replayed = State::replay(dag, &st.steps).unwrap();
+        assert_eq!(replayed.stages, st.stages);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests pinning the algebraic simplifier: `simplify(e)` must
+//! evaluate identically to `e` for every integer environment, and must
+//! actually remove the identity patterns lowering produces.
+
+use proptest::prelude::*;
+use tensor_ir::{simplify, BinOp, Expr};
+
+/// A small random integer expression over up to three loop variables.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-4i64..5).prop_map(Expr::IntConst),
+        (0u32..3).prop_map(Expr::LoopVar),
+    ];
+    leaf.prop_recursive(4, 64, 2, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop::sample::select(vec![
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Mod,
+                BinOp::Min,
+                BinOp::Max,
+            ]),
+        )
+            .prop_map(|(l, r, op)| Expr::binary(op, l, r))
+    })
+}
+
+/// Evaluates an integer expression; division/modulo by zero yield `None`.
+fn eval(e: &Expr, env: &[i64; 3]) -> Option<i64> {
+    match e {
+        Expr::IntConst(v) => Some(*v),
+        Expr::LoopVar(v) => Some(env[*v as usize]),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(lhs, env)?;
+            let r = eval(rhs, env)?;
+            Some(match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => {
+                    if r == 0 {
+                        return None;
+                    }
+                    l / r
+                }
+                BinOp::Mod => {
+                    if r == 0 {
+                        return None;
+                    }
+                    l % r
+                }
+                BinOp::Min => l.min(r),
+                BinOp::Max => l.max(r),
+            })
+        }
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// simplify() is semantics-preserving wherever the original expression
+    /// is defined (no division by zero).
+    #[test]
+    fn simplify_preserves_integer_semantics(
+        e in arb_expr(),
+        a in -5i64..6,
+        b in -5i64..6,
+        c in -5i64..6,
+    ) {
+        let env = [a, b, c];
+        let before = eval(&e, &env);
+        if let Some(v) = before {
+            let s = simplify(&e);
+            // The simplified form must be defined and equal whenever the
+            // original was defined.
+            prop_assert_eq!(eval(&s, &env), Some(v), "{:?} vs {:?}", e, s);
+        }
+    }
+
+    /// Identity patterns vanish.
+    #[test]
+    fn simplify_removes_identities(v in 0u32..3) {
+        let x = Expr::LoopVar(v);
+        for e in [
+            x.clone() * Expr::int(1),
+            Expr::int(1) * x.clone(),
+            x.clone() + Expr::int(0),
+            Expr::int(0) + x.clone(),
+            Expr::binary(BinOp::Div, x.clone(), Expr::int(1)),
+        ] {
+            prop_assert_eq!(simplify(&e), x.clone());
+        }
+        prop_assert_eq!(
+            simplify(&(x.clone() * Expr::int(0))),
+            Expr::IntConst(0)
+        );
+        prop_assert_eq!(
+            simplify(&Expr::binary(BinOp::Mod, x, Expr::int(1))),
+            Expr::IntConst(0)
+        );
+    }
+
+    /// Constant folding happens for every operator.
+    #[test]
+    fn simplify_folds_constants(a in -20i64..20, b in 1i64..20) {
+        for (op, expect) in [
+            (BinOp::Add, a + b),
+            (BinOp::Sub, a - b),
+            (BinOp::Mul, a * b),
+            (BinOp::Div, a / b),
+            (BinOp::Mod, a % b),
+        ] {
+            let e = Expr::binary(op, Expr::int(a), Expr::int(b));
+            prop_assert_eq!(simplify(&e), Expr::IntConst(expect), "{:?}", op);
+        }
+    }
+
+    /// Simplification never grows the expression.
+    #[test]
+    fn simplify_never_grows(e in arb_expr()) {
+        fn size(e: &Expr) -> usize {
+            let mut n = 0;
+            e.visit(&mut |_| n += 1);
+            n
+        }
+        prop_assert!(size(&simplify(&e)) <= size(&e));
+    }
+}

@@ -1,0 +1,14 @@
+//! Workload definitions from the Ansor evaluation (§7): single operators,
+//! subgraphs and the unique-subgraph decompositions of five DNNs.
+
+#![warn(missing_docs)]
+
+pub mod networks;
+pub mod ops;
+pub mod shapes;
+pub mod subgraphs;
+pub mod winograd;
+
+pub use networks::{all_networks, network, NetworkTask};
+pub use shapes::{all_cases, build_case, OpCase, OP_CLASSES};
+pub use winograd::winograd_conv2d;

@@ -1,0 +1,280 @@
+//! End-to-end network workloads (§7.3): the unique subgraphs of ResNet-50,
+//! MobileNet-V2, 3D-ResNet-18, the DCGAN generator and BERT, each with its
+//! appearance count (the task weight `wᵢ` of §6).
+//!
+//! The task scheduler only consumes `(subgraph, weight)` pairs, so a
+//! network here is exactly that list. Layer tables follow the published
+//! architectures; per the paper, a network of `n` unique subgraphs is
+//! tuned with `1000·n` trials and the weighted sum of best subgraph
+//! latencies approximates end-to-end latency.
+
+use std::sync::Arc;
+
+use tensor_ir::ComputeDag;
+
+use crate::ops;
+use crate::subgraphs;
+
+/// One unique subgraph of a network plus its appearance count.
+#[derive(Debug, Clone)]
+pub struct NetworkTask {
+    /// Unique name, `"<op-class>:<network>/<layer>"`.
+    pub name: String,
+    /// The subgraph.
+    pub dag: Arc<ComputeDag>,
+    /// Number of times the subgraph appears in the network.
+    pub weight: f64,
+}
+
+fn t(name: impl Into<String>, dag: Arc<ComputeDag>, weight: f64) -> NetworkTask {
+    NetworkTask {
+        name: name.into(),
+        dag,
+        weight,
+    }
+}
+
+/// ResNet-50 for image classification: bottleneck blocks over 4 stages.
+/// Layers with identical shape configurations are merged with a weight.
+pub fn resnet50(batch: i64) -> Vec<NetworkTask> {
+    let cl = |ci, co, size, k, s, p| subgraphs::conv_layer(batch, ci, co, size, k, s, p);
+    vec![
+        // Stem.
+        t("conv2d:r50/conv1", cl(3, 64, 224, 7, 2, 3), 1.0),
+        // Stage 1 (56x56): 1x1/64, 3x3/64, 1x1/256 ×3 + downsample.
+        t("conv2d:r50/s1_r", cl(64, 64, 56, 1, 1, 0), 1.0),
+        t("conv2d:r50/s1_a", cl(256, 64, 56, 1, 1, 0), 2.0),
+        t("conv2d:r50/s1_b", cl(64, 64, 56, 3, 1, 1), 3.0),
+        t("conv2d:r50/s1_c", cl(64, 256, 56, 1, 1, 0), 3.0),
+        t("conv2d:r50/s1_d", cl(64, 256, 56, 1, 1, 0), 1.0),
+        // Stage 2 (28x28): ×4.
+        t("conv2d:r50/s2_a", cl(256, 128, 56, 1, 1, 0), 1.0),
+        t("conv2d:r50/s2_a2", cl(512, 128, 28, 1, 1, 0), 3.0),
+        t("conv2d:r50/s2_b", cl(128, 128, 28, 3, 1, 1), 4.0),
+        t("conv2d:r50/s2_bs", cl(128, 128, 56, 3, 2, 1), 1.0),
+        t("conv2d:r50/s2_c", cl(128, 512, 28, 1, 1, 0), 4.0),
+        t("conv2d:r50/s2_d", cl(256, 512, 28, 1, 1, 0), 1.0),
+        // Stage 3 (14x14): ×6.
+        t("conv2d:r50/s3_a", cl(512, 256, 28, 1, 1, 0), 1.0),
+        t("conv2d:r50/s3_a2", cl(1024, 256, 14, 1, 1, 0), 5.0),
+        t("conv2d:r50/s3_b", cl(256, 256, 14, 3, 1, 1), 6.0),
+        t("conv2d:r50/s3_bs", cl(256, 256, 28, 3, 2, 1), 1.0),
+        t("conv2d:r50/s3_c", cl(256, 1024, 14, 1, 1, 0), 6.0),
+        t("conv2d:r50/s3_d", cl(512, 1024, 14, 1, 1, 0), 1.0),
+        // Stage 4 (7x7): ×3.
+        t("conv2d:r50/s4_a", cl(1024, 512, 14, 1, 1, 0), 1.0),
+        t("conv2d:r50/s4_a2", cl(2048, 512, 7, 1, 1, 0), 2.0),
+        t("conv2d:r50/s4_b", cl(512, 512, 7, 3, 1, 1), 3.0),
+        t("conv2d:r50/s4_bs", cl(512, 512, 14, 3, 2, 1), 1.0),
+        t("conv2d:r50/s4_c", cl(512, 2048, 7, 1, 1, 0), 3.0),
+        t("conv2d:r50/s4_d", cl(1024, 2048, 7, 1, 1, 0), 1.0),
+        // Classifier.
+        t("matmul:r50/fc", ops::gmm(1, batch, 1000, 2048), 1.0),
+    ]
+}
+
+/// MobileNet-V2: inverted residual blocks (expand 1×1, depthwise 3×3,
+/// project 1×1) over 7 stages.
+pub fn mobilenet_v2(batch: i64) -> Vec<NetworkTask> {
+    let cl = |ci, co, size, k, s, p| subgraphs::conv_layer(batch, ci, co, size, k, s, p);
+    let dw = |c, size, k, s, p| ops::depthwise_conv2d(batch, c, size, k, s, p);
+    vec![
+        t("conv2d:mb2/stem", cl(3, 32, 224, 3, 2, 1), 1.0),
+        t("depthwise:mb2/b0_dw", dw(32, 112, 3, 1, 1), 1.0),
+        t("conv2d:mb2/b0_pj", cl(32, 16, 112, 1, 1, 0), 1.0),
+        // 24-channel stage (stride 2 from 112).
+        t("conv2d:mb2/b1_ex", cl(16, 96, 112, 1, 1, 0), 1.0),
+        t("depthwise:mb2/b1_dw", dw(96, 112, 3, 2, 1), 1.0),
+        t("conv2d:mb2/b1_pj", cl(96, 24, 56, 1, 1, 0), 1.0),
+        t("conv2d:mb2/b2_ex", cl(24, 144, 56, 1, 1, 0), 2.0),
+        t("depthwise:mb2/b2_dw", dw(144, 56, 3, 1, 1), 1.0),
+        t("conv2d:mb2/b2_pj", cl(144, 24, 56, 1, 1, 0), 1.0),
+        // 32-channel stage.
+        t("depthwise:mb2/b3_dw", dw(144, 56, 3, 2, 1), 1.0),
+        t("conv2d:mb2/b3_pj", cl(144, 32, 28, 1, 1, 0), 1.0),
+        t("conv2d:mb2/b4_ex", cl(32, 192, 28, 1, 1, 0), 3.0),
+        t("depthwise:mb2/b4_dw", dw(192, 28, 3, 1, 1), 2.0),
+        t("conv2d:mb2/b4_pj", cl(192, 32, 28, 1, 1, 0), 2.0),
+        // 64-channel stage (stride 2).
+        t("depthwise:mb2/b5_dw", dw(192, 28, 3, 2, 1), 1.0),
+        t("conv2d:mb2/b5_pj", cl(192, 64, 14, 1, 1, 0), 1.0),
+        t("conv2d:mb2/b6_ex", cl(64, 384, 14, 1, 1, 0), 4.0),
+        t("depthwise:mb2/b6_dw", dw(384, 14, 3, 1, 1), 3.0),
+        t("conv2d:mb2/b6_pj", cl(384, 64, 14, 1, 1, 0), 3.0),
+        // 96-channel stage.
+        t("conv2d:mb2/b7_pj", cl(384, 96, 14, 1, 1, 0), 1.0),
+        t("conv2d:mb2/b8_ex", cl(96, 576, 14, 1, 1, 0), 3.0),
+        t("depthwise:mb2/b8_dw", dw(576, 14, 3, 1, 1), 2.0),
+        t("conv2d:mb2/b8_pj", cl(576, 96, 14, 1, 1, 0), 2.0),
+        // 160-channel stage (stride 2).
+        t("depthwise:mb2/b9_dw", dw(576, 14, 3, 2, 1), 1.0),
+        t("conv2d:mb2/b9_pj", cl(576, 160, 7, 1, 1, 0), 1.0),
+        t("conv2d:mb2/b10_ex", cl(160, 960, 7, 1, 1, 0), 3.0),
+        t("depthwise:mb2/b10_dw", dw(960, 7, 3, 1, 1), 2.0),
+        t("conv2d:mb2/b10_pj", cl(960, 160, 7, 1, 1, 0), 2.0),
+        // Tail.
+        t("conv2d:mb2/b11_pj", cl(960, 320, 7, 1, 1, 0), 1.0),
+        t("conv2d:mb2/head", cl(320, 1280, 7, 1, 1, 0), 1.0),
+        t("matmul:mb2/fc", ops::gmm(1, batch, 1000, 1280), 1.0),
+    ]
+}
+
+/// 3D-ResNet-18 for action recognition (16-frame clips at 112×112).
+pub fn resnet3d_18(batch: i64) -> Vec<NetworkTask> {
+    let c3 = |ci, co, d, size, k, s, p| ops::conv3d(batch, ci, co, d, size, k, s, p);
+    vec![
+        t("conv3d:r3d/conv1", c3(3, 64, 16, 112, 3, 2, 1), 1.0),
+        t("conv3d:r3d/s1", c3(64, 64, 8, 56, 3, 1, 1), 4.0),
+        t("conv3d:r3d/s2_ds", c3(64, 128, 8, 56, 3, 2, 1), 1.0),
+        t("conv3d:r3d/s2", c3(128, 128, 4, 28, 3, 1, 1), 3.0),
+        t("conv3d:r3d/s3_ds", c3(128, 256, 4, 28, 3, 2, 1), 1.0),
+        t("conv3d:r3d/s3", c3(256, 256, 2, 14, 3, 1, 1), 3.0),
+        t("conv3d:r3d/s4_ds", c3(256, 512, 2, 14, 3, 2, 1), 1.0),
+        t("conv3d:r3d/s4", c3(512, 512, 1, 7, 3, 1, 1), 3.0),
+        t("matmul:r3d/fc", ops::gmm(1, batch, 400, 512), 1.0),
+    ]
+}
+
+/// DCGAN generator: a dense projection followed by four strided
+/// transposed convolutions (4×4 kernels, stride 2).
+pub fn dcgan(batch: i64) -> Vec<NetworkTask> {
+    vec![
+        t("matmul:dcgan/proj", ops::gmm(1, batch, 4 * 4 * 1024, 100), 1.0),
+        t(
+            "t2d:dcgan/up1",
+            ops::transposed_conv2d(batch, 1024, 512, 4, 4, 2, 1),
+            1.0,
+        ),
+        t(
+            "t2d:dcgan/up2",
+            ops::transposed_conv2d(batch, 512, 256, 8, 4, 2, 1),
+            1.0,
+        ),
+        t(
+            "t2d:dcgan/up3",
+            ops::transposed_conv2d(batch, 256, 128, 16, 4, 2, 1),
+            1.0,
+        ),
+        t(
+            "t2d:dcgan/up4",
+            ops::transposed_conv2d(batch, 128, 3, 32, 4, 2, 1),
+            1.0,
+        ),
+    ]
+}
+
+/// BERT-base (12 layers, hidden 768, 12 heads, sequence length 128).
+pub fn bert(batch: i64) -> Vec<NetworkTask> {
+    let seq = 128;
+    let hidden = 768;
+    let heads = 12;
+    let dh = hidden / heads;
+    vec![
+        // QKV projections (3 per layer × 12 layers).
+        t(
+            "matmul:bert/qkv",
+            ops::gmm(1, batch * seq, hidden, hidden),
+            36.0,
+        ),
+        // Attention scores: transpose-batch-matmul pattern.
+        t(
+            "tbg:bert/scores",
+            subgraphs::tbg(batch * heads, seq, dh),
+            12.0,
+        ),
+        // Context: scores × values.
+        t(
+            "matmul:bert/context",
+            ops::gmm(batch * heads, seq, dh, seq),
+            12.0,
+        ),
+        // Output projection.
+        t(
+            "matmul:bert/out",
+            ops::gmm(1, batch * seq, hidden, hidden),
+            12.0,
+        ),
+        // Feed-forward 768 → 3072 → 768.
+        t(
+            "matmul:bert/ffn1",
+            ops::gmm(1, batch * seq, 4 * hidden, hidden),
+            12.0,
+        ),
+        t(
+            "matmul:bert/ffn2",
+            ops::gmm(1, batch * seq, hidden, 4 * hidden),
+            12.0,
+        ),
+    ]
+}
+
+/// All five evaluation networks by name.
+pub fn network(name: &str, batch: i64) -> Option<Vec<NetworkTask>> {
+    match name {
+        "resnet50" => Some(resnet50(batch)),
+        "mobilenet_v2" => Some(mobilenet_v2(batch)),
+        "resnet3d_18" => Some(resnet3d_18(batch)),
+        "dcgan" => Some(dcgan(batch)),
+        "bert" => Some(bert(batch)),
+        _ => None,
+    }
+}
+
+/// Names of all evaluation networks, in the paper's Figure 9 order.
+pub fn all_networks() -> [&'static str; 5] {
+    ["resnet50", "mobilenet_v2", "resnet3d_18", "dcgan", "bert"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_networks_build_and_validate() {
+        for name in all_networks() {
+            let tasks = network(name, 1).unwrap();
+            assert!(!tasks.is_empty(), "{name}");
+            for t in &tasks {
+                t.dag.validate().unwrap_or_else(|e| panic!("{name}/{}: {e}", t.name));
+                assert!(t.weight >= 1.0);
+                assert!(t.dag.flop_count() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn resnet50_has_dozens_of_weighted_layers() {
+        let tasks = resnet50(1);
+        let total: f64 = tasks
+            .iter()
+            .filter(|t| t.name.starts_with("conv2d"))
+            .map(|t| t.weight)
+            .sum();
+        // ResNet-50 has 53 convolutions.
+        assert!((45.0..=60.0).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn network_flops_are_plausible() {
+        // ResNet-50 at batch 1 is ~4 GFLOPs (2 ops per MAC, convs only).
+        let flops: f64 = resnet50(1)
+            .iter()
+            .map(|t| t.dag.flop_count() * t.weight)
+            .sum();
+        assert!(
+            (2e9..1.5e10).contains(&flops),
+            "resnet50 flops {flops:.3e}"
+        );
+        // MobileNet-V2 is an order of magnitude cheaper.
+        let mb: f64 = mobilenet_v2(1)
+            .iter()
+            .map(|t| t.dag.flop_count() * t.weight)
+            .sum();
+        assert!(mb < flops / 4.0, "mb {mb:.3e} vs r50 {flops:.3e}");
+    }
+
+    #[test]
+    fn unknown_network_is_none() {
+        assert!(network("vgg", 1).is_none());
+    }
+}

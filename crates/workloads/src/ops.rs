@@ -1,0 +1,555 @@
+//! Operator definitions used in the paper's single-operator benchmark
+//! (§7.1): C1D, C2D, C3D, GMM, GRP, DIL, DEP, T2D, CAP and NRM.
+//!
+//! All convolutions use NCHW layout with explicit padding nodes (the
+//! padding is strictly inlinable, so sketch generation decides where it is
+//! computed — one of the space dimensions the paper calls out against
+//! Halide and FlexTensor). Output spatial sizes use floor semantics; the
+//! padding node is sized to cover the last window.
+
+use std::sync::Arc;
+
+use tensor_ir::{CmpOp, ComputeDag, DagBuilder, Expr, NodeId, Reducer, UnOp};
+
+/// Nests select guards: `if all conds { val } else { 0.0 }`.
+fn guard(conds: Vec<Expr>, val: Expr) -> Expr {
+    let mut out = val;
+    for c in conds.into_iter().rev() {
+        out = Expr::select(c, out, Expr::float(0.0));
+    }
+    out
+}
+
+/// `lo <= e < hi` guards.
+fn in_range(e: &Expr, lo: i64, hi: i64) -> Vec<Expr> {
+    vec![
+        Expr::cmp(CmpOp::Ge, e.clone(), Expr::int(lo)),
+        Expr::cmp(CmpOp::Lt, e.clone(), Expr::int(hi)),
+    ]
+}
+
+/// Conv output size with floor semantics.
+pub fn conv_out(size: i64, kernel: i64, stride: i64, pad: i64) -> i64 {
+    (size + 2 * pad - kernel) / stride + 1
+}
+
+/// Padded input extent covering the last window.
+fn pad_extent(out: i64, kernel: i64, stride: i64) -> i64 {
+    (out - 1) * stride + kernel
+}
+
+/// Batched matrix multiplication `C[b,i,j] = Σ_k A[b,i,k]·B[b,k,j]`.
+pub fn gmm(batch: i64, n: i64, m: i64, k: i64) -> Arc<ComputeDag> {
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[batch, n, k]);
+    let w = b.constant("B", &[batch, k, m]);
+    b.compute_reduce("C", &[batch, n, m], &[k], Reducer::Sum, |ax| {
+        Expr::load(a, vec![ax[0].clone(), ax[1].clone(), ax[3].clone()])
+            * Expr::load(w, vec![ax[0].clone(), ax[3].clone(), ax[2].clone()])
+    });
+    Arc::new(b.build().expect("valid gmm"))
+}
+
+/// 1D convolution (NCW).
+pub fn conv1d(batch: i64, ci: i64, co: i64, len: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+    let lo = conv_out(len, kernel, stride, pad);
+    let lp = pad_extent(lo, kernel, stride);
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[batch, ci, len]);
+    let w = b.constant("W", &[co, ci, kernel]);
+    let p = b.compute("Apad", &[batch, ci, lp], |ax| {
+        let src = ax[2].clone() - Expr::int(pad);
+        guard(
+            in_range(&src, 0, len).into_iter().collect(),
+            Expr::load(a, vec![ax[0].clone(), ax[1].clone(), src]),
+        )
+    });
+    b.compute_reduce(
+        "C",
+        &[batch, co, lo],
+        &[ci, kernel],
+        Reducer::Sum,
+        |ax| {
+            let l = ax[2].clone() * Expr::int(stride) + ax[4].clone();
+            Expr::load(p, vec![ax[0].clone(), ax[3].clone(), l])
+                * Expr::load(w, vec![ax[1].clone(), ax[3].clone(), ax[4].clone()])
+        },
+    );
+    Arc::new(b.build().expect("valid conv1d"))
+}
+
+/// 2D convolution (NCHW) with optional dilation and channel groups.
+/// `conv2d` / `dilated` / `grouped` / `depthwise` are thin wrappers.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_general(
+    batch: i64,
+    ci: i64,
+    co: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+    dilation: i64,
+    groups: i64,
+) -> Arc<ComputeDag> {
+    assert!(ci % groups == 0 && co % groups == 0);
+    let keff = (kernel - 1) * dilation + 1;
+    let ho = conv_out(size, keff, stride, pad);
+    let hp = pad_extent(ho, keff, stride);
+    let cig = ci / groups;
+    let cog = co / groups;
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[batch, ci, size, size]);
+    let w = b.constant("W", &[co, cig, kernel, kernel]);
+    let p = b.compute("Apad", &[batch, ci, hp, hp], |ax| {
+        let h = ax[2].clone() - Expr::int(pad);
+        let wd = ax[3].clone() - Expr::int(pad);
+        let mut conds = in_range(&h, 0, size);
+        conds.extend(in_range(&wd, 0, size));
+        guard(
+            conds,
+            Expr::load(a, vec![ax[0].clone(), ax[1].clone(), h, wd]),
+        )
+    });
+    b.compute_reduce(
+        "C",
+        &[batch, co, ho, ho],
+        &[cig, kernel, kernel],
+        Reducer::Sum,
+        |ax| {
+            // ax: b, co, h, w | cig, kh, kw
+            let src_c = if groups == 1 {
+                ax[4].clone()
+            } else {
+                Expr::binary(
+                    tensor_ir::BinOp::Div,
+                    ax[1].clone(),
+                    Expr::int(cog),
+                ) * Expr::int(cig)
+                    + ax[4].clone()
+            };
+            let h = ax[2].clone() * Expr::int(stride) + ax[5].clone() * Expr::int(dilation);
+            let wd = ax[3].clone() * Expr::int(stride) + ax[6].clone() * Expr::int(dilation);
+            Expr::load(p, vec![ax[0].clone(), src_c, h, wd])
+                * Expr::load(
+                    w,
+                    vec![ax[1].clone(), ax[4].clone(), ax[5].clone(), ax[6].clone()],
+                )
+        },
+    );
+    Arc::new(b.build().expect("valid conv2d"))
+}
+
+/// Standard 2D convolution.
+pub fn conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+    conv2d_general(batch, ci, co, size, kernel, stride, pad, 1, 1)
+}
+
+/// Dilated 2D convolution (DIL).
+#[allow(clippy::too_many_arguments)]
+pub fn dilated_conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64, dilation: i64) -> Arc<ComputeDag> {
+    conv2d_general(batch, ci, co, size, kernel, stride, pad, dilation, 1)
+}
+
+/// Group convolution (GRP).
+#[allow(clippy::too_many_arguments)]
+pub fn group_conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64, groups: i64) -> Arc<ComputeDag> {
+    conv2d_general(batch, ci, co, size, kernel, stride, pad, 1, groups)
+}
+
+/// Depth-wise 2D convolution (DEP).
+pub fn depthwise_conv2d(batch: i64, c: i64, size: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+    let ho = conv_out(size, kernel, stride, pad);
+    let hp = pad_extent(ho, kernel, stride);
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[batch, c, size, size]);
+    let w = b.constant("W", &[c, kernel, kernel]);
+    let p = b.compute("Apad", &[batch, c, hp, hp], |ax| {
+        let h = ax[2].clone() - Expr::int(pad);
+        let wd = ax[3].clone() - Expr::int(pad);
+        let mut conds = in_range(&h, 0, size);
+        conds.extend(in_range(&wd, 0, size));
+        guard(
+            conds,
+            Expr::load(a, vec![ax[0].clone(), ax[1].clone(), h, wd]),
+        )
+    });
+    b.compute_reduce(
+        "C",
+        &[batch, c, ho, ho],
+        &[kernel, kernel],
+        Reducer::Sum,
+        |ax| {
+            let h = ax[2].clone() * Expr::int(stride) + ax[4].clone();
+            let wd = ax[3].clone() * Expr::int(stride) + ax[5].clone();
+            Expr::load(p, vec![ax[0].clone(), ax[1].clone(), h, wd])
+                * Expr::load(w, vec![ax[1].clone(), ax[4].clone(), ax[5].clone()])
+        },
+    );
+    Arc::new(b.build().expect("valid depthwise conv2d"))
+}
+
+/// 3D convolution (NCDHW).
+#[allow(clippy::too_many_arguments)]
+pub fn conv3d(batch: i64, ci: i64, co: i64, depth: i64, size: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+    let do_ = conv_out(depth, kernel, stride, pad);
+    let ho = conv_out(size, kernel, stride, pad);
+    let dp = pad_extent(do_, kernel, stride);
+    let hp = pad_extent(ho, kernel, stride);
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[batch, ci, depth, size, size]);
+    let w = b.constant("W", &[co, ci, kernel, kernel, kernel]);
+    let p = b.compute("Apad", &[batch, ci, dp, hp, hp], |ax| {
+        let d = ax[2].clone() - Expr::int(pad);
+        let h = ax[3].clone() - Expr::int(pad);
+        let wd = ax[4].clone() - Expr::int(pad);
+        let mut conds = in_range(&d, 0, depth);
+        conds.extend(in_range(&h, 0, size));
+        conds.extend(in_range(&wd, 0, size));
+        guard(
+            conds,
+            Expr::load(a, vec![ax[0].clone(), ax[1].clone(), d, h, wd]),
+        )
+    });
+    b.compute_reduce(
+        "C",
+        &[batch, co, do_, ho, ho],
+        &[ci, kernel, kernel, kernel],
+        Reducer::Sum,
+        |ax| {
+            // ax: b, co, d, h, w | ci, kd, kh, kw
+            let d = ax[2].clone() * Expr::int(stride) + ax[6].clone();
+            let h = ax[3].clone() * Expr::int(stride) + ax[7].clone();
+            let wd = ax[4].clone() * Expr::int(stride) + ax[8].clone();
+            Expr::load(p, vec![ax[0].clone(), ax[5].clone(), d, h, wd])
+                * Expr::load(
+                    w,
+                    vec![
+                        ax[1].clone(),
+                        ax[5].clone(),
+                        ax[6].clone(),
+                        ax[7].clone(),
+                        ax[8].clone(),
+                    ],
+                )
+        },
+    );
+    Arc::new(b.build().expect("valid conv3d"))
+}
+
+/// Transposed 2D convolution (T2D): the guards `(h+p−kh) mod s == 0`
+/// produce the zero multiplications the paper's §7.1 discusses — a code
+/// generator eliminates them only when the guard loops are unrolled.
+pub fn transposed_conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+    let out = (size - 1) * stride - 2 * pad + kernel;
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[batch, ci, size, size]);
+    let w = b.constant("W", &[ci, co, kernel, kernel]);
+    b.compute_reduce(
+        "C",
+        &[batch, co, out, out],
+        &[ci, kernel, kernel],
+        Reducer::Sum,
+        |ax| {
+            // ax: b, co, h, w | ci, kh, kw
+            let hn = ax[2].clone() + Expr::int(pad) - ax[5].clone();
+            let wn = ax[3].clone() + Expr::int(pad) - ax[6].clone();
+            let hs = Expr::binary(tensor_ir::BinOp::Div, hn.clone(), Expr::int(stride));
+            let ws = Expr::binary(tensor_ir::BinOp::Div, wn.clone(), Expr::int(stride));
+            let mut conds = vec![
+                Expr::cmp(CmpOp::Ge, hn.clone(), Expr::int(0)),
+                Expr::cmp(CmpOp::Ge, wn.clone(), Expr::int(0)),
+                Expr::cmp(
+                    CmpOp::Eq,
+                    Expr::binary(tensor_ir::BinOp::Mod, hn.clone(), Expr::int(stride)),
+                    Expr::int(0),
+                ),
+                Expr::cmp(
+                    CmpOp::Eq,
+                    Expr::binary(tensor_ir::BinOp::Mod, wn, Expr::int(stride)),
+                    Expr::int(0),
+                ),
+            ];
+            conds.push(Expr::cmp(CmpOp::Lt, hs.clone(), Expr::int(size)));
+            conds.push(Expr::cmp(CmpOp::Lt, ws.clone(), Expr::int(size)));
+            guard(
+                conds,
+                Expr::load(a, vec![ax[0].clone(), ax[4].clone(), hs, ws])
+                    * Expr::load(
+                        w,
+                        vec![ax[4].clone(), ax[1].clone(), ax[5].clone(), ax[6].clone()],
+                    ),
+            )
+        },
+    );
+    Arc::new(b.build().expect("valid transposed conv2d"))
+}
+
+/// Capsule 2D convolution (CAP): each "pixel" is a 4×4 pose matrix; the
+/// kernel applies a matrix product per capsule pair.
+#[allow(clippy::too_many_arguments)]
+pub fn capsule_conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64, caps: i64) -> Arc<ComputeDag> {
+    let ho = conv_out(size, kernel, stride, pad);
+    let hp = pad_extent(ho, kernel, stride);
+    let mut b = DagBuilder::new();
+    // Layout: [batch, H, W, ci, caps, caps].
+    let a = b.placeholder("A", &[batch, size, size, ci, caps, caps]);
+    let w = b.constant("W", &[kernel, kernel, ci, co, caps, caps]);
+    let p = b.compute("Apad", &[batch, hp, hp, ci, caps, caps], |ax| {
+        let h = ax[1].clone() - Expr::int(pad);
+        let wd = ax[2].clone() - Expr::int(pad);
+        let mut conds = in_range(&h, 0, size);
+        conds.extend(in_range(&wd, 0, size));
+        guard(
+            conds,
+            Expr::load(
+                a,
+                vec![
+                    ax[0].clone(),
+                    h,
+                    wd,
+                    ax[3].clone(),
+                    ax[4].clone(),
+                    ax[5].clone(),
+                ],
+            ),
+        )
+    });
+    b.compute_reduce(
+        "C",
+        &[batch, ho, ho, co, caps, caps],
+        &[kernel, kernel, ci, caps],
+        Reducer::Sum,
+        |ax| {
+            // ax: b, h, w, co, p, q | kh, kw, ci, r
+            let h = ax[1].clone() * Expr::int(stride) + ax[6].clone();
+            let wd = ax[2].clone() * Expr::int(stride) + ax[7].clone();
+            Expr::load(
+                p,
+                vec![
+                    ax[0].clone(),
+                    h,
+                    wd,
+                    ax[8].clone(),
+                    ax[4].clone(),
+                    ax[9].clone(),
+                ],
+            ) * Expr::load(
+                w,
+                vec![
+                    ax[6].clone(),
+                    ax[7].clone(),
+                    ax[8].clone(),
+                    ax[3].clone(),
+                    ax[9].clone(),
+                    ax[5].clone(),
+                ],
+            )
+        },
+    );
+    Arc::new(b.build().expect("valid capsule conv2d"))
+}
+
+/// Matrix 2-norm (NRM): `‖A‖₂ = sqrt(Σ A[i,j]²)` over a flattened
+/// reduction axis, so Rule 6 (rfactor) can parallelize it.
+pub fn matrix_norm(batch: i64, n: i64, m: i64) -> Arc<ComputeDag> {
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[batch, n, m]);
+    let s = b.compute_reduce("S", &[batch], &[n * m], Reducer::Sum, |ax| {
+        let i = Expr::binary(tensor_ir::BinOp::Div, ax[1].clone(), Expr::int(m));
+        let j = Expr::binary(tensor_ir::BinOp::Mod, ax[1].clone(), Expr::int(m));
+        let v = Expr::load(a, vec![ax[0].clone(), i, j]);
+        v.clone() * v
+    });
+    b.compute("N", &[batch], |ax| {
+        Expr::unary(UnOp::Sqrt, Expr::load(s, vec![ax[0].clone()]))
+    });
+    Arc::new(b.build().expect("valid matrix norm"))
+}
+
+/// Looks up the output node id of a workload DAG (the node named `C`, `N`
+/// or the last compute node).
+pub fn output_node(dag: &ComputeDag) -> NodeId {
+    dag.outputs().last().copied().expect("dag has an output")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use tensor_ir::interp;
+
+    /// Reference conv2d in plain Rust.
+    fn ref_conv2d(
+        a: &[f32],
+        w: &[f32],
+        (batch, ci, co, size, kernel, stride, pad): (i64, i64, i64, i64, i64, i64, i64),
+    ) -> Vec<f32> {
+        let ho = conv_out(size, kernel, stride, pad);
+        let mut out = vec![0.0f32; (batch * co * ho * ho) as usize];
+        for bb in 0..batch {
+            for oc in 0..co {
+                for oh in 0..ho {
+                    for ow in 0..ho {
+                        let mut acc = 0.0;
+                        for ic in 0..ci {
+                            for kh in 0..kernel {
+                                for kw in 0..kernel {
+                                    let ih = oh * stride + kh - pad;
+                                    let iw = ow * stride + kw - pad;
+                                    if ih >= 0 && ih < size && iw >= 0 && iw < size {
+                                        let av = a[(((bb * ci + ic) * size + ih) * size + iw)
+                                            as usize];
+                                        let wv = w[(((oc * ci + ic) * kernel + kh) * kernel
+                                            + kw)
+                                            as usize];
+                                        acc += av * wv;
+                                    }
+                                }
+                            }
+                        }
+                        out[(((bb * co + oc) * ho + oh) * ho + ow) as usize] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv2d_matches_reference() {
+        let cfg = (1i64, 3i64, 4i64, 8i64, 3i64, 2i64, 1i64);
+        let dag = conv2d(cfg.0, cfg.1, cfg.2, cfg.3, cfg.4, cfg.5, cfg.6);
+        let inputs = interp::random_inputs(&dag, 1);
+        let bufs = interp::run_naive(&dag, &inputs).unwrap();
+        let expect = ref_conv2d(&inputs[&0], &inputs[&1], cfg);
+        let out = output_node(&dag);
+        let got = bufs.get(out);
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-3, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn transposed_conv2d_matches_scatter_reference() {
+        // Reference: scatter formulation of deconv.
+        let (batch, ci, co, size, kernel, stride, pad) = (1i64, 2i64, 3i64, 4i64, 4i64, 2i64, 1i64);
+        let out_size = (size - 1) * stride - 2 * pad + kernel;
+        let dag = transposed_conv2d(batch, ci, co, size, kernel, stride, pad);
+        let inputs = interp::random_inputs(&dag, 2);
+        let a = &inputs[&0];
+        let w = &inputs[&1];
+        let mut expect = vec![0.0f32; (batch * co * out_size * out_size) as usize];
+        for bb in 0..batch {
+            for ic in 0..ci {
+                for ih in 0..size {
+                    for iw in 0..size {
+                        let av = a[(((bb * ci + ic) * size + ih) * size + iw) as usize];
+                        for oc in 0..co {
+                            for kh in 0..kernel {
+                                for kw in 0..kernel {
+                                    let oh = ih * stride + kh - pad;
+                                    let ow = iw * stride + kw - pad;
+                                    if oh >= 0 && oh < out_size && ow >= 0 && ow < out_size {
+                                        let wv = w[(((ic * co + oc) * kernel + kh) * kernel
+                                            + kw)
+                                            as usize];
+                                        expect[(((bb * co + oc) * out_size + oh) * out_size
+                                            + ow)
+                                            as usize] += av * wv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let bufs = interp::run_naive(&dag, &inputs).unwrap();
+        let got = bufs.get(output_node(&dag));
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-3, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_grouped() {
+        // Depthwise conv == group conv with groups == channels and co == ci,
+        // up to the weight layout ([c,1,kh,kw] vs [c,kh,kw]).
+        let (batch, c, size, kernel, stride, pad) = (1i64, 4i64, 6i64, 3i64, 1i64, 1i64);
+        let dep = depthwise_conv2d(batch, c, size, kernel, stride, pad);
+        let grp = group_conv2d(batch, c, c, size, kernel, stride, pad, c);
+        let inputs_dep = interp::random_inputs(&dep, 3);
+        let mut inputs_grp: HashMap<usize, Vec<f32>> = HashMap::new();
+        inputs_grp.insert(0, inputs_dep[&0].clone());
+        inputs_grp.insert(1, inputs_dep[&1].clone()); // same flat weights
+        let out_dep = interp::run_naive(&dep, &inputs_dep).unwrap();
+        let out_grp = interp::run_naive(&grp, &inputs_grp).unwrap();
+        let d = out_dep.get(output_node(&dep));
+        let g = out_grp.get(output_node(&grp));
+        for (a, b) in d.iter().zip(g) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dilated_equals_standard_when_dilation_is_one() {
+        let d1 = dilated_conv2d(1, 2, 2, 6, 3, 1, 1, 1);
+        let c = conv2d(1, 2, 2, 6, 3, 1, 1);
+        let inputs = interp::random_inputs(&c, 4);
+        let r1 = interp::run_naive(&d1, &inputs).unwrap();
+        let r2 = interp::run_naive(&c, &inputs).unwrap();
+        assert_eq!(r1.get(output_node(&d1)), r2.get(output_node(&c)));
+    }
+
+    #[test]
+    fn matrix_norm_matches_reference() {
+        let dag = matrix_norm(2, 4, 6);
+        let inputs = interp::random_inputs(&dag, 5);
+        let a = &inputs[&0];
+        let bufs = interp::run_naive(&dag, &inputs).unwrap();
+        let got = bufs.get(output_node(&dag));
+        for b in 0..2usize {
+            let expect: f32 = a[b * 24..(b + 1) * 24].iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((got[b] - expect).abs() < 1e-4, "{} vs {expect}", got[b]);
+        }
+    }
+
+    #[test]
+    fn nrm_has_more_reduction_parallel() {
+        let dag = matrix_norm(1, 64, 64);
+        let s = dag.node_id("S").unwrap();
+        assert!(dag.has_more_reduction_parallel(s));
+    }
+
+    #[test]
+    fn conv1d_and_conv3d_shapes() {
+        let c1 = conv1d(1, 4, 8, 32, 3, 1, 1);
+        assert_eq!(c1.node_by_name("C").unwrap().shape(), &[1, 8, 32]);
+        let c3 = conv3d(1, 2, 4, 4, 8, 3, 1, 1);
+        assert_eq!(c3.node_by_name("C").unwrap().shape(), &[1, 4, 4, 8, 8]);
+        // Functional smoke test on tiny shapes.
+        let inputs = interp::random_inputs(&c3, 6);
+        interp::run_naive(&c3, &inputs).unwrap();
+    }
+
+    #[test]
+    fn capsule_conv_shape_and_flops() {
+        let dag = capsule_conv2d(1, 2, 2, 4, 3, 1, 1, 4);
+        assert_eq!(
+            dag.node_by_name("C").unwrap().shape(),
+            &[1, 4, 4, 2, 4, 4]
+        );
+        assert!(dag.flop_count() > 0.0);
+        let inputs = interp::random_inputs(&dag, 7);
+        interp::run_naive(&dag, &inputs).unwrap();
+    }
+
+    #[test]
+    fn grouped_conv_reduces_flops() {
+        let full = conv2d(1, 8, 8, 8, 3, 1, 1);
+        let grp = group_conv2d(1, 8, 8, 8, 3, 1, 1, 4);
+        assert!(grp.flop_count() * 3.0 < full.flop_count());
+    }
+}

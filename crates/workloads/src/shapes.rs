@@ -1,0 +1,130 @@
+//! The single-operator test cases of Figure 6: 10 operators × 4 shape
+//! configurations × 2 batch sizes.
+
+use std::sync::Arc;
+
+use tensor_ir::ComputeDag;
+
+use crate::ops;
+
+/// One test case of the single-operator benchmark.
+#[derive(Debug, Clone)]
+pub struct OpCase {
+    /// Operator class, e.g. `"C2D"`.
+    pub op: &'static str,
+    /// Shape index (0..4).
+    pub shape: usize,
+    /// Batch size (1 or 16).
+    pub batch: i64,
+    /// The computation.
+    pub dag: Arc<ComputeDag>,
+}
+
+/// Operator classes in Figure 6's x-axis order.
+pub const OP_CLASSES: [&str; 10] = [
+    "C1D", "C2D", "C3D", "GMM", "GRP", "DIL", "DEP", "T2D", "CAP", "NRM",
+];
+
+/// Builds the DAG for `(op, shape index, batch)`. Shapes are drawn from
+/// common DNNs (ResNet, MobileNet, DCGAN, BERT), four per operator.
+pub fn build_case(op: &str, shape: usize, batch: i64) -> Option<Arc<ComputeDag>> {
+    let dag = match (op, shape) {
+        // conv1d: (ci, co, length, kernel, stride, pad).
+        ("C1D", 0) => ops::conv1d(batch, 64, 128, 256, 3, 1, 1),
+        ("C1D", 1) => ops::conv1d(batch, 128, 256, 128, 3, 2, 1),
+        ("C1D", 2) => ops::conv1d(batch, 32, 64, 1024, 7, 2, 3),
+        ("C1D", 3) => ops::conv1d(batch, 256, 256, 64, 3, 1, 1),
+        // conv2d: (ci, co, size, kernel, stride, pad) — ResNet-50 shapes.
+        ("C2D", 0) => ops::conv2d(batch, 3, 64, 224, 7, 2, 3),
+        ("C2D", 1) => ops::conv2d(batch, 64, 64, 56, 3, 1, 1),
+        ("C2D", 2) => ops::conv2d(batch, 128, 128, 28, 3, 1, 1),
+        ("C2D", 3) => ops::conv2d(batch, 512, 512, 7, 3, 1, 1),
+        // conv3d: (ci, co, depth, size, kernel, stride, pad).
+        ("C3D", 0) => ops::conv3d(batch, 3, 64, 16, 56, 3, 2, 1),
+        ("C3D", 1) => ops::conv3d(batch, 64, 64, 8, 56, 3, 1, 1),
+        ("C3D", 2) => ops::conv3d(batch, 128, 128, 4, 28, 3, 1, 1),
+        ("C3D", 3) => ops::conv3d(batch, 256, 256, 2, 14, 3, 1, 1),
+        // matmul: (n, m, k); batch multiplies n (BERT-style shapes).
+        ("GMM", 0) => ops::gmm(1, batch * 128, 768, 768),
+        ("GMM", 1) => ops::gmm(1, batch * 128, 3072, 768),
+        ("GMM", 2) => ops::gmm(1, batch * 512, 512, 512),
+        ("GMM", 3) => ops::gmm(1, batch * 64, 1024, 4096),
+        // group conv: groups = 4 or 8.
+        ("GRP", 0) => ops::group_conv2d(batch, 64, 64, 56, 3, 1, 1, 4),
+        ("GRP", 1) => ops::group_conv2d(batch, 128, 128, 28, 3, 1, 1, 8),
+        ("GRP", 2) => ops::group_conv2d(batch, 256, 256, 14, 3, 1, 1, 8),
+        ("GRP", 3) => ops::group_conv2d(batch, 512, 512, 7, 3, 1, 1, 4),
+        // dilated conv: dilation 2.
+        ("DIL", 0) => ops::dilated_conv2d(batch, 64, 64, 56, 3, 1, 2, 2),
+        ("DIL", 1) => ops::dilated_conv2d(batch, 128, 128, 28, 3, 1, 2, 2),
+        ("DIL", 2) => ops::dilated_conv2d(batch, 256, 256, 14, 3, 1, 2, 2),
+        ("DIL", 3) => ops::dilated_conv2d(batch, 32, 64, 112, 3, 1, 2, 2),
+        // depthwise conv (MobileNet shapes).
+        ("DEP", 0) => ops::depthwise_conv2d(batch, 32, 112, 3, 1, 1),
+        ("DEP", 1) => ops::depthwise_conv2d(batch, 144, 56, 3, 1, 1),
+        ("DEP", 2) => ops::depthwise_conv2d(batch, 384, 14, 3, 1, 1),
+        ("DEP", 3) => ops::depthwise_conv2d(batch, 576, 14, 3, 2, 1),
+        // transposed conv (DCGAN shapes).
+        ("T2D", 0) => ops::transposed_conv2d(batch, 1024, 512, 4, 4, 2, 1),
+        ("T2D", 1) => ops::transposed_conv2d(batch, 512, 256, 8, 4, 2, 1),
+        ("T2D", 2) => ops::transposed_conv2d(batch, 256, 128, 16, 4, 2, 1),
+        ("T2D", 3) => ops::transposed_conv2d(batch, 128, 64, 32, 4, 2, 1),
+        // capsule conv (4x4 capsules).
+        ("CAP", 0) => ops::capsule_conv2d(batch, 8, 8, 16, 3, 1, 1, 4),
+        ("CAP", 1) => ops::capsule_conv2d(batch, 16, 16, 8, 3, 1, 1, 4),
+        ("CAP", 2) => ops::capsule_conv2d(batch, 8, 16, 16, 3, 2, 1, 4),
+        ("CAP", 3) => ops::capsule_conv2d(batch, 32, 32, 8, 3, 1, 1, 4),
+        // matrix 2-norm.
+        ("NRM", 0) => ops::matrix_norm(batch, 256, 256),
+        ("NRM", 1) => ops::matrix_norm(batch, 512, 512),
+        ("NRM", 2) => ops::matrix_norm(batch, 1024, 1024),
+        ("NRM", 3) => ops::matrix_norm(batch, 128, 4096),
+        _ => return None,
+    };
+    Some(dag)
+}
+
+/// All 80 test cases (10 ops × 4 shapes × batch {1, 16}).
+pub fn all_cases() -> Vec<OpCase> {
+    let mut out = Vec::with_capacity(80);
+    for &op in &OP_CLASSES {
+        for shape in 0..4 {
+            for &batch in &[1i64, 16] {
+                out.push(OpCase {
+                    op,
+                    shape,
+                    batch,
+                    dag: build_case(op, shape, batch).expect("valid case"),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_80_cases() {
+        let cases = all_cases();
+        assert_eq!(cases.len(), 80);
+        for c in &cases {
+            c.dag.validate().unwrap();
+            assert!(c.dag.flop_count() > 0.0, "{}/{}", c.op, c.shape);
+        }
+    }
+
+    #[test]
+    fn batch_scales_flops() {
+        for &op in &OP_CLASSES {
+            let f1 = build_case(op, 0, 1).unwrap().flop_count();
+            let f16 = build_case(op, 0, 16).unwrap().flop_count();
+            assert!(
+                (f16 / f1 - 16.0).abs() < 0.5,
+                "{op}: {f1} vs {f16}"
+            );
+        }
+    }
+}

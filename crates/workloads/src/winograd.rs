@@ -1,0 +1,232 @@
+//! Winograd convolution F(2×2, 3×3) — the paper's example of a special
+//! algorithm whose tile structure the built-in rules do not anticipate
+//! (§4.1) and which Ansor supports through its ordinary machinery plus,
+//! when needed, user-defined rules.
+//!
+//! The algorithm computes a 3×3 convolution with 2.25× fewer
+//! multiplications by transforming 4×4 input tiles and the 3×3 kernel into
+//! a 4×4 "Winograd domain", multiplying element-wise (batched over the
+//! 16 domain points, reduced over input channels), and transforming back:
+//!
+//! ```text
+//! Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//! ```
+//!
+//! The fixed transform matrices `Bᵀ`, `G`, `Aᵀ` are constant-data tensors,
+//! so the whole pipeline is an ordinary compute DAG and the functional
+//! interpreter can verify it against direct convolution.
+
+use std::sync::Arc;
+
+use tensor_ir::{ComputeDag, DagBuilder, Expr, Reducer};
+
+/// `Bᵀ` (4×4): input-tile transform.
+pub const BT: [[f32; 4]; 4] = [
+    [1.0, 0.0, -1.0, 0.0],
+    [0.0, 1.0, 1.0, 0.0],
+    [0.0, -1.0, 1.0, 0.0],
+    [0.0, 1.0, 0.0, -1.0],
+];
+
+/// `G` (4×3): kernel transform.
+pub const G: [[f32; 3]; 4] = [
+    [1.0, 0.0, 0.0],
+    [0.5, 0.5, 0.5],
+    [0.5, -0.5, 0.5],
+    [0.0, 0.0, 1.0],
+];
+
+/// `Aᵀ` (2×4): output transform.
+pub const AT: [[f32; 2]; 4] = [[1.0, 0.0], [1.0, 1.0], [1.0, -1.0], [0.0, -1.0]];
+
+fn flat<const R: usize, const C: usize>(m: &[[f32; C]; R]) -> Vec<f32> {
+    m.iter().flat_map(|r| r.iter().copied()).collect()
+}
+
+/// Builds the Winograd F(2×2, 3×3) convolution DAG.
+///
+/// Stride 1, padding 1, so the output is `size × size`; `size` must be
+/// even (output tiles are 2×2).
+///
+/// # Panics
+///
+/// Panics if `size` is odd.
+pub fn winograd_conv2d(batch: i64, ci: i64, co: i64, size: i64) -> Arc<ComputeDag> {
+    assert!(size % 2 == 0, "Winograd F(2x2,3x3) needs an even size");
+    let tiles = size / 2; // tiles per spatial dimension
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[batch, ci, size, size]);
+    let g = b.constant("W", &[co, ci, 3, 3]);
+    let bt = b.constant_data("Bt", &[4, 4], flat(&BT));
+    let gm = b.constant_data("G", &[4, 3], flat(&G));
+    let at = b.constant_data("At", &[4, 2], flat(&AT));
+
+    // Padded input (pad = 1).
+    let p = b.compute("Apad", &[batch, ci, size + 2, size + 2], |ax| {
+        let h = ax[2].clone() - Expr::int(1);
+        let w = ax[3].clone() - Expr::int(1);
+        let conds = [
+            Expr::cmp(tensor_ir::CmpOp::Ge, h.clone(), Expr::int(0)),
+            Expr::cmp(tensor_ir::CmpOp::Lt, h.clone(), Expr::int(size)),
+            Expr::cmp(tensor_ir::CmpOp::Ge, w.clone(), Expr::int(0)),
+            Expr::cmp(tensor_ir::CmpOp::Lt, w.clone(), Expr::int(size)),
+        ];
+        let mut out = Expr::load(a, vec![ax[0].clone(), ax[1].clone(), h, w]);
+        for c in conds.into_iter().rev() {
+            out = Expr::select(c, out, Expr::float(0.0));
+        }
+        out
+    });
+
+    // Input transform: V[eps, nu, ci, b, th, tw] = Σ_{h,w} Bt[eps,h] ·
+    // Apad[b, ci, 2·th + h, 2·tw + w] · Bt[nu, w].
+    let v = b.compute_named(
+        "V",
+        &[4, 4, ci, batch, tiles, tiles],
+        &[4, 4],
+        Some(Reducer::Sum),
+        &["eps", "nu", "ci", "b", "th", "tw", "r_h", "r_w"],
+        |ax| {
+            let h = ax[4].clone() * Expr::int(2) + ax[6].clone();
+            let w = ax[5].clone() * Expr::int(2) + ax[7].clone();
+            Expr::load(bt, vec![ax[0].clone(), ax[6].clone()])
+                * Expr::load(p, vec![ax[3].clone(), ax[2].clone(), h, w])
+                * Expr::load(bt, vec![ax[1].clone(), ax[7].clone()])
+        },
+    );
+
+    // Kernel transform: U[eps, nu, co, ci] = Σ_{r,s} G[eps,r]·g[co,ci,r,s]·G[nu,s].
+    let u = b.compute_named(
+        "U",
+        &[4, 4, co, ci],
+        &[3, 3],
+        Some(Reducer::Sum),
+        &["eps", "nu", "co", "ci", "r_r", "r_s"],
+        |ax| {
+            Expr::load(gm, vec![ax[0].clone(), ax[4].clone()])
+                * Expr::load(
+                    g,
+                    vec![ax[2].clone(), ax[3].clone(), ax[4].clone(), ax[5].clone()],
+                )
+                * Expr::load(gm, vec![ax[1].clone(), ax[5].clone()])
+        },
+    );
+
+    // Batched element-wise product over the 16 Winograd points, reduced
+    // over input channels: the GEMM-like core.
+    let m = b.compute_named(
+        "M",
+        &[4, 4, co, batch, tiles, tiles],
+        &[ci],
+        Some(Reducer::Sum),
+        &["eps", "nu", "co", "b", "th", "tw", "r_ci"],
+        |ax| {
+            Expr::load(
+                u,
+                vec![ax[0].clone(), ax[1].clone(), ax[2].clone(), ax[6].clone()],
+            ) * Expr::load(
+                v,
+                vec![
+                    ax[0].clone(),
+                    ax[1].clone(),
+                    ax[6].clone(),
+                    ax[3].clone(),
+                    ax[4].clone(),
+                    ax[5].clone(),
+                ],
+            )
+        },
+    );
+
+    // Output transform: Y[b, co, h, w] =
+    //   Σ_{eps,nu} At[eps, h%2] · M[eps, nu, co, b, h/2, w/2] · At[nu, w%2].
+    b.compute_named(
+        "Y",
+        &[batch, co, size, size],
+        &[4, 4],
+        Some(Reducer::Sum),
+        &["b", "co", "h", "w", "r_e", "r_n"],
+        |ax| {
+            let th = Expr::binary(tensor_ir::BinOp::Div, ax[2].clone(), Expr::int(2));
+            let tw = Expr::binary(tensor_ir::BinOp::Div, ax[3].clone(), Expr::int(2));
+            let hi = Expr::binary(tensor_ir::BinOp::Mod, ax[2].clone(), Expr::int(2));
+            let wi = Expr::binary(tensor_ir::BinOp::Mod, ax[3].clone(), Expr::int(2));
+            Expr::load(at, vec![ax[4].clone(), hi])
+                * Expr::load(
+                    m,
+                    vec![
+                        ax[4].clone(),
+                        ax[5].clone(),
+                        ax[1].clone(),
+                        ax[0].clone(),
+                        th,
+                        tw,
+                    ],
+                )
+                * Expr::load(at, vec![ax[5].clone(), wi])
+        },
+    );
+    Arc::new(b.build().expect("valid winograd conv"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use std::collections::HashMap;
+    use tensor_ir::interp;
+
+    #[test]
+    fn winograd_equals_direct_convolution() {
+        let (batch, ci, co, size) = (1i64, 2i64, 3i64, 8i64);
+        let wino = winograd_conv2d(batch, ci, co, size);
+        let direct = ops::conv2d(batch, ci, co, size, 3, 1, 1);
+
+        // Shared inputs by name.
+        let inputs = interp::random_inputs(&direct, 11);
+        let wino_inputs: HashMap<usize, Vec<f32>> = [("A", 0usize), ("W", 1usize)]
+            .into_iter()
+            .map(|(name, orig)| (wino.node_id(name).unwrap(), inputs[&orig].clone()))
+            .collect();
+
+        let direct_out = interp::run_naive(&direct, &inputs).unwrap();
+        let wino_out = interp::run_naive(&wino, &wino_inputs).unwrap();
+        let y = wino_out.get(wino.node_id("Y").unwrap());
+        let c = direct_out.get(direct.node_id("C").unwrap());
+        assert_eq!(y.len(), c.len());
+        for (a, b) in y.iter().zip(c) {
+            assert!((a - b).abs() < 1e-3, "winograd {a} vs direct {b}");
+        }
+    }
+
+    #[test]
+    fn winograd_multiplies_less_in_the_core() {
+        // The GEMM core does size²/4 · 16 · co · ci multiplies =
+        // 4·size²·co·ci, vs 9·size²·co·ci for direct conv: 2.25x fewer.
+        let wino = winograd_conv2d(1, 8, 8, 16);
+        let m = wino.node_by_name("M").unwrap().compute().unwrap();
+        let core_muls = m.spatial_volume() * m.reduce_volume();
+        let direct_muls = 16 * 16 * 8 * 8 * 9;
+        assert_eq!(core_muls * 9 / 4, direct_muls);
+    }
+
+    #[test]
+    fn transform_matrices_are_const_data() {
+        let wino = winograd_conv2d(1, 2, 2, 4);
+        for name in ["Bt", "G", "At"] {
+            let n = wino.node_by_name(name).unwrap();
+            assert!(n.is_const_placeholder());
+            assert!(n.const_data().is_some());
+        }
+        // The kernel is constant but external (random weights).
+        let w = wino.node_by_name("W").unwrap();
+        assert!(w.is_const_placeholder());
+        assert!(w.const_data().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "even size")]
+    fn odd_sizes_are_rejected() {
+        winograd_conv2d(1, 1, 1, 7);
+    }
+}

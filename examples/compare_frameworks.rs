@@ -1,0 +1,65 @@
+//! Compare all search frameworks on one operator, and demonstrate the
+//! tuning-record log: save every measurement, reload, and re-apply the
+//! best schedule without searching again.
+//!
+//! ```sh
+//! cargo run --release --example compare_frameworks -- [trials]
+//! ```
+
+use ansor::baselines::{search_frameworks, vendor::vendor_seconds};
+use ansor::core::{save_records, load_records, best_record, SketchPolicy, LearnedCostModel};
+use ansor::prelude::*;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let dag = ansor::workloads::build_case("C2D", 1, 1).expect("case");
+    let flops = dag.flop_count();
+    let task = SearchTask::new("conv2d:compare", dag, HardwareTarget::intel_20core());
+
+    println!("conv2d 56x56, 64->64 channels — {trials} trials per framework\n");
+    println!("{:<12} {:>12} {:>12}", "framework", "best", "GFLOP/s");
+    let v = vendor_seconds(&task, &HardwareTarget::intel_20core_avx512());
+    println!("{:<12} {:>9.3} ms {:>12.1}", "Vendor", v * 1e3, flops / v / 1e9);
+    for fw in search_frameworks() {
+        let r = fw.tune(&task, trials, 1);
+        println!(
+            "{:<12} {:>9.3} ms {:>12.1}",
+            fw.name(),
+            r.best_seconds * 1e3,
+            flops / r.best_seconds / 1e9
+        );
+    }
+
+    // Demonstrate record logging + replay: run a short policy-level search,
+    // persist its log, reload, and re-apply the best schedule.
+    let options = TuningOptions {
+        num_measure_trials: 64,
+        ..Default::default()
+    };
+    let mut policy = SketchPolicy::new(task.clone(), options);
+    let mut model = LearnedCostModel::new();
+    let mut measurer = Measurer::new(task.target.clone());
+    while policy.tune_round(&mut model, &mut measurer) > 0 {}
+    let dir = std::env::temp_dir().join("ansor-example");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("conv2d.jsonl");
+    let _ = std::fs::remove_file(&path);
+    save_records(&path, &policy.log).expect("save log");
+    println!("\nsaved {} tuning records to {}", policy.log.len(), path.display());
+
+    let records = load_records(&path).expect("load log");
+    let best = best_record(&records, &task.name).expect("a best record");
+    let state = best.replay(task.dag.clone()).expect("replayable");
+    let mut fresh = Measurer::new(task.target.clone());
+    let replayed = fresh.measure(&state).seconds;
+    println!(
+        "best from log: trial {} at {:.3} ms; re-applied schedule measures {:.3} ms",
+        best.trial,
+        best.seconds * 1e3,
+        replayed * 1e3
+    );
+    assert!((replayed - best.seconds).abs() < 1e-12);
+}

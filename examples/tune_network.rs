@@ -1,0 +1,70 @@
+//! Tune a whole network with the gradient-descent task scheduler (§6).
+//!
+//! ```sh
+//! cargo run --release --example tune_network -- [network] [units]
+//! # networks: resnet50 | mobilenet_v2 | resnet3d_18 | dcgan | bert
+//! ```
+
+use ansor::prelude::*;
+use ansor::workloads::network;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let net = args.get(1).map(|s| s.as_str()).unwrap_or("dcgan");
+    let units: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let batch = 1;
+    let target = HardwareTarget::intel_20core();
+
+    let tasks = network(net, batch).unwrap_or_else(|| {
+        eprintln!("unknown network {net:?}; use resnet50 | mobilenet_v2 | resnet3d_18 | dcgan | bert");
+        std::process::exit(1);
+    });
+    println!("{net}: {} unique subgraph tasks", tasks.len());
+    let tune_tasks: Vec<TuneTask> = tasks
+        .iter()
+        .map(|t| TuneTask {
+            task: SearchTask::new(t.name.clone(), t.dag.clone(), target.clone()),
+            weight: t.weight,
+            dnn: 0,
+        })
+        .collect();
+
+    let options = TuningOptions {
+        measures_per_round: 32,
+        ..Default::default()
+    };
+    let mut scheduler = TaskScheduler::new(
+        tune_tasks,
+        Objective::WeightedSum,
+        options,
+        TaskSchedulerConfig::default(),
+    );
+    let mut measurer = Measurer::new(target);
+    println!("allocating {units} tuning units (32 trials each)...");
+    scheduler.tune(units, &mut measurer);
+
+    println!(
+        "\nend-to-end latency estimate: {:.3} ms ({} measurement trials)",
+        scheduler.dnn_latencies()[0] * 1e3,
+        scheduler.total_trials()
+    );
+    println!("\nper-task allocation (the scheduler prioritizes bottlenecks):");
+    let g = scheduler.best_latencies();
+    for (i, t) in scheduler.tasks.iter().enumerate() {
+        println!(
+            "  {:<28} weight {:>4}  units {:>3}  best {:>12}",
+            t.task.name,
+            t.weight,
+            scheduler.allocations[i],
+            ansor_format(g[i])
+        );
+    }
+}
+
+fn ansor_format(s: f64) -> String {
+    if s.is_finite() {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        "unmeasured".into()
+    }
+}

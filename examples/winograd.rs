@@ -1,0 +1,70 @@
+//! Winograd convolution vs. direct convolution (§4.1's special-algorithm
+//! example): both are plain compute DAGs to Ansor, so both tune with the
+//! same rules — no manual template required for either.
+//!
+//! ```sh
+//! cargo run --release --example winograd -- [trials]
+//! ```
+
+use ansor::prelude::*;
+use ansor::workloads::{ops, winograd_conv2d};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let (batch, ci, co, size) = (1i64, 64i64, 64i64, 56i64);
+    let direct = ops::conv2d(batch, ci, co, size, 3, 1, 1);
+    let wino = winograd_conv2d(batch, ci, co, size);
+    println!(
+        "conv2d {size}x{size}, {ci}->{co} channels\n  direct FLOPs: {:.2e}\n  winograd FLOPs: {:.2e} (transform overhead included)",
+        direct.flop_count(),
+        wino.flop_count()
+    );
+
+    let target = HardwareTarget::intel_20core();
+    let mut best = Vec::new();
+    for (name, dag) in [("direct", direct), ("winograd", wino)] {
+        let task = SearchTask::new(format!("conv:{name}"), dag, target.clone());
+        let mut measurer = Measurer::new(target.clone());
+        let mut options = TuningOptions {
+            num_measure_trials: trials,
+            ..Default::default()
+        };
+        if name == "winograd" {
+            // §4.2's annotation hints: pin aggressive unrolling on the
+            // small transform stages so the code generator folds the
+            // constant-matrix multiplications.
+            for node in ["V", "U", "Y"] {
+                options.evolution.annotation.hints.insert(
+                    node.to_string(),
+                    ansor::core::AnnotationHint {
+                        unroll_pragma: Some(512),
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+        let result = auto_schedule(&task, options, &mut measurer);
+        println!(
+            "  {name:<9} tuned: {:.3} ms",
+            result.best_seconds * 1e3
+        );
+        best.push(result.best_seconds);
+    }
+    println!(
+        "\ndirect / winograd speedup = {:.2}x",
+        best[0] / best[1]
+    );
+    println!(
+        "Note: the multiplication count alone would give 2.25x, but the\n\
+         transform stages materialize large intermediate tensors whose\n\
+         memory traffic the simulated machine charges heavily — on this\n\
+         hardware model Winograd usually loses to a well-tuned direct\n\
+         convolution, which is also why the paper treats Winograd as a\n\
+         special case needing dedicated tile structures (§4.1). The point\n\
+         of this example is that Ansor schedules the novel 6-node algorithm\n\
+         out of the box, with no template."
+    );
+}

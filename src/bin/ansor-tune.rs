@@ -1,0 +1,197 @@
+//! `ansor-tune`: command-line auto-scheduling of the built-in workloads.
+//!
+//! ```text
+//! ansor-tune --op C2D --shape 1 --batch 1 --trials 300 --target intel \
+//!            --log conv.jsonl
+//! ansor-tune --network dcgan --units 20 --target gpu
+//! ansor-tune --list
+//! ```
+//!
+//! Tunes a single operator (optionally resuming from / appending to a
+//! JSON-lines record log) or a whole network via the task scheduler, then
+//! prints the best schedule.
+
+use ansor::core::{load_records, save_records, LearnedCostModel, SketchPolicy};
+use ansor::prelude::*;
+use ansor::workloads;
+
+struct Cli {
+    op: Option<String>,
+    shape: usize,
+    batch: i64,
+    trials: usize,
+    network: Option<String>,
+    units: usize,
+    target: String,
+    log: Option<String>,
+    list: bool,
+    show_program: bool,
+}
+
+fn parse() -> Cli {
+    let mut cli = Cli {
+        op: None,
+        shape: 0,
+        batch: 1,
+        trials: 200,
+        network: None,
+        units: 20,
+        target: "intel".into(),
+        log: None,
+        list: false,
+        show_program: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_default();
+        match a.as_str() {
+            "--op" => cli.op = Some(val()),
+            "--shape" => cli.shape = val().parse().unwrap_or(0),
+            "--batch" => cli.batch = val().parse().unwrap_or(1),
+            "--trials" => cli.trials = val().parse().unwrap_or(200),
+            "--network" => cli.network = Some(val()),
+            "--units" => cli.units = val().parse().unwrap_or(20),
+            "--target" => cli.target = val(),
+            "--log" => cli.log = Some(val()),
+            "--list" => cli.list = true,
+            "--program" => cli.show_program = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+fn print_help() {
+    println!(
+        "ansor-tune — auto-schedule tensor programs on a simulated machine\n\
+         \n\
+         single operator:\n\
+         \x20  ansor-tune --op C2D --shape 0..3 --batch 1|16 --trials N\n\
+         \x20             [--log records.jsonl] [--program]\n\
+         whole network:\n\
+         \x20  ansor-tune --network resnet50|mobilenet_v2|resnet3d_18|dcgan|bert\n\
+         \x20             --units N\n\
+         common:\n\
+         \x20  --target intel|intel-avx512|arm|gpu   (default intel)\n\
+         \x20  --list                                 list available workloads"
+    );
+}
+
+fn target(name: &str) -> HardwareTarget {
+    match name {
+        "intel" => HardwareTarget::intel_20core(),
+        "intel-avx512" => HardwareTarget::intel_20core_avx512(),
+        "arm" => HardwareTarget::arm_4core(),
+        "gpu" => HardwareTarget::nvidia_v100(),
+        other => {
+            eprintln!("unknown target {other:?}; use intel|intel-avx512|arm|gpu");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let cli = parse();
+    if cli.list {
+        println!("operators: {}", workloads::OP_CLASSES.join(", "));
+        println!("networks:  {}", workloads::all_networks().join(", "));
+        return;
+    }
+    let target = target(&cli.target);
+
+    if let Some(net) = &cli.network {
+        let Some(tasks) = workloads::network(net, cli.batch) else {
+            eprintln!("unknown network {net:?} (see --list)");
+            std::process::exit(2);
+        };
+        let tune_tasks: Vec<TuneTask> = tasks
+            .iter()
+            .map(|t| TuneTask {
+                task: SearchTask::new(t.name.clone(), t.dag.clone(), target.clone()),
+                weight: t.weight,
+                dnn: 0,
+            })
+            .collect();
+        let mut sched = TaskScheduler::new(
+            tune_tasks,
+            Objective::WeightedSum,
+            TuningOptions::default(),
+            TaskSchedulerConfig::default(),
+        );
+        let mut measurer = Measurer::new(target);
+        println!(
+            "tuning {net} ({} tasks) for {} units of 64 trials...",
+            tasks.len(),
+            cli.units
+        );
+        sched.tune(cli.units, &mut measurer);
+        println!(
+            "end-to-end latency estimate: {:.3} ms ({} trials)",
+            sched.dnn_latencies()[0] * 1e3,
+            sched.total_trials()
+        );
+        for (i, t) in sched.tasks.iter().enumerate() {
+            println!(
+                "  {:<28} units {:>3}  best {:>12.3} ms",
+                t.task.name,
+                sched.allocations[i],
+                sched.best_latencies()[i] * 1e3
+            );
+        }
+        return;
+    }
+
+    let op = cli.op.unwrap_or_else(|| {
+        print_help();
+        std::process::exit(2);
+    });
+    let Some(dag) = workloads::build_case(&op, cli.shape, cli.batch) else {
+        eprintln!("unknown case {op:?} shape {} (see --list)", cli.shape);
+        std::process::exit(2);
+    };
+    let task = SearchTask::new(
+        format!("{op}:s{}b{}", cli.shape, cli.batch),
+        dag.clone(),
+        target.clone(),
+    );
+    let options = TuningOptions {
+        num_measure_trials: cli.trials,
+        ..Default::default()
+    };
+    let mut policy = SketchPolicy::new(task.clone(), options);
+    let mut model = LearnedCostModel::new();
+    let mut measurer = Measurer::new(target);
+    if let Some(path) = &cli.log {
+        if let Ok(records) = load_records(path) {
+            let n = policy.warm_start(&records, &mut model);
+            if n > 0 {
+                println!("warm-started from {n} records in {path}");
+            }
+        }
+    }
+    println!("tuning {op} (shape {}, batch {}) with {} trials...", cli.shape, cli.batch, cli.trials);
+    while policy.tune_round(&mut model, &mut measurer) > 0 {}
+    let best_seconds = policy.best_seconds();
+    println!(
+        "best: {:.6} ms  ({:.1} GFLOP/s)",
+        best_seconds * 1e3,
+        dag.flop_count() / best_seconds / 1e9
+    );
+    if let Some(path) = &cli.log {
+        save_records(path, &policy.log).expect("write log");
+        println!("appended {} records to {path}", policy.log.len());
+    }
+    if cli.show_program {
+        if let Some(best) = policy.best_individual() {
+            let program = lower(&best.state).expect("best program lowers");
+            println!("\n{}", print_program(&program));
+        }
+    }
+}
