@@ -9,9 +9,7 @@
 //! sampling *without* evolutionary fine-tuning — evolution's out-of-order
 //! rewriting is exactly what templates cannot express.
 
-use ansor_core::{
-    auto_schedule, EvolutionConfig, PolicyVariant, SearchTask, TuningOptions,
-};
+use ansor_core::{auto_schedule, EvolutionConfig, PolicyVariant, SearchTask, TuningOptions};
 use hwsim::Measurer;
 
 use crate::{FrameworkResult, SearchFramework};

@@ -303,10 +303,7 @@ fn annotate_tiled(s: &mut State, name: &str) -> Option<()> {
             let i = &st.iters[it];
             (i.name.clone(), i.kind, i.extent)
         };
-        (
-            info(*st.loop_order.first()?),
-            info(*st.loop_order.last()?),
-        )
+        (info(*st.loop_order.first()?), info(*st.loop_order.last()?))
     };
     if first.1 == tensor_ir::IterKind::Space && first.2 > 1 {
         s.apply(Step::Annotate {

@@ -10,8 +10,7 @@
 
 use ansor_core::annotate::AnnotationConfig;
 use ansor_core::{
-    generate_sketches_full, EvolutionConfig, RuleSet, SearchTask, SketchPolicy,
-    TuningOptions,
+    generate_sketches_full, EvolutionConfig, RuleSet, SearchTask, SketchPolicy, TuningOptions,
 };
 use hwsim::Measurer;
 

@@ -37,6 +37,19 @@ pub trait SearchFramework {
     fn name(&self) -> &'static str;
     /// Tunes the task with at most `trials` hardware measurements.
     fn tune(&self, task: &SearchTask, trials: usize, seed: u64) -> FrameworkResult;
+    /// Like [`SearchFramework::tune`] but with a telemetry handle. Baselines
+    /// ignore it by default; instrumented frameworks (Ansor) emit their
+    /// tuning trace through it.
+    fn tune_traced(
+        &self,
+        task: &SearchTask,
+        trials: usize,
+        seed: u64,
+        telemetry: &telemetry::Telemetry,
+    ) -> FrameworkResult {
+        let _ = telemetry;
+        self.tune(task, trials, seed)
+    }
 }
 
 /// All comparison frameworks of Figure 6/8 in plot order (the vendor
@@ -59,12 +72,24 @@ impl SearchFramework for AnsorFramework {
     }
 
     fn tune(&self, task: &SearchTask, trials: usize, seed: u64) -> FrameworkResult {
+        self.tune_traced(task, trials, seed, &telemetry::Telemetry::disabled())
+    }
+
+    fn tune_traced(
+        &self,
+        task: &SearchTask,
+        trials: usize,
+        seed: u64,
+        telemetry: &telemetry::Telemetry,
+    ) -> FrameworkResult {
         let options = ansor_core::TuningOptions {
             num_measure_trials: trials,
             seed,
+            telemetry: telemetry.clone(),
             ..Default::default()
         };
         let mut measurer = hwsim::Measurer::new(task.target.clone());
+        measurer.set_telemetry(telemetry.clone());
         let result = ansor_core::auto_schedule(task, options, &mut measurer);
         FrameworkResult {
             best_seconds: result.best_seconds,

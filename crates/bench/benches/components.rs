@@ -8,11 +8,11 @@
 use std::sync::Arc;
 
 use ansor_core::annotate::{sample_program, AnnotationConfig};
+use ansor_core::cost_model::CostModel;
 use ansor_core::{
     evolutionary_search, generate_sketches, EvolutionConfig, Individual, LearnedCostModel,
     RandomModel, SearchTask,
 };
-use ansor_core::cost_model::CostModel;
 use criterion::{criterion_group, criterion_main, Criterion};
 use hwsim::{HardwareTarget, Measurer};
 use rand::prelude::*;

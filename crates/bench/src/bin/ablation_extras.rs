@@ -32,6 +32,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    let tel = args.telemetry();
     let trials = args.pick(64, 300, 1000);
     let runs = args.pick(1, 3, 5);
     let dag = ansor_workloads::build_case("C2D", 3, 16).expect("case");
@@ -46,11 +47,14 @@ fn main() {
                 ..Default::default()
             },
             seed,
+            telemetry: tel.clone(),
             ..Default::default()
         };
         let mut measurer = Measurer::new(task.target.clone());
+        measurer.set_telemetry(tel.clone());
         if learned {
             let mut model = LearnedCostModel::new();
+            model.set_telemetry(tel.clone());
             auto_schedule_with_model(&task, options, &mut measurer, &mut model).best_seconds
         } else {
             let mut model: Box<dyn CostModel> = Box::new(RandomModel::new(seed));
@@ -83,24 +87,27 @@ fn main() {
         });
     }
 
-    print_table(
-        "Extra ablations on conv2d (lower is better)",
-        &["ablation", "best", "slowdown vs baseline"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.ablation.clone(),
-                    fmt_seconds(r.best_seconds),
-                    format!("{:.2}x", r.vs_baseline),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
+    if args.tables_enabled() {
+        print_table(
+            "Extra ablations on conv2d (lower is better)",
+            &["ablation", "best", "slowdown vs baseline"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.ablation.clone(),
+                        fmt_seconds(r.best_seconds),
+                        format!("{:.2}x", r.vs_baseline),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
     println!(
         "\nExpected: the random cost model hurts the most (candidate\n\
          selection degrades to chance); removing crossover or exploration\n\
          costs a smaller margin."
     );
     maybe_dump_json(&args, &rows);
+    args.finish_telemetry(&tel);
 }

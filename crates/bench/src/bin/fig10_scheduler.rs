@@ -13,11 +13,11 @@
 //!
 //! Run: `cargo run -p ansor-bench --release --bin fig10_scheduler`
 
-use ansor_bench::{geomean, maybe_dump_json, print_table, Args, Scale};
 use ansor_baselines::{autotvm::AutoTvm, SearchFramework};
+use ansor_bench::{geomean, maybe_dump_json, print_table, Args, Scale};
 use ansor_core::{
-    Objective, PolicyVariant, SearchTask, Strategy, TaskScheduler, TaskSchedulerConfig,
-    TuneTask, TuningOptions,
+    Objective, PolicyVariant, SearchTask, Strategy, TaskScheduler, TaskSchedulerConfig, TuneTask,
+    TuningOptions,
 };
 use ansor_workloads::network;
 use hwsim::{HardwareTarget, Measurer};
@@ -38,6 +38,7 @@ struct Panel {
 
 fn main() {
     let args = Args::parse();
+    let tel = args.telemetry();
     let autotvm_per_task = args.pick(24, 150, 1000);
     let ansor_round = 16usize;
     let panels = if args.scale == Scale::Smoke {
@@ -81,22 +82,49 @@ fn main() {
                 });
             }
             autotvm_ref.push(lat);
-            eprintln!("AutoTVM reference for {net}: {}", ansor_bench::fmt_seconds(lat));
+            eprintln!(
+                "AutoTVM reference for {net}: {}",
+                ansor_bench::fmt_seconds(lat)
+            );
         }
         let n_tasks = tune_tasks.len();
         let units = ((autotvm_per_task * n_tasks) / ansor_round).max(n_tasks);
 
         let variants: Vec<(&str, PolicyVariant, Strategy)> = vec![
-            ("Ansor (ours)", PolicyVariant::Full, Strategy::GradientDescent),
-            ("No task scheduler", PolicyVariant::Full, Strategy::RoundRobin),
-            ("No fine-tuning", PolicyVariant::NoFineTuning, Strategy::GradientDescent),
-            ("Limited space", PolicyVariant::LimitedSpace, Strategy::GradientDescent),
+            (
+                "Ansor (ours)",
+                PolicyVariant::Full,
+                Strategy::GradientDescent,
+            ),
+            (
+                "No task scheduler",
+                PolicyVariant::Full,
+                Strategy::RoundRobin,
+            ),
+            (
+                "No fine-tuning",
+                PolicyVariant::NoFineTuning,
+                Strategy::GradientDescent,
+            ),
+            (
+                "Limited space",
+                PolicyVariant::LimitedSpace,
+                Strategy::GradientDescent,
+            ),
         ];
         for (vname, variant, strategy) in variants {
+            // Only the full-Ansor variant writes the tuning trace: one
+            // traced run per panel keeps the trace readable.
+            let traced = vname == "Ansor (ours)";
             let options = TuningOptions {
                 measures_per_round: ansor_round,
                 variant,
                 seed: 13,
+                telemetry: if traced {
+                    tel.clone()
+                } else {
+                    Default::default()
+                },
                 ..Default::default()
             };
             let cfg = TaskSchedulerConfig {
@@ -110,17 +138,20 @@ fn main() {
                 cfg,
             );
             let mut measurer = Measurer::new(target.clone());
+            if traced {
+                measurer.set_telemetry(tel.clone());
+            }
             sched.tune(units, &mut measurer);
+            if traced {
+                sched.finish();
+            }
             // Speedup curve: f3 = -(geomean speedup).
             let points: Vec<(u64, f64)> = sched
                 .history
                 .iter()
                 .map(|r| (r.total_trials, -r.objective))
                 .collect();
-            let match_at = points
-                .iter()
-                .find(|(_, sp)| *sp >= 1.0)
-                .map(|(t, _)| *t);
+            let match_at = points.iter().find(|(_, sp)| *sp >= 1.0).map(|(t, _)| *t);
             eprintln!(
                 "{} / {vname}: final speedup {:.2}x, matches AutoTVM at {:?} trials \
                  (AutoTVM used {autotvm_trials_total})",
@@ -137,9 +168,8 @@ fn main() {
         }
     }
 
-    for panel in &panels {
-        let panel_curves: Vec<&Curve> =
-            curves.iter().filter(|c| c.panel == panel.name).collect();
+    for panel in panels.iter().filter(|_| args.tables_enabled()) {
+        let panel_curves: Vec<&Curve> = curves.iter().filter(|c| c.panel == panel.name).collect();
         let max_trials = panel_curves
             .iter()
             .flat_map(|c| c.points.last())
@@ -171,7 +201,10 @@ fn main() {
         headers.push("matches AutoTVM@".into());
         let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         print_table(
-            &format!("Figure 10: {} — geomean speedup vs. AutoTVM over trials", panel.name),
+            &format!(
+                "Figure 10: {} — geomean speedup vs. AutoTVM over trials",
+                panel.name
+            ),
             &href,
             &rows,
         );
@@ -184,4 +217,5 @@ fn main() {
     );
     let _ = geomean(&[1.0]);
     maybe_dump_json(&args, &curves);
+    args.finish_telemetry(&tel);
 }

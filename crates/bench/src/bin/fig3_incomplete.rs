@@ -51,6 +51,7 @@ fn matmul_relu_task() -> SearchTask {
 
 fn main() {
     let args = Args::parse();
+    let tel = args.telemetry();
     // The paper uses 20,000 random programs; scaled here (--full = 4000).
     let n_programs = args.pick(200, 1200, 4000);
     let task = matmul_relu_task();
@@ -75,6 +76,7 @@ fn main() {
     // Train on the first half, evaluate on the second half.
     let half = n_programs / 2;
     let mut model = LearnedCostModel::new();
+    model.set_telemetry(tel.clone());
     model.update(&task, &programs[..half], &seconds[..half]);
 
     let test = &programs[half..];
@@ -128,23 +130,26 @@ fn main() {
         });
     }
 
-    print_table(
-        "Figure 3: cost-model accuracy vs. program completion rate",
-        &["completion", "pairwise acc", "top-k recall"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    format!("{:.1}", r.completion_rate),
-                    format!("{:.3}", r.pairwise_accuracy),
-                    format!("{:.3}", r.topk_recall),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
+    if args.tables_enabled() {
+        print_table(
+            "Figure 3: cost-model accuracy vs. program completion rate",
+            &["completion", "pairwise acc", "top-k recall"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{:.1}", r.completion_rate),
+                        format!("{:.3}", r.pairwise_accuracy),
+                        format!("{:.3}", r.topk_recall),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
     println!(
         "\nExpected shape (paper): both curves near chance (0.5 / ~0) for small\n\
          completion rates, rising steeply toward 1.0 as programs complete."
     );
     maybe_dump_json(&args, &rows);
+    args.finish_telemetry(&tel);
 }

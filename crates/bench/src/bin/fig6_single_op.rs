@@ -13,8 +13,8 @@
 //!
 //! Run: `cargo run -p ansor-bench --release --bin fig6_single_op`
 
-use ansor_bench::{geomean, maybe_dump_json, normalize_to_best, print_table, Args, Scale};
 use ansor_baselines::{search_frameworks, vendor::vendor_seconds};
+use ansor_bench::{geomean, maybe_dump_json, normalize_to_best, print_table, Args, Scale};
 use ansor_core::SearchTask;
 use ansor_workloads::{build_case, OP_CLASSES};
 use hwsim::HardwareTarget;
@@ -32,6 +32,7 @@ struct OpResult {
 
 fn main() {
     let args = Args::parse();
+    let tel = args.telemetry();
     let trials = args.pick(48, 200, 1000);
     let shapes: Vec<usize> = if args.scale == Scale::Smoke {
         vec![0]
@@ -58,16 +59,12 @@ fn main() {
             for &shape in &shapes {
                 let dag = build_case(op, shape, batch).expect("valid case");
                 let flops = dag.flop_count();
-                let task = SearchTask::new(
-                    format!("{op}:s{shape}b{batch}"),
-                    dag,
-                    target.clone(),
-                );
+                let task = SearchTask::new(format!("{op}:s{shape}b{batch}"), dag, target.clone());
                 // Vendor library (no trials, AVX-512).
                 let v = vendor_seconds(&task, &vendor_target);
                 tput[0].push(flops / v / 1e9);
                 for (fi, fw) in frameworks.iter().enumerate() {
-                    let r = fw.tune(&task, trials, 1000 + shape as u64);
+                    let r = fw.tune_traced(&task, trials, 1000 + shape as u64, &tel);
                     tput[fi + 1].push(flops / r.best_seconds / 1e9);
                     eprintln!(
                         "  {op} shape{shape} b{batch} {}: {:.1} GFLOP/s",
@@ -87,23 +84,27 @@ fn main() {
         }
     }
 
-    for &batch in &[1i64, 16] {
-        let mut headers: Vec<&str> = vec!["op"];
-        headers.extend(names.iter().map(|s| s.as_str()));
-        let rows: Vec<Vec<String>> = results
-            .iter()
-            .filter(|r| r.batch == batch)
-            .map(|r| {
-                let mut row = vec![r.op.clone()];
-                row.extend(r.normalized.iter().map(|(_, v)| format!("{v:.2}")));
-                row
-            })
-            .collect();
-        print_table(
-            &format!("Figure 6: normalized performance, batch size = {batch} (higher is better)"),
-            &headers,
-            &rows,
-        );
+    if args.tables_enabled() {
+        for &batch in &[1i64, 16] {
+            let mut headers: Vec<&str> = vec!["op"];
+            headers.extend(names.iter().map(|s| s.as_str()));
+            let rows: Vec<Vec<String>> = results
+                .iter()
+                .filter(|r| r.batch == batch)
+                .map(|r| {
+                    let mut row = vec![r.op.clone()];
+                    row.extend(r.normalized.iter().map(|(_, v)| format!("{v:.2}")));
+                    row
+                })
+                .collect();
+            print_table(
+                &format!(
+                    "Figure 6: normalized performance, batch size = {batch} (higher is better)"
+                ),
+                &headers,
+                &rows,
+            );
+        }
     }
 
     // Summary statistics matching the paper's claims.
@@ -130,7 +131,7 @@ fn main() {
         let task = SearchTask::new("GMM:avx512", dag, vendor_target.clone());
         let vendor_gf = flops / vendor_seconds(&task, &vendor_target) / 1e9;
         let ansor = frameworks.last().expect("Ansor is last");
-        let r = ansor.tune(&task, trials, 4242);
+        let r = ansor.tune_traced(&task, trials, 4242, &tel);
         let ansor_gf = flops / r.best_seconds / 1e9;
         println!(
             "\nGMM b16 with AVX-512 enabled for Ansor too: Ansor {ansor_gf:.0} \
@@ -140,4 +141,5 @@ fn main() {
         );
     }
     maybe_dump_json(&args, &results);
+    args.finish_telemetry(&tel);
 }

@@ -8,8 +8,8 @@
 //!
 //! Run: `cargo run -p ansor-bench --release --bin fig7_ablation`
 
-use ansor_bench::{maybe_dump_json, print_table, Args};
 use ansor_baselines::{beam::HalideBeam, SearchFramework};
+use ansor_bench::{maybe_dump_json, print_table, Args};
 use ansor_core::{auto_schedule, PolicyVariant, SearchTask, TuningOptions, TuningRecord};
 use hwsim::{HardwareTarget, Measurer};
 use serde::Serialize;
@@ -39,6 +39,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    let tel = args.telemetry();
     let trials = args.pick(96, 500, 1000);
     let runs = args.pick(1, 3, 5);
     // The last convolution of ResNet-50: 7x7, 512->512 channels, batch 16.
@@ -48,7 +49,10 @@ fn main() {
     let variants: Vec<(&str, VariantRunner)> = vec![
         (
             "Ansor (ours)",
-            Box::new(|seed| run_variant(&task_clone(&task), trials, seed, PolicyVariant::Full)),
+            // Only the full variant writes the tuning trace.
+            Box::new(|seed| {
+                run_variant(&task_clone(&task), trials, seed, PolicyVariant::Full, &tel)
+            }),
         ),
         (
             "Beam search",
@@ -61,13 +65,27 @@ fn main() {
         (
             "No fine-tuning",
             Box::new(|seed| {
-                run_variant(&task_clone(&task), trials, seed, PolicyVariant::NoFineTuning)
+                let off = telemetry::Telemetry::disabled();
+                run_variant(
+                    &task_clone(&task),
+                    trials,
+                    seed,
+                    PolicyVariant::NoFineTuning,
+                    &off,
+                )
             }),
         ),
         (
             "Limited space",
             Box::new(|seed| {
-                run_variant(&task_clone(&task), trials, seed, PolicyVariant::LimitedSpace)
+                let off = telemetry::Telemetry::disabled();
+                run_variant(
+                    &task_clone(&task),
+                    trials,
+                    seed,
+                    PolicyVariant::LimitedSpace,
+                    &off,
+                )
             }),
         ),
     ];
@@ -108,14 +126,16 @@ fn main() {
         });
     }
 
-    let mut headers: Vec<String> = vec!["variant".into()];
-    headers.extend(checkpoints.iter().map(|c| format!("@{c}")));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table(
-        "Figure 7: ablation on conv2d (relative performance vs. measurement trials)",
-        &headers_ref,
-        &rows,
-    );
+    if args.tables_enabled() {
+        let mut headers: Vec<String> = vec!["variant".into()];
+        headers.extend(checkpoints.iter().map(|c| format!("@{c}")));
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(
+            "Figure 7: ablation on conv2d (relative performance vs. measurement trials)",
+            &headers_ref,
+            &rows,
+        );
+    }
     println!(
         "\nExpected shape (paper): 'Ansor (ours)' reaches the highest final\n\
          performance; 'Limited space' and 'Beam search' plateau below it;\n\
@@ -132,6 +152,7 @@ fn main() {
         naive / global_best
     );
     maybe_dump_json(&args, &curves);
+    args.finish_telemetry(&tel);
 }
 
 fn task_clone(t: &SearchTask) -> SearchTask {
@@ -143,13 +164,16 @@ fn run_variant(
     trials: usize,
     seed: u64,
     variant: PolicyVariant,
+    tel: &telemetry::Telemetry,
 ) -> Vec<TuningRecord> {
     let options = TuningOptions {
         num_measure_trials: trials,
         variant,
         seed,
+        telemetry: tel.clone(),
         ..Default::default()
     };
     let mut measurer = Measurer::new(task.target.clone());
+    measurer.set_telemetry(tel.clone());
     auto_schedule(task, options, &mut measurer).history
 }

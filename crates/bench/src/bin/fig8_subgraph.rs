@@ -10,8 +10,8 @@
 //!
 //! Run: `cargo run -p ansor-bench --release --bin fig8_subgraph`
 
-use ansor_bench::{geomean, maybe_dump_json, normalize_to_best, print_table, Args, Scale};
 use ansor_baselines::{search_frameworks, vendor::vendor_seconds, SearchFramework};
+use ansor_bench::{geomean, maybe_dump_json, normalize_to_best, print_table, Args, Scale};
 use ansor_core::SearchTask;
 use ansor_workloads::subgraphs::{conv_layer, tbg};
 use hwsim::{HardwareTarget, TargetKind};
@@ -48,6 +48,7 @@ fn tbg_shapes(batch: i64, shape: usize) -> Arc<ComputeDag> {
 
 fn main() {
     let args = Args::parse();
+    let tel = args.telemetry();
     let trials = args.pick(48, 200, 1000);
     let shapes: Vec<usize> = if args.scale == Scale::Smoke {
         vec![0]
@@ -61,7 +62,10 @@ fn main() {
     let mut results = Vec::new();
     for &batch in &[1i64, 16] {
         for (sub, build) in [
-            ("ConvLayer", conv_layer_shapes as fn(i64, usize) -> Arc<ComputeDag>),
+            (
+                "ConvLayer",
+                conv_layer_shapes as fn(i64, usize) -> Arc<ComputeDag>,
+            ),
             ("TBG", tbg_shapes as fn(i64, usize) -> Arc<ComputeDag>),
         ] {
             for target in [&cpu, &gpu] {
@@ -76,11 +80,8 @@ fn main() {
                 for &shape in &shapes {
                     let dag = build(batch, shape);
                     let flops = dag.flop_count();
-                    let task = SearchTask::new(
-                        format!("{sub}:s{shape}b{batch}"),
-                        dag,
-                        target.clone(),
-                    );
+                    let task =
+                        SearchTask::new(format!("{sub}:s{shape}b{batch}"), dag, target.clone());
                     // The vendor library runs on the same device; on the
                     // CPU it gets the AVX-512 variant (§7.1 asymmetry).
                     let vendor_target = if is_gpu {
@@ -90,7 +91,7 @@ fn main() {
                     };
                     tput[0].push(flops / vendor_seconds(&task, &vendor_target) / 1e9);
                     for (fi, fw) in active.iter().enumerate() {
-                        let r = fw.tune(&task, trials, 77 + shape as u64);
+                        let r = fw.tune_traced(&task, trials, 77 + shape as u64, &tel);
                         tput[fi + 1].push(flops / r.best_seconds / 1e9);
                         eprintln!(
                             "  {sub}@{} s{shape} b{batch} {}: {:.1} GFLOP/s",
@@ -112,23 +113,25 @@ fn main() {
         }
     }
 
-    for &batch in &[1i64, 16] {
-        let rows: Vec<Vec<String>> = results
-            .iter()
-            .filter(|r| r.batch == batch)
-            .map(|r| {
-                let mut row = vec![format!("{} @{}", r.subgraph, r.target)];
-                for (name, v) in &r.normalized {
-                    row.push(format!("{name}={v:.2}"));
-                }
-                row
-            })
-            .collect();
-        print_table(
-            &format!("Figure 8: subgraph benchmark, batch = {batch} (normalized, 1.00 = best)"),
-            &["case", "", "", "", "", ""],
-            &rows,
-        );
+    if args.tables_enabled() {
+        for &batch in &[1i64, 16] {
+            let rows: Vec<Vec<String>> = results
+                .iter()
+                .filter(|r| r.batch == batch)
+                .map(|r| {
+                    let mut row = vec![format!("{} @{}", r.subgraph, r.target)];
+                    for (name, v) in &r.normalized {
+                        row.push(format!("{name}={v:.2}"));
+                    }
+                    row
+                })
+                .collect();
+            print_table(
+                &format!("Figure 8: subgraph benchmark, batch = {batch} (normalized, 1.00 = best)"),
+                &["case", "", "", "", "", ""],
+                &rows,
+            );
+        }
     }
     println!(
         "\nExpected shape (paper): Ansor best or tied on all cases \
@@ -136,4 +139,5 @@ fn main() {
          ConvLayer@G than TBG@G because it cannot fuse bn/relu."
     );
     maybe_dump_json(&args, &results);
+    args.finish_telemetry(&tel);
 }

@@ -11,8 +11,8 @@
 //!
 //! Run: `cargo run -p ansor-bench --release --bin fig9_networks`
 
-use ansor_bench::{fmt_seconds, maybe_dump_json, normalize_to_best, print_table, Args, Scale};
 use ansor_baselines::{autotvm::AutoTvm, vendor::vendor_seconds, SearchFramework};
+use ansor_bench::{fmt_seconds, maybe_dump_json, normalize_to_best, print_table, Args, Scale};
 use ansor_core::{
     Objective, SearchTask, TaskScheduler, TaskSchedulerConfig, TuneTask, TuningOptions,
 };
@@ -32,6 +32,7 @@ struct NetResult {
 
 fn main() {
     let args = Args::parse();
+    let tel = args.telemetry();
     // The paper gives each framework 1000×n trials for a network with n
     // subgraphs; scaled down by default.
     let trials_per_task = args.pick(16, 100, 1000);
@@ -59,13 +60,12 @@ fn main() {
                 let budget = trials_per_task * n;
 
                 // Vendor library: weighted sum of static kernels.
-                let vendor_target = if target.kind == TargetKind::Cpu
-                    && target.name.starts_with("intel")
-                {
-                    HardwareTarget::intel_20core_avx512()
-                } else {
-                    target.clone()
-                };
+                let vendor_target =
+                    if target.kind == TargetKind::Cpu && target.name.starts_with("intel") {
+                        HardwareTarget::intel_20core_avx512()
+                    } else {
+                        target.clone()
+                    };
                 let vendor_s: f64 = tasks
                     .iter()
                     .map(|t| {
@@ -96,6 +96,7 @@ fn main() {
                 let options = TuningOptions {
                     measures_per_round: round,
                     seed: 9,
+                    telemetry: tel.clone(),
                     ..Default::default()
                 };
                 let mut sched = TaskScheduler::new(
@@ -105,9 +106,11 @@ fn main() {
                     TaskSchedulerConfig::default(),
                 );
                 let mut measurer = Measurer::new(target.clone());
+                measurer.set_telemetry(tel.clone());
                 // At least one warm-up unit per task.
                 let units = (budget / round).max(n);
                 sched.tune(units, &mut measurer);
+                sched.finish();
                 let ansor_s = sched.dnn_latencies()[0];
 
                 eprintln!(
@@ -129,17 +132,14 @@ fn main() {
         }
     }
 
-    for (target, batches) in &platforms {
+    for (target, batches) in platforms.iter().filter(|_| args.tables_enabled()) {
         for &batch in batches {
             let rows: Vec<Vec<String>> = results
                 .iter()
                 .filter(|r| r.target == target.name && r.batch == batch)
                 .map(|r| {
-                    let norm = normalize_to_best(&[
-                        1.0 / r.vendor_s,
-                        1.0 / r.autotvm_s,
-                        1.0 / r.ansor_s,
-                    ]);
+                    let norm =
+                        normalize_to_best(&[1.0 / r.vendor_s, 1.0 / r.autotvm_s, 1.0 / r.ansor_s]);
                     vec![
                         r.network.clone(),
                         format!("{:.2}", norm[0]),
@@ -169,4 +169,5 @@ fn main() {
          convs, depthwise convs in MobileNet-V2)."
     );
     maybe_dump_json(&args, &results);
+    args.finish_telemetry(&tel);
 }

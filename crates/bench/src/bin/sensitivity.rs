@@ -27,6 +27,7 @@ struct Row {
 
 fn main() {
     let args = Args::parse();
+    let tel = args.telemetry();
     let trials = args.pick(48, 300, 1000);
     let dag = ansor_workloads::build_case("C2D", 1, 1).expect("case");
     let flops = dag.flop_count();
@@ -82,9 +83,11 @@ fn main() {
     for (name, target) in machines {
         let task = SearchTask::new(format!("c2d:{name}"), dag.clone(), target.clone());
         let mut measurer = Measurer::new(target.clone());
+        measurer.set_telemetry(tel.clone());
         let options = TuningOptions {
             num_measure_trials: trials,
             seed: 3,
+            telemetry: tel.clone(),
             ..Default::default()
         };
         let result = auto_schedule(&task, options, &mut measurer);
@@ -118,26 +121,35 @@ fn main() {
         });
     }
 
-    print_table(
-        "Hardware sensitivity: best conv2d schedule per simulated machine",
-        &["machine", "GFLOP/s", "parallel extent", "vector len", "L1 KiB"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.machine.clone(),
-                    format!("{:.1}", r.gflops),
-                    r.parallel_extent.to_string(),
-                    r.vector_len.to_string(),
-                    r.l1_kib.to_string(),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
+    if args.tables_enabled() {
+        print_table(
+            "Hardware sensitivity: best conv2d schedule per simulated machine",
+            &[
+                "machine",
+                "GFLOP/s",
+                "parallel extent",
+                "vector len",
+                "L1 KiB",
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.machine.clone(),
+                        format!("{:.1}", r.gflops),
+                        r.parallel_extent.to_string(),
+                        r.vector_len.to_string(),
+                        r.l1_kib.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
     println!(
         "\nExpected: throughput scales with cores/lanes; the chosen parallel\n\
          extent comfortably covers the core count on every machine — the\n\
          same definition retargets without manual templates (§2)."
     );
     maybe_dump_json(&args, &rows);
+    args.finish_telemetry(&tel);
 }

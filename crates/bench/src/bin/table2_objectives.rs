@@ -35,20 +35,12 @@ fn tasks() -> Vec<TuneTask> {
     // bottleneck under f1.
     vec![
         TuneTask {
-            task: SearchTask::new(
-                "matmul:dnn0",
-                ops::gmm(1, 256, 256, 256),
-                target.clone(),
-            ),
+            task: SearchTask::new("matmul:dnn0", ops::gmm(1, 256, 256, 256), target.clone()),
             weight: 2.0,
             dnn: 0,
         },
         TuneTask {
-            task: SearchTask::new(
-                "conv2d:dnn1",
-                ops::conv2d(1, 128, 128, 28, 3, 1, 1),
-                target,
-            ),
+            task: SearchTask::new("conv2d:dnn1", ops::conv2d(1, 128, 128, 28, 3, 1, 1), target),
             weight: 4.0,
             dnn: 1,
         },
@@ -57,6 +49,7 @@ fn tasks() -> Vec<TuneTask> {
 
 fn main() {
     let args = Args::parse();
+    let tel = args.telemetry();
     let units = args.pick(6, 24, 60);
     let mut rows = Vec::new();
 
@@ -92,17 +85,21 @@ fn main() {
     ];
 
     for (name, obj) in objectives {
+        let mut opts = options();
+        opts.telemetry = tel.clone();
         let mut sched = TaskScheduler::new(
             tasks(),
             obj,
-            options(),
+            opts,
             TaskSchedulerConfig {
                 eps: 0.0,
                 ..Default::default()
             },
         );
         let mut m = Measurer::new(HardwareTarget::intel_20core());
+        m.set_telemetry(tel.clone());
         sched.tune(units, &mut m);
+        sched.finish();
         let d = sched.dnn_latencies();
         eprintln!("{name}: allocations {:?}", sched.allocations);
         rows.push(Row {
@@ -117,28 +114,37 @@ fn main() {
         });
     }
 
-    print_table(
-        "Table 2: multi-DNN objectives (allocation of tuning units)",
-        &["objective", "alloc(task0,task1)", "DNN0 latency", "DNN1 latency", "f value"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.objective.clone(),
-                    format!("{:?}", r.allocations),
-                    fmt_seconds(r.dnn_latencies[0]),
-                    fmt_seconds(r.dnn_latencies[1]),
-                    format!("{:.4}", r.objective_value),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
+    if args.tables_enabled() {
+        print_table(
+            "Table 2: multi-DNN objectives (allocation of tuning units)",
+            &[
+                "objective",
+                "alloc(task0,task1)",
+                "DNN0 latency",
+                "DNN1 latency",
+                "f value",
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.objective.clone(),
+                        format!("{:?}", r.allocations),
+                        fmt_seconds(r.dnn_latencies[0]),
+                        fmt_seconds(r.dnn_latencies[1]),
+                        format!("{:.4}", r.objective_value),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
     println!(
         "\nExpected: f1 pours units into the bottleneck DNN 1; f2 starves\n\
          DNN 0 (its requirement is already met); f3 balances both; f4\n\
          freezes tasks whose latency stagnates."
     );
     maybe_dump_json(&args, &rows);
+    args.finish_telemetry(&tel);
 }
 
 fn options() -> TuningOptions {

@@ -1,0 +1,181 @@
+//! **trace-report**: summarizes a JSONL tuning trace written via the
+//! experiment binaries' `--trace <path>` flag (see docs/TELEMETRY.md).
+//!
+//! Prints, from the typed events alone:
+//!
+//! - the trace's table of contents (event counts);
+//! - best-latency-vs-trials curves per task (`MeasureBatch`);
+//! - the phase-time breakdown from the final `PhaseProfile` snapshot;
+//! - cost-model accuracy drift over retrains (`ModelRetrain`);
+//! - the task scheduler's per-task allocation table (`SchedulerStep`);
+//! - aggregate measurement-failure kinds.
+//!
+//! Run: `trace-report <trace.jsonl>`
+
+use ansor_bench::{fmt_seconds, print_table};
+use telemetry::report;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace-report <trace.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let (lines, skipped) = match telemetry::read_trace_file(std::path::Path::new(&path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-report: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "trace: {path} ({} events, {skipped} corrupt lines skipped)",
+        lines.len()
+    );
+    if lines.is_empty() {
+        return;
+    }
+
+    let counts = report::event_counts(&lines);
+    print_table(
+        "Event counts",
+        &["event", "count"],
+        &counts
+            .iter()
+            .map(|(k, v)| vec![k.to_string(), v.to_string()])
+            .collect::<Vec<_>>(),
+    );
+
+    let curves = report::best_curves(&lines);
+    if !curves.is_empty() {
+        let rows: Vec<Vec<String>> = curves
+            .iter()
+            .map(|(task, pts)| {
+                let (_, first_b) = pts.first().expect("non-empty curve");
+                let (last_t, last_b) = pts.last().expect("non-empty curve");
+                vec![
+                    task.clone(),
+                    last_t.to_string(),
+                    fmt_seconds(*first_b),
+                    fmt_seconds(*last_b),
+                    format!("{:.2}x", first_b / last_b),
+                    sparkline(pts),
+                ]
+            })
+            .collect();
+        print_table(
+            "Best latency vs. trials (per task)",
+            &[
+                "task",
+                "trials",
+                "first best",
+                "final best",
+                "gain",
+                "curve",
+            ],
+            &rows,
+        );
+    }
+
+    let phases = report::phase_breakdown(&lines);
+    if !phases.is_empty() {
+        let total: f64 = phases.iter().map(|(_, h)| h.sum).sum();
+        let rows: Vec<Vec<String>> = phases
+            .iter()
+            .map(|(name, h)| {
+                vec![
+                    name.trim_start_matches("phase/").to_string(),
+                    h.count.to_string(),
+                    fmt_seconds(h.sum),
+                    format!("{:.1}%", 100.0 * h.sum / total.max(1e-30)),
+                    fmt_seconds(h.p50),
+                    fmt_seconds(h.p99),
+                ]
+            })
+            .collect();
+        print_table(
+            "Phase-time breakdown (final snapshot)",
+            &["phase", "calls", "total", "share", "p50", "p99"],
+            &rows,
+        );
+    }
+
+    let drift = report::model_drift(&lines);
+    if !drift.is_empty() {
+        // At most 12 evenly spaced retrain points to keep the table short.
+        let step = drift.len().div_ceil(12);
+        let rows: Vec<Vec<String>> = drift
+            .iter()
+            .step_by(step)
+            .map(|p| {
+                vec![
+                    p.seq.to_string(),
+                    p.task.clone(),
+                    p.pairs.to_string(),
+                    format!("{:.3}", p.ranking_loss),
+                    format!("{:.3}", p.rank_corr),
+                ]
+            })
+            .collect();
+        print_table(
+            "Cost-model accuracy drift (retrains over time)",
+            &["seq", "task", "pairs", "ranking loss", "rank corr"],
+            &rows,
+        );
+    }
+
+    let alloc = report::allocations(&lines);
+    if !alloc.is_empty() {
+        let total: u64 = alloc.values().sum();
+        let rows: Vec<Vec<String>> = alloc
+            .iter()
+            .map(|(task, n)| {
+                vec![
+                    task.clone(),
+                    n.to_string(),
+                    format!("{:.1}%", 100.0 * *n as f64 / total.max(1) as f64),
+                ]
+            })
+            .collect();
+        print_table(
+            "Task-scheduler allocations",
+            &["task", "rounds", "share"],
+            &rows,
+        );
+    }
+
+    let kinds = report::error_kinds(&lines);
+    if !kinds.is_empty() {
+        print_table(
+            "Measurement failures by kind",
+            &["kind", "count"],
+            &kinds
+                .iter()
+                .map(|(k, v)| vec![k.clone(), v.to_string()])
+                .collect::<Vec<_>>(),
+        );
+    }
+}
+
+/// A coarse text sparkline of the best-latency curve: lower is better, so
+/// the curve should descend left to right.
+fn sparkline(pts: &[(u64, f64)]) -> String {
+    const GLYPHS: [char; 5] = ['▁', '▂', '▄', '▆', '█'];
+    let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let hi = pts.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    if !(lo.is_finite() && hi.is_finite()) || pts.is_empty() {
+        return String::new();
+    }
+    let span = (hi - lo).max(1e-30);
+    // Sample at most 24 points.
+    let step = pts.len().div_ceil(24);
+    pts.iter()
+        .step_by(step)
+        .map(|(_, b)| {
+            let idx = (((b - lo) / span) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}

@@ -5,7 +5,11 @@
 //!
 //! - `--smoke`  — CI-speed run (tiny budgets, subset of cases);
 //! - `--full`   — paper-scale budgets (1000 trials per test case);
-//! - `--json <path>` — also dump the result table as JSON.
+//! - `--json <path>` — also dump the result table as JSON;
+//! - `--trace <path>` — write a structured JSONL tuning trace (see
+//!   docs/TELEMETRY.md; inspect with `trace-report <path>`);
+//! - `--quiet` — suppress the human-readable tables when `--json` or
+//!   `--trace` already captures the results.
 //!
 //! Default budgets are scaled down from the paper's (documented per
 //! binary and in EXPERIMENTS.md); the *comparative shapes* are stable
@@ -35,6 +39,10 @@ pub struct Args {
     pub scale: Scale,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional JSONL tuning-trace output path (`--trace`).
+    pub trace: Option<String>,
+    /// Suppress tables when another output captures the results (`--quiet`).
+    pub quiet: bool,
     /// Extra free-form flags.
     pub flags: Vec<String>,
 }
@@ -42,19 +50,34 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args`.
     pub fn parse() -> Args {
+        Args::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable form of [`Args::parse`]).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Args {
         let mut scale = Scale::Default;
         let mut json = None;
+        let mut trace = None;
+        let mut quiet = false;
         let mut flags = Vec::new();
-        let mut it = std::env::args().skip(1);
+        let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--smoke" => scale = Scale::Smoke,
                 "--full" => scale = Scale::Full,
                 "--json" => json = it.next(),
+                "--trace" => trace = it.next(),
+                "--quiet" => quiet = true,
                 other => flags.push(other.to_string()),
             }
         }
-        Args { scale, json, flags }
+        Args {
+            scale,
+            json,
+            trace,
+            quiet,
+            flags,
+        }
     }
 
     /// Picks a budget by scale.
@@ -69,6 +92,31 @@ impl Args {
     /// Whether a free-form flag was passed.
     pub fn has_flag(&self, f: &str) -> bool {
         self.flags.iter().any(|x| x == f)
+    }
+
+    /// Builds the telemetry handle for this run: a JSONL trace sink when
+    /// `--trace <path>` was given, else a disabled handle (zero overhead).
+    pub fn telemetry(&self) -> telemetry::Telemetry {
+        match &self.trace {
+            Some(path) => telemetry::Telemetry::to_file(std::path::Path::new(path))
+                .expect("create trace output"),
+            None => telemetry::Telemetry::disabled(),
+        }
+    }
+
+    /// Flushes the trace sink (emits the final `PhaseProfile` snapshot) and
+    /// tells the user where the trace went. Call once at the end of a run.
+    pub fn finish_telemetry(&self, telemetry: &telemetry::Telemetry) {
+        telemetry.flush();
+        if let Some(path) = &self.trace {
+            println!("(wrote trace to {path}; inspect with `trace-report {path}`)");
+        }
+    }
+
+    /// Whether the human-readable tables should print. `--quiet` only takes
+    /// effect when `--json` or `--trace` already captures the results.
+    pub fn tables_enabled(&self) -> bool {
+        !(self.quiet && (self.json.is_some() || self.trace.is_some()))
     }
 }
 
@@ -103,7 +151,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: Vec<String>| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", s.trim_end());
     };
@@ -158,5 +210,36 @@ mod tests {
         assert!(fmt_seconds(2.0).ends_with(" s"));
         assert!(fmt_seconds(2e-3).ends_with(" ms"));
         assert!(fmt_seconds(2e-6).ends_with(" us"));
+    }
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse_from(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn trace_and_quiet_flags_parse() {
+        let a = args(&["--smoke", "--trace", "out.jsonl", "--quiet", "--xyz"]);
+        assert_eq!(a.scale, Scale::Smoke);
+        assert_eq!(a.trace.as_deref(), Some("out.jsonl"));
+        assert!(a.quiet);
+        assert!(a.has_flag("--xyz"));
+    }
+
+    #[test]
+    fn quiet_only_suppresses_tables_with_a_capture_output() {
+        assert!(
+            args(&["--quiet"]).tables_enabled(),
+            "no capture: keep tables"
+        );
+        assert!(!args(&["--quiet", "--trace", "t.jsonl"]).tables_enabled());
+        assert!(!args(&["--quiet", "--json", "t.json"]).tables_enabled());
+        assert!(args(&["--trace", "t.jsonl"]).tables_enabled(), "not quiet");
+    }
+
+    #[test]
+    fn no_trace_means_disabled_telemetry() {
+        let tel = args(&[]).telemetry();
+        assert!(!tel.is_enabled());
+        assert!(!tel.is_tracing());
     }
 }

@@ -185,8 +185,7 @@ pub fn sample_program(
         let Ok(mut state) = State::replay(task.dag.clone(), &steps) else {
             continue;
         };
-        if annotate_state(&mut state, task, cfg, rng).is_ok() && gpu_limits_ok(&state, task, cfg)
-        {
+        if annotate_state(&mut state, task, cfg, rng).is_ok() && gpu_limits_ok(&state, task, cfg) {
             return Some(state);
         }
     }
@@ -456,15 +455,9 @@ fn gpu_default_bind(
         leading[0].0.clone()
     };
     let total: i64 = leading.iter().map(|(_, e)| e).product();
-    let divs: Vec<i64> = divisors(total)
-        .into_iter()
-        .filter(|&d| d <= 1024)
-        .collect();
+    let divs: Vec<i64> = divisors(total).into_iter().filter(|&d| d <= 1024).collect();
     // Prefer thread counts near 256.
-    let threads = *divs
-        .iter()
-        .min_by_key(|&&d| (d - 256).abs())
-        .unwrap_or(&1);
+    let threads = *divs.iter().min_by_key(|&&d| (d - 256).abs()).unwrap_or(&1);
     let _ = rng;
     if threads > 1 && threads < total {
         state.apply(Step::Split {
@@ -696,10 +689,7 @@ mod tests {
                 let prog = lower(&state).unwrap();
                 let an = tensor_ir::analysis::analyze(&prog);
                 for s in an {
-                    let bound = s
-                        .loops
-                        .iter()
-                        .any(|l| l.ann == Annotation::BindThread);
+                    let bound = s.loops.iter().any(|l| l.ann == Annotation::BindThread);
                     assert!(bound, "unbound GPU statement");
                 }
                 ok += 1;

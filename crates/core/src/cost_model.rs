@@ -62,6 +62,7 @@ pub struct LearnedCostModel {
     params: GbdtParams,
     /// Cap on the number of most recent records used per training pass.
     max_train_records: usize,
+    telemetry: telemetry::Telemetry,
 }
 
 impl Default for LearnedCostModel {
@@ -88,6 +89,7 @@ impl LearnedCostModel {
                 },
             },
             max_train_records: 800,
+            telemetry: telemetry::Telemetry::disabled(),
         }
     }
 
@@ -96,7 +98,57 @@ impl LearnedCostModel {
         self.records.len()
     }
 
-    fn retrain(&mut self) {
+    /// Installs a telemetry handle: retrains are timed and emit
+    /// `ModelRetrain` trace events with ranking-quality metrics.
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Ranking quality of the current model over the most recent (up to
+    /// `cap`) finite-time records: number of comparable pairs, the fraction
+    /// predicted in the wrong order (a higher score must mean a lower
+    /// measured time), and the Kendall-style rank correlation
+    /// `(concordant − discordant) / pairs`. `None` without a trained model
+    /// or with fewer than two comparable records.
+    pub fn ranking_quality(&self, cap: usize) -> Option<(u64, f64, f64)> {
+        self.model.as_ref()?;
+        let recent: Vec<&Record> = self
+            .records
+            .iter()
+            .rev()
+            .filter(|r| r.seconds.is_finite() && !r.features.is_empty())
+            .take(cap)
+            .collect();
+        if recent.len() < 2 {
+            return None;
+        }
+        let scores: Vec<f64> = recent
+            .iter()
+            .map(|r| self.score_program(&r.features))
+            .collect();
+        let mut pairs = 0u64;
+        let mut discordant = 0u64;
+        for i in 0..recent.len() {
+            for j in i + 1..recent.len() {
+                // Ignore pairs too close to call (measurement jitter).
+                if (recent[i].seconds / recent[j].seconds).ln().abs() < 0.05 {
+                    continue;
+                }
+                pairs += 1;
+                if (scores[i] > scores[j]) != (recent[i].seconds < recent[j].seconds) {
+                    discordant += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            return None;
+        }
+        let loss = discordant as f64 / pairs as f64;
+        Some((pairs, loss, 1.0 - 2.0 * loss))
+    }
+
+    fn retrain(&mut self, task: &SearchTask) {
+        let _phase = self.telemetry.span("model_retrain");
         // Per-task normalization: y = min_seconds / seconds ∈ (0, 1].
         let mut min_per_task: HashMap<&str, f64> = HashMap::new();
         for r in &self.records {
@@ -123,7 +175,24 @@ impl LearnedCostModel {
         if x.is_empty() {
             return;
         }
-        self.model = Some(Gbdt::train(&x, &y, &w, &self.params));
+        self.model = Some(Gbdt::train_with_telemetry(
+            &x,
+            &y,
+            &w,
+            &self.params,
+            &self.telemetry,
+        ));
+        if self.telemetry.is_tracing() {
+            if let Some((pairs, ranking_loss, rank_corr)) = self.ranking_quality(200) {
+                let task = task.name.clone();
+                self.telemetry.emit(|| telemetry::TraceEvent::ModelRetrain {
+                    task,
+                    pairs,
+                    ranking_loss,
+                    pred_vs_measured_rank_corr: rank_corr,
+                });
+            }
+        }
     }
 
     fn score_program(&self, features: &[Vec<f32>]) -> f64 {
@@ -139,6 +208,9 @@ impl CostModel for LearnedCostModel {
     /// inference run on worker threads (the evolution loop queries the
     /// model for thousands of candidates per round, §5).
     fn predict(&self, _task: &SearchTask, states: &[State]) -> Vec<f64> {
+        let _phase = self.telemetry.span("model_predict");
+        self.telemetry
+            .incr("model/predictions", states.len() as u64);
         let score_one = |s: &State| match lower(s) {
             Ok(p) => self.score_program(&extract_program_features(&p)),
             Err(_) => f64::NEG_INFINITY,
@@ -185,16 +257,19 @@ impl CostModel for LearnedCostModel {
     }
 
     fn update(&mut self, task: &SearchTask, states: &[State], seconds: &[f64]) {
-        for (s, &sec) in states.iter().zip(seconds) {
-            let Ok(p) = lower(s) else { continue };
-            let features = extract_program_features(&p);
-            self.records.push(Record {
-                features,
-                seconds: sec,
-                task: task.name.clone(),
-            });
+        {
+            let _phase = self.telemetry.span("feature_extraction");
+            for (s, &sec) in states.iter().zip(seconds) {
+                let Ok(p) = lower(s) else { continue };
+                let features = extract_program_features(&p);
+                self.records.push(Record {
+                    features,
+                    seconds: sec,
+                    task: task.name.clone(),
+                });
+            }
         }
-        self.retrain();
+        self.retrain(task);
     }
 
     fn is_trained(&self) -> bool {

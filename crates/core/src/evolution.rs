@@ -75,6 +75,20 @@ impl Default for EvolutionConfig {
     }
 }
 
+/// Counters describing one [`evolutionary_search`] invocation (for the
+/// tuning trace's `EvolutionStats` events).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvolutionStats {
+    /// Generations actually run.
+    pub generations: u64,
+    /// Offspring successfully produced by a mutation operator.
+    pub mutations_applied: u64,
+    /// Offspring successfully produced by crossover.
+    pub crossovers_applied: u64,
+    /// Best (highest) cost-model score seen across all generations.
+    pub best_predicted: f64,
+}
+
 /// Runs evolutionary search and returns the `top_k` best individuals found
 /// (ranked by the cost model), deduplicated.
 pub fn evolutionary_search(
@@ -86,7 +100,24 @@ pub fn evolutionary_search(
     top_k: usize,
     rng: &mut impl Rng,
 ) -> Vec<Individual> {
+    evolutionary_search_with_stats(task, sketches, init, model, cfg, top_k, rng).0
+}
+
+/// [`evolutionary_search`] variant that also reports operator statistics.
+pub fn evolutionary_search_with_stats(
+    task: &SearchTask,
+    sketches: &[Sketch],
+    init: Vec<Individual>,
+    model: &dyn CostModel,
+    cfg: &EvolutionConfig,
+    top_k: usize,
+    rng: &mut impl Rng,
+) -> (Vec<Individual>, EvolutionStats) {
     assert!(!init.is_empty(), "evolution needs a non-empty population");
+    let mut stats = EvolutionStats {
+        best_predicted: f64::NEG_INFINITY,
+        ..Default::default()
+    };
     let mut population = init;
     population.truncate(cfg.population);
     // Best-so-far set across generations.
@@ -109,6 +140,7 @@ pub fn evolutionary_search(
         if _gen == cfg.generations {
             break;
         }
+        stats.generations += 1;
         // Fitness-proportional selection.
         let min = scores
             .iter()
@@ -138,16 +170,23 @@ pub fn evolutionary_search(
             let a = pick(rng);
             let child = if rng.gen_bool(cfg.crossover_prob) {
                 let b = pick(rng);
-                crossover(task, &population[a], &population[b], model)
+                let child = crossover(task, &population[a], &population[b], model);
+                stats.crossovers_applied += child.is_some() as u64;
+                child
             } else {
-                mutate(task, sketches, &population[a], &cfg.annotation, rng)
+                let child = mutate(task, sketches, &population[a], &cfg.annotation, rng);
+                stats.mutations_applied += child.is_some() as u64;
+                child
             };
             next.push(child.unwrap_or_else(|| population[a].clone()));
         }
         population = next;
     }
+    if let Some((score, _)) = best.first() {
+        stats.best_predicted = *score;
+    }
     best.truncate(top_k);
-    best.into_iter().map(|(_, ind)| ind).collect()
+    (best.into_iter().map(|(_, ind)| ind).collect(), stats)
 }
 
 /// Applies one random mutation operator; `None` when the mutation failed to
@@ -181,7 +220,10 @@ fn split_lengths(sketch: &Sketch, steps: &[Step]) -> Option<Vec<Vec<i64>>> {
         .map(|sv| match (steps.get(sv.step), &sketch.steps[sv.step]) {
             (
                 Some(Step::Split {
-                    node, iter, lengths, ..
+                    node,
+                    iter,
+                    lengths,
+                    ..
                 }),
                 Step::Split {
                     node: snode,
@@ -218,9 +260,7 @@ fn mutate_tile_size(
     rng: &mut impl Rng,
 ) -> Option<Individual> {
     let leaders: Vec<usize> = (0..sketch.splits.len())
-        .filter(|&i| {
-            sketch.splits[i].follow.is_none() && sketch.splits[i].follow_rfactor.is_none()
-        })
+        .filter(|&i| sketch.splits[i].follow.is_none() && sketch.splits[i].follow_rfactor.is_none())
         .collect();
     if leaders.is_empty() {
         return None;
@@ -419,10 +459,7 @@ pub fn crossover(
     let scores_b = model.predict_per_node(task, &b.state);
     // Decide per cluster-root which parent wins (sum of member scores).
     let mut take_b: HashSet<String> = HashSet::new();
-    let roots: HashSet<String> = cluster
-        .keys()
-        .map(|k| root(&cluster, k.clone()))
-        .collect();
+    let roots: HashSet<String> = cluster.keys().map(|k| root(&cluster, k.clone())).collect();
     for r in roots {
         let members: Vec<&String> = cluster
             .keys()
@@ -518,9 +555,7 @@ mod tests {
         let mut mutated = 0;
         for p in &pop {
             for _ in 0..10 {
-                if let Some(child) =
-                    mutate_tile_size(&t, &sketches[p.sketch], p, &mut rng)
-                {
+                if let Some(child) = mutate_tile_size(&t, &sketches[p.sketch], p, &mut rng) {
                     child.state.validate().unwrap();
                     mutated += 1;
                 }

@@ -18,7 +18,15 @@ pub use annotate::{sample_program, AnnotationConfig, AnnotationHint};
 pub use cost_model::{CostModel, LearnedCostModel, RandomModel};
 pub use evolution::{crossover, evolutionary_search, mutate, EvolutionConfig, Individual};
 pub use records::{best_record, load_records, save_records, TuningRecordLog};
-pub use search_policy::{auto_schedule, auto_schedule_with_model, PolicyVariant, SketchPolicy, TuningOptions, TuningRecord, TuningResult};
+pub use search_policy::{
+    auto_schedule, auto_schedule_with_model, PolicyVariant, SketchPolicy, TuningOptions,
+    TuningRecord, TuningResult,
+};
 pub use search_task::SearchTask;
-pub use sketch::{generate_sketches, generate_sketches_full, generate_sketches_with_rules, RuleSet, Sketch, SketchRule};
-pub use task_scheduler::{Objective, SchedulerRecord, Strategy, TaskScheduler, TaskSchedulerConfig, TuneTask};
+pub use sketch::{
+    generate_sketches, generate_sketches_full, generate_sketches_with_rules, RuleSet, Sketch,
+    SketchRule,
+};
+pub use task_scheduler::{
+    Objective, SchedulerRecord, Strategy, TaskScheduler, TaskSchedulerConfig, TuneTask,
+};

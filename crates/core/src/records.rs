@@ -11,11 +11,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Map, Serialize, Value};
 use tensor_ir::{ComputeDag, State, Step};
 
 /// One measured program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuningRecordLog {
     /// Task name the record belongs to.
     pub task: String,
@@ -23,14 +23,67 @@ pub struct TuningRecordLog {
     pub trial: u64,
     /// The program's transform-step history.
     pub steps: Vec<Step>,
-    /// Measured execution time in seconds.
+    /// Measured execution time in seconds (`f64::INFINITY` for failures).
     pub seconds: f64,
+    /// Build/measure error message; `None` for a valid measurement. Stored
+    /// explicitly because JSON cannot encode the `f64::INFINITY` failure
+    /// sentinel in `seconds` (it serializes as `null`).
+    pub error: Option<String>,
 }
 
 impl TuningRecordLog {
     /// Reconstructs the schedule state on the task's DAG.
     pub fn replay(&self, dag: Arc<ComputeDag>) -> Result<State, tensor_ir::Error> {
         State::replay(dag, &self.steps)
+    }
+
+    /// Whether the record is a successful measurement.
+    pub fn is_valid(&self) -> bool {
+        self.error.is_none() && self.seconds.is_finite()
+    }
+}
+
+// Serialization is manual (not derived) because `seconds` needs an explicit
+// validity convention: non-finite times are written as `null` and recovered
+// as `f64::INFINITY` on load, so failed measurements survive the round trip
+// instead of being dropped as corrupt lines. Legacy logs without the
+// `error` field still load (`error` defaults to `None`).
+impl Serialize for TuningRecordLog {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("task".into(), self.task.to_value());
+        m.insert("trial".into(), self.trial.to_value());
+        m.insert("steps".into(), self.steps.to_value());
+        m.insert(
+            "seconds".into(),
+            if self.seconds.is_finite() {
+                self.seconds.to_value()
+            } else {
+                Value::Null
+            },
+        );
+        m.insert("error".into(), self.error.to_value());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for TuningRecordLog {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let Value::Object(m) = v else {
+            return Err(DeError::invalid_type("object", v));
+        };
+        let field = |name: &str| m.get(name).unwrap_or(&Value::Null);
+        let seconds = match field("seconds") {
+            Value::Null => f64::INFINITY, // failed measurement
+            other => f64::from_value(other)?,
+        };
+        Ok(TuningRecordLog {
+            task: String::from_value(field("task"))?,
+            trial: u64::from_value(field("trial"))?,
+            steps: Vec::<Step>::from_value(field("steps"))?,
+            seconds,
+            error: Option::<String>::from_value(field("error"))?,
+        })
     }
 }
 
@@ -47,27 +100,28 @@ pub fn save_records(path: impl AsRef<Path>, records: &[TuningRecordLog]) -> std:
     Ok(())
 }
 
-/// Loads all records from a JSON-lines log file, skipping corrupt lines.
-pub fn load_records(path: impl AsRef<Path>) -> std::io::Result<Vec<TuningRecordLog>> {
+/// Loads all records from a JSON-lines log file. Corrupt lines are skipped
+/// but *counted*: the second element reports how many lines failed to parse,
+/// so callers can surface silent log damage instead of quietly losing data.
+pub fn load_records(path: impl AsRef<Path>) -> std::io::Result<(Vec<TuningRecordLog>, usize)> {
     let f = std::fs::File::open(path)?;
     let mut out = Vec::new();
+    let mut skipped = 0usize;
     for line in BufReader::new(f).lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        if let Ok(r) = serde_json::from_str::<TuningRecordLog>(&line) {
-            out.push(r);
+        match serde_json::from_str::<TuningRecordLog>(&line) {
+            Ok(r) => out.push(r),
+            Err(_) => skipped += 1,
         }
     }
-    Ok(out)
+    Ok((out, skipped))
 }
 
 /// The best (fastest, valid) record for a task, if any.
-pub fn best_record<'a>(
-    records: &'a [TuningRecordLog],
-    task: &str,
-) -> Option<&'a TuningRecordLog> {
+pub fn best_record<'a>(records: &'a [TuningRecordLog], task: &str) -> Option<&'a TuningRecordLog> {
     records
         .iter()
         .filter(|r| r.task == task && r.seconds.is_finite())
@@ -101,6 +155,7 @@ mod tests {
                     lengths: vec![8],
                 }],
                 seconds: 2e-3,
+                error: None,
             },
             TuningRecordLog {
                 task: "t1".into(),
@@ -111,12 +166,14 @@ mod tests {
                     ann: Annotation::Parallel,
                 }],
                 seconds: 1e-3,
+                error: None,
             },
             TuningRecordLog {
                 task: "t2".into(),
                 trial: 1,
                 steps: vec![],
                 seconds: 5e-3,
+                error: None,
             },
         ]
     }
@@ -130,21 +187,70 @@ mod tests {
         save_records(&path, &records()).unwrap();
         // Appending works.
         save_records(&path, &records()[..1]).unwrap();
-        let loaded = load_records(&path).unwrap();
+        let (loaded, skipped) = load_records(&path).unwrap();
+        assert_eq!(skipped, 0);
         assert_eq!(loaded.len(), 4);
         assert_eq!(loaded[1].seconds, 1e-3);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn corrupt_lines_are_skipped() {
+    fn corrupt_lines_are_skipped_and_counted() {
         let dir = std::env::temp_dir().join(format!("ansor-log2-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("records.jsonl");
         std::fs::write(&path, "garbage\n{\"also\": \"garbage\"}\n").unwrap();
         save_records(&path, &records()[..1]).unwrap();
-        let loaded = load_records(&path).unwrap();
+        let (loaded, skipped) = load_records(&path).unwrap();
         assert_eq!(loaded.len(), 1);
+        assert_eq!(skipped, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_measurements_survive_the_round_trip() {
+        // Regression test: infinite seconds serialize to JSON null; these
+        // records used to be silently dropped on load as unparseable.
+        let failed = TuningRecordLog {
+            task: "t1".into(),
+            trial: 3,
+            steps: vec![],
+            seconds: f64::INFINITY,
+            error: Some("lowering error: bad split".into()),
+        };
+        let dir = std::env::temp_dir().join(format!("ansor-log3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        let _ = std::fs::remove_file(&path);
+        save_records(&path, std::slice::from_ref(&failed)).unwrap();
+        let (loaded, skipped) = load_records(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded[0].seconds.is_infinite());
+        assert!(!loaded[0].is_valid());
+        assert_eq!(
+            loaded[0].error.as_deref(),
+            Some("lowering error: bad split")
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_lines_without_error_field_still_load() {
+        // Pre-`error`-field logs: a valid line, and a failed one whose
+        // seconds is the JSON null that `f64::INFINITY` serializes to.
+        let legacy = "{\"seconds\":2.5e-3,\"steps\":[],\"task\":\"t\",\"trial\":1}\n\
+                      {\"seconds\":null,\"steps\":[],\"task\":\"t\",\"trial\":2}\n";
+        let dir = std::env::temp_dir().join(format!("ansor-log4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        std::fs::write(&path, legacy).unwrap();
+        let (loaded, skipped) = load_records(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded[0].is_valid());
+        assert!(loaded[1].seconds.is_infinite());
+        assert_eq!(loaded[1].error, None);
         std::fs::remove_file(&path).unwrap();
     }
 

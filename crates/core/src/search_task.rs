@@ -23,7 +23,11 @@ pub struct SearchTask {
 
 impl SearchTask {
     /// Creates a task.
-    pub fn new(name: impl Into<String>, dag: Arc<ComputeDag>, target: HardwareTarget) -> SearchTask {
+    pub fn new(
+        name: impl Into<String>,
+        dag: Arc<ComputeDag>,
+        target: HardwareTarget,
+    ) -> SearchTask {
         let name = name.into();
         let tag = name.split([':', '/']).next().unwrap_or(&name).to_string();
         SearchTask {

@@ -146,7 +146,10 @@ pub fn generate_sketches(task: &SearchTask) -> Vec<Sketch> {
 }
 
 /// Generates sketches, trying `user_rules` before the built-in rules.
-pub fn generate_sketches_with_rules(task: &SearchTask, user_rules: &[&dyn SketchRule]) -> Vec<Sketch> {
+pub fn generate_sketches_with_rules(
+    task: &SearchTask,
+    user_rules: &[&dyn SketchRule],
+) -> Vec<Sketch> {
     generate_sketches_full(task, user_rules, RuleSet::default())
 }
 
@@ -394,12 +397,10 @@ impl SketchRule for RuleMultiLevelTilingWithFusion {
             let csid = ws.state.stage_of_node(consumer).unwrap();
             match ws.state.stages[csid].loc {
                 tensor_ir::ComputeLoc::Root => break,
-                tensor_ir::ComputeLoc::Inlined => {
-                    match ws.state.dag.fusible_consumer(consumer) {
-                        Some(c) => consumer = c,
-                        None => return RuleResult::Pass,
-                    }
-                }
+                tensor_ir::ComputeLoc::Inlined => match ws.state.dag.fusible_consumer(consumer) {
+                    Some(c) => consumer = c,
+                    None => return RuleResult::Pass,
+                },
                 _ => return RuleResult::Pass,
             }
         }
@@ -446,9 +447,8 @@ impl SketchRule for RuleMultiLevelTilingWithFusion {
             if gpu {
                 // Fuse+bind the shared three levels on both stages so the
                 // compute_at prefix stays loop-for-loop compatible.
-                let levels: [Vec<String>; 3] = [0, 1, 2].map(|lvl| {
-                    spatial.iter().map(|s| format!("{s}.{lvl}")).collect()
-                });
+                let levels: [Vec<String>; 3] =
+                    [0, 1, 2].map(|lvl| spatial.iter().map(|s| format!("{s}.{lvl}")).collect());
                 if n >= 2 {
                     for level in &levels {
                         next.state.apply(Step::Fuse {
@@ -510,9 +510,8 @@ impl SketchRule for RuleMultiLevelTiling {
                     .unwrap()
                     .clone();
                 let spatial: Vec<String> = spec.axis_names[..spec.num_spatial()].to_vec();
-                let levels: [Vec<String>; 3] = [0, 1, 2].map(|lvl| {
-                    spatial.iter().map(|s| format!("{s}.{lvl}")).collect()
-                });
+                let levels: [Vec<String>; 3] =
+                    [0, 1, 2].map(|lvl| spatial.iter().map(|s| format!("{s}.{lvl}")).collect());
                 gpu_fuse_and_bind(&mut next, &node, levels)?;
             }
             Ok(())
@@ -572,14 +571,7 @@ impl SketchRule for RuleAddRfactor {
         let node = node_name(ws);
         let step_idx = next.state.steps.len();
         // Placeholder factor 1; annotation samples the real factor.
-        if next
-            .state
-            .apply(Step::Rfactor {
-                node,
-                factor: 1,
-            })
-            .is_err()
-        {
+        if next.state.apply(Step::Rfactor { node, factor: 1 }).is_err() {
             return RuleResult::Pass;
         }
         let rf_idx = next.rfactors.len();
@@ -729,12 +721,10 @@ mod tests {
         );
         // Sketch 3 path: rfactor on E.
         assert!(
-            sketches
-                .iter()
-                .any(|s| s.rfactors.len() == 1
-                    && s.steps
-                        .iter()
-                        .any(|st| matches!(st, Step::Rfactor { node, .. } if node == "E"))),
+            sketches.iter().any(|s| s.rfactors.len() == 1
+                && s.steps
+                    .iter()
+                    .any(|st| matches!(st, Step::Rfactor { node, .. } if node == "E"))),
             "rfactor sketch missing"
         );
         // Every sketch is structurally valid and replays.

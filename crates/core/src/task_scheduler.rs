@@ -60,9 +60,7 @@ impl Objective {
     pub fn eval(&self, d: &[f64]) -> f64 {
         match self {
             Objective::WeightedSum | Objective::EarlyStopping { .. } => d.iter().sum(),
-            Objective::LatencyRequirement(l) => {
-                d.iter().zip(l).map(|(&dj, &lj)| dj.max(lj)).sum()
-            }
+            Objective::LatencyRequirement(l) => d.iter().zip(l).map(|(&dj, &lj)| dj.max(lj)).sum(),
             Objective::GeoMeanSpeedup(b) => {
                 let m = d.len() as f64;
                 let prod: f64 = d
@@ -150,6 +148,7 @@ pub struct TaskScheduler {
     pub history: Vec<SchedulerRecord>,
     rng: StdRng,
     n_dnns: usize,
+    telemetry: telemetry::Telemetry,
 }
 
 impl TaskScheduler {
@@ -173,10 +172,12 @@ impl TaskScheduler {
             })
             .collect();
         let n = tasks.len();
+        let mut model = LearnedCostModel::new();
+        model.set_telemetry(options.telemetry.clone());
         TaskScheduler {
             tasks,
             policies,
-            model: LearnedCostModel::new(),
+            model,
             objective,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xA11C),
             cfg,
@@ -185,6 +186,7 @@ impl TaskScheduler {
             best_history: vec![Vec::new(); n],
             history: Vec::new(),
             n_dnns,
+            telemetry: options.telemetry.clone(),
         }
     }
 
@@ -240,12 +242,15 @@ impl TaskScheduler {
         dfd_dj * self.tasks[i].weight
     }
 
-    /// The approximate gradient |∂f/∂tᵢ| used to choose the next task.
-    pub fn gradient(&self, i: usize) -> f64 {
+    /// The raw gradient decomposition `(backward, optimistic, similarity,
+    /// combined)`; special cases (untouched / frozen task) are encoded in
+    /// the combined value exactly as [`TaskScheduler::gradient`] reports it.
+    fn gradient_raw(&self, i: usize) -> (f64, f64, f64, f64) {
         let g = self.best_latencies();
         let gi = g[i];
         if !gi.is_finite() {
-            return f64::INFINITY; // never-touched task: maximal urgency
+            // Never-touched task: maximal urgency; no terms to decompose.
+            return (f64::NAN, f64::NAN, f64::NAN, f64::INFINITY);
         }
         let ti = self.allocations[i].max(1) as f64;
         // f4: freeze stagnant tasks.
@@ -255,7 +260,7 @@ impl TaskScheduler {
                 let recent = &h[h.len() - patience..];
                 let before = h[h.len() - patience - 1];
                 if recent.iter().all(|&v| v >= before * 0.999) {
-                    return 0.0;
+                    return (f64::NAN, f64::NAN, f64::NAN, 0.0);
                 }
             }
         }
@@ -286,7 +291,20 @@ impl TaskScheduler {
             f64::INFINITY
         };
         let forward = optimistic.min(similarity);
-        dfdg * (self.cfg.alpha * backward + (1.0 - self.cfg.alpha) * forward)
+        let combined = dfdg * (self.cfg.alpha * backward + (1.0 - self.cfg.alpha) * forward);
+        (backward, optimistic, similarity, combined)
+    }
+
+    /// The approximate gradient |∂f/∂tᵢ| used to choose the next task.
+    pub fn gradient(&self, i: usize) -> f64 {
+        self.gradient_raw(i).3
+    }
+
+    /// The gradient decomposition for task `i` (Appendix A's three terms
+    /// plus the combined value), with unbounded terms mapped to `None`.
+    pub fn gradient_terms(&self, i: usize) -> telemetry::GradientTerms {
+        let (backward, optimistic, similarity, combined) = self.gradient_raw(i);
+        telemetry::GradientTerms::from_raw(backward, optimistic, similarity, combined)
     }
 
     /// Chooses the next task to allocate a unit to, skipping exhausted
@@ -328,6 +346,12 @@ impl TaskScheduler {
     pub fn step(&mut self, measurer: &mut Measurer) -> Option<usize> {
         loop {
             let i = self.choose()?;
+            // Decision-time gradient decomposition, for the trace.
+            let terms = if self.telemetry.is_tracing() {
+                Some(self.gradient_terms(i))
+            } else {
+                None
+            };
             let measured = self.policies[i].tune_round(&mut self.model, measurer);
             if measured == 0 {
                 self.exhausted[i] = true;
@@ -342,6 +366,18 @@ impl TaskScheduler {
                 objective: self.objective.eval(&d),
                 dnn_latencies: d,
             });
+            if let Some(terms) = terms {
+                let step = self.history.len() as u64 - 1;
+                let obj = self.history.last().expect("just pushed").objective;
+                let task = self.tasks[i].task.name.clone();
+                self.telemetry
+                    .emit(|| telemetry::TraceEvent::SchedulerStep {
+                        step,
+                        task,
+                        gradient_terms: terms,
+                        objective: obj.is_finite().then_some(obj),
+                    });
+            }
             return Some(i);
         }
     }
@@ -352,6 +388,14 @@ impl TaskScheduler {
             if self.step(measurer).is_none() {
                 break;
             }
+        }
+    }
+
+    /// Emits a `TuningFinished` trace event per task. Call once when the
+    /// schedule is complete; a no-op without an installed trace sink.
+    pub fn finish(&self) {
+        for policy in &self.policies {
+            policy.emit_finished();
         }
     }
 }

@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use ansor_core::{
-    EvolutionConfig, Objective, SearchTask, Strategy, TaskScheduler, TaskSchedulerConfig,
-    TuneTask, TuningOptions,
+    EvolutionConfig, Objective, SearchTask, Strategy, TaskScheduler, TaskSchedulerConfig, TuneTask,
+    TuningOptions,
 };
 use hwsim::{HardwareTarget, Measurer};
 use tensor_ir::{ComputeDag, DagBuilder, Expr, Reducer};
@@ -36,7 +36,11 @@ fn options() -> TuningOptions {
 }
 
 fn task(tag: &str, name: &str, n: i64) -> SearchTask {
-    SearchTask::new(format!("{tag}:{name}"), mm(n), HardwareTarget::intel_20core())
+    SearchTask::new(
+        format!("{tag}:{name}"),
+        mm(n),
+        HardwareTarget::intel_20core(),
+    )
 }
 
 #[test]

@@ -115,7 +115,10 @@ fn annotation_policy_produces_parallel_and_vectorized_programs() {
     // The policy's probabilities are 0.9 / 0.85 / 0.75 respectively; with
     // 60 samples these bounds are loose enough to be deterministic.
     assert!(parallel > total / 2, "only {parallel} parallel programs");
-    assert!(vectorized > total / 2, "only {vectorized} vectorized programs");
+    assert!(
+        vectorized > total / 2,
+        "only {vectorized} vectorized programs"
+    );
     assert!(pragmas > total / 4, "only {pragmas} programs with pragmas");
 }
 

@@ -110,18 +110,8 @@ pub fn extract_store_features(s: &StoreAnalysis) -> Vec<f32> {
     f.push(s.loops.len() as f32);
     f.push(lg(trips));
     f.push(lg(s.pragma_unroll as f64));
-    f.push(
-        s.loops
-            .iter()
-            .filter(|l| l.kind == IterKind::Space)
-            .count() as f32,
-    );
-    f.push(
-        s.loops
-            .iter()
-            .filter(|l| l.kind != IterKind::Space)
-            .count() as f32,
-    );
+    f.push(s.loops.iter().filter(|l| l.kind == IterKind::Space).count() as f32);
+    f.push(s.loops.iter().filter(|l| l.kind != IterKind::Space).count() as f32);
     f.push(lg(s.loops.last().map(|l| l.extent as f64).unwrap_or(1.0)));
     f.push(lg(s.parallel_extent() as f64));
     f.push(lg(s.independent_accumulators().min(1e6)));
@@ -224,8 +214,16 @@ fn intensity_curve(f: &mut Vec<f32>, s: &StoreAnalysis) {
 fn buffer_group(f: &mut Vec<f32>, s: &StoreAnalysis, a: &BufferAccess) {
     let trips = s.trip_count();
     // Access type one-hot.
-    f.push(if a.access == AccessType::Read { 1.0 } else { 0.0 });
-    f.push(if a.access == AccessType::Write { 1.0 } else { 0.0 });
+    f.push(if a.access == AccessType::Read {
+        1.0
+    } else {
+        0.0
+    });
+    f.push(if a.access == AccessType::Write {
+        1.0
+    } else {
+        0.0
+    });
     f.push(if a.access == AccessType::ReadWrite {
         1.0
     } else {
@@ -263,12 +261,7 @@ fn buffer_group(f: &mut Vec<f32>, s: &StoreAnalysis, a: &BufferAccess) {
                 .iter()
                 .map(|x| x.touched_elems(lvl + 1, &s.loops) * 4.0)
                 .sum();
-            (
-                [1.0, 0.0, 0.0],
-                dist,
-                bytes_per,
-                s.loops[lvl].extent as f64,
-            )
+            ([1.0, 0.0, 0.0], dist, bytes_per, s.loops[lvl].extent as f64)
         }
         None if a.count > 1 => ([0.0, 1.0, 0.0], 1.0, 0.0, a.count as f64),
         None => ([0.0, 0.0, 1.0], 0.0, 0.0, 1.0),
@@ -287,8 +280,20 @@ fn buffer_group(f: &mut Vec<f32>, s: &StoreAnalysis, a: &BufferAccess) {
 /// Human-readable names of all 164 features (for debugging and importances).
 pub fn feature_names() -> Vec<String> {
     let mut names: Vec<String> = [
-        "f_add", "f_sub", "f_mul", "f_div", "f_mod", "f_cmp", "f_math", "i_ops", "selects",
-        "loads", "is_reduce", "trips", "flops_iter", "flops_total",
+        "f_add",
+        "f_sub",
+        "f_mul",
+        "f_div",
+        "f_mod",
+        "f_cmp",
+        "f_math",
+        "i_ops",
+        "selects",
+        "loads",
+        "is_reduce",
+        "trips",
+        "flops_iter",
+        "flops_total",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -304,7 +309,12 @@ pub fn feature_names() -> Vec<String> {
         names.push(format!("{g}_num"));
     }
     for n in [
-        "gpu_blocks", "gpu_threads", "gpu_vthreads", "gpu_total", "gpu_warp_eff", "gpu_has_b",
+        "gpu_blocks",
+        "gpu_threads",
+        "gpu_vthreads",
+        "gpu_total",
+        "gpu_warp_eff",
+        "gpu_has_b",
         "gpu_has_t",
     ] {
         names.push(n.to_string());
@@ -315,16 +325,37 @@ pub fn feature_names() -> Vec<String> {
     names.push("alloc_bytes".into());
     names.push("alloc_count".into());
     for n in [
-        "n_loops", "outer_prod", "pragma_unroll", "n_space", "n_reduce", "inner_extent",
-        "par_extent", "indep_acc",
+        "n_loops",
+        "outer_prod",
+        "pragma_unroll",
+        "n_space",
+        "n_reduce",
+        "inner_extent",
+        "par_extent",
+        "indep_acc",
     ] {
         names.push(n.to_string());
     }
     for b in 0..N_BUFFER_SLOTS {
         for n in [
-            "rd", "wr", "rw", "bytes", "ubytes", "lines", "ulines", "reuse_loop", "reuse_serial",
-            "reuse_none", "rdist_it", "rdist_b", "rctr", "stride", "b_per_r", "ub_per_r",
-            "l_per_r", "ul_per_r",
+            "rd",
+            "wr",
+            "rw",
+            "bytes",
+            "ubytes",
+            "lines",
+            "ulines",
+            "reuse_loop",
+            "reuse_serial",
+            "reuse_none",
+            "rdist_it",
+            "rdist_b",
+            "rctr",
+            "stride",
+            "b_per_r",
+            "ub_per_r",
+            "l_per_r",
+            "ul_per_r",
         ] {
             names.push(format!("buf{b}_{n}"));
         }

@@ -6,9 +6,7 @@ use std::sync::Arc;
 
 use ansor_features::{extract_program_features, feature_names, FEATURE_DIM};
 use proptest::prelude::*;
-use tensor_ir::{
-    lower, Annotation, ComputeDag, DagBuilder, Expr, Reducer, State, Step,
-};
+use tensor_ir::{lower, Annotation, ComputeDag, DagBuilder, Expr, Reducer, State, Step};
 
 fn matmul(n: i64) -> Arc<ComputeDag> {
     let mut b = DagBuilder::new();

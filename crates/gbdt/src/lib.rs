@@ -72,8 +72,40 @@ impl Gbdt {
     ///
     /// Panics if `x`, `y` and `w` have different lengths.
     pub fn train(x: &[Vec<f32>], y: &[f32], w: &[f32], params: &GbdtParams) -> Gbdt {
+        Self::train_with_telemetry(x, y, w, params, &telemetry::Telemetry::disabled())
+    }
+
+    /// [`Gbdt::train`] with observability: times the pass under the
+    /// `gbdt_train` phase, counts training passes/samples/trees, and emits
+    /// one `GbdtRound` trace event summarizing the pass (number of the
+    /// training invocation, trees fit, final weighted training MSE).
+    pub fn train_with_telemetry(
+        x: &[Vec<f32>],
+        y: &[f32],
+        w: &[f32],
+        params: &GbdtParams,
+        tel: &telemetry::Telemetry,
+    ) -> Gbdt {
         assert_eq!(x.len(), y.len());
         assert_eq!(x.len(), w.len());
+        let _phase = tel.span("gbdt_train");
+        tel.incr("gbdt/train_passes", 1);
+        tel.incr("gbdt/train_samples", x.len() as u64);
+        let model = Self::train_impl(x, y, w, params);
+        tel.incr("gbdt/trees_fit", model.trees.len() as u64);
+        if tel.is_tracing() {
+            let round = tel.counter_value("gbdt/train_passes");
+            let train_loss = model.weighted_mse(x, y, w);
+            tel.emit(|| telemetry::TraceEvent::GbdtRound {
+                round,
+                trees: model.trees.len() as u64,
+                train_loss,
+            });
+        }
+        model
+    }
+
+    fn train_impl(x: &[Vec<f32>], y: &[f32], w: &[f32], params: &GbdtParams) -> Gbdt {
         let wsum: f64 = w.iter().map(|&v| v as f64).sum();
         let base = if wsum > 0.0 {
             (y.iter()
@@ -140,10 +172,15 @@ impl Gbdt {
         params: &GbdtParams,
         patience: usize,
     ) -> Gbdt {
-        let mut model = Gbdt::train(x, y, w, &GbdtParams {
-            n_trees: 0,
-            ..params.clone()
-        });
+        let mut model = Gbdt::train(
+            x,
+            y,
+            w,
+            &GbdtParams {
+                n_trees: 0,
+                ..params.clone()
+            },
+        );
         let mut residual: Vec<f32> = y.iter().map(|&yi| yi - model.base).collect();
         let n_features = x.first().map(|r| r.len()).unwrap_or(0);
         let mut best_mse = model.weighted_mse(val_x, val_y, val_w);
@@ -291,9 +328,7 @@ mod tests {
     fn high_weight_samples_fit_better() {
         // Two contradictory regimes; weights decide which one wins.
         let x: Vec<Vec<f32>> = (0..100).map(|i| vec![(i % 10) as f32]).collect();
-        let y: Vec<f32> = (0..100)
-            .map(|i| if i < 50 { 1.0 } else { -1.0 })
-            .collect();
+        let y: Vec<f32> = (0..100).map(|i| if i < 50 { 1.0 } else { -1.0 }).collect();
         // Same features repeat in both halves; weight the first half high.
         let w: Vec<f32> = (0..100).map(|i| if i < 50 { 10.0 } else { 0.1 }).collect();
         let m = Gbdt::train(&x, &y, &w, &GbdtParams::default());

@@ -225,9 +225,7 @@ fn best_split(
             }
             // Variance reduction ∝ (Σwy)²/Σw for each side.
             let gain = lwy * lwy / lw + rwy * rwy / rw - total_wy * total_wy / total_w;
-            if gain > params.min_gain
-                && best.as_ref().map(|b| gain > b.gain).unwrap_or(true)
-            {
+            if gain > params.min_gain && best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
                 best = Some(Split {
                     feature: f,
                     threshold: (xv + xn) * 0.5,

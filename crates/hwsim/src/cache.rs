@@ -181,13 +181,7 @@ fn trace_loads(
     }
 }
 
-fn flat_addr(
-    program: &Program,
-    bases: &[u64],
-    node: NodeId,
-    indices: &[Expr],
-    env: &[i64],
-) -> u64 {
+fn flat_addr(program: &Program, bases: &[u64], node: NodeId, indices: &[Expr], env: &[i64]) -> u64 {
     let shape = program.dag.nodes[node].shape();
     let mut flat = 0i64;
     for (ix, &e) in indices.iter().zip(shape) {

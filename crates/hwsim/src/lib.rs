@@ -17,5 +17,5 @@ pub mod target;
 
 pub use analytical::{estimate_detailed, estimate_seconds, explain, gflops, StoreCost};
 pub use cache::{miss_traffic, CacheHierarchy, CacheLevel};
-pub use measure::{MeasureOptions, MeasureResult, Measurer};
+pub use measure::{error_kind, MeasureOptions, MeasureResult, Measurer};
 pub use target::{HardwareTarget, TargetKind};

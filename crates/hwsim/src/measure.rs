@@ -28,7 +28,10 @@ pub struct MeasureOptions {
 
 impl Default for MeasureOptions {
     fn default() -> Self {
-        MeasureOptions { noise: 0.0, seed: 0 }
+        MeasureOptions {
+            noise: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -58,6 +61,27 @@ pub struct Measurer {
     /// Noise options.
     pub options: MeasureOptions,
     trials: u64,
+    telemetry: telemetry::Telemetry,
+}
+
+/// Maps a measurement-error message onto a small stable category set (one
+/// failure counter / trace key per category).
+pub fn error_kind(message: &str) -> &'static str {
+    if message.starts_with("lowering error") {
+        "lowering"
+    } else if message.starts_with("invalid transform") {
+        "invalid_transform"
+    } else if message.starts_with("split lengths") {
+        "bad_split"
+    } else if message.starts_with("unknown iterator") {
+        "unknown_iter"
+    } else if message.starts_with("unknown node") {
+        "unknown_node"
+    } else if message.starts_with("interpreter error") {
+        "interpreter"
+    } else {
+        "other"
+    }
 }
 
 impl Measurer {
@@ -67,6 +91,7 @@ impl Measurer {
             target,
             options: MeasureOptions::default(),
             trials: 0,
+            telemetry: telemetry::Telemetry::disabled(),
         }
     }
 
@@ -76,7 +101,15 @@ impl Measurer {
             target,
             options,
             trials: 0,
+            telemetry: telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle: measurement batches are timed under the
+    /// `measurement` phase and per-error-category failure counters
+    /// (`measure/errors/<kind>`) plus `measure/valid` accumulate.
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of measurement trials performed so far.
@@ -92,7 +125,27 @@ impl Measurer {
     /// Builds and measures one state, consuming one trial.
     pub fn measure(&mut self, state: &State) -> MeasureResult {
         self.trials += 1;
-        self.measure_one(state)
+        let _phase = self.telemetry.span("measurement");
+        let result = self.measure_one(state);
+        self.record_outcome(std::slice::from_ref(&result));
+        result
+    }
+
+    /// Accumulates validity / per-error-kind counters for a set of results.
+    fn record_outcome(&self, results: &[MeasureResult]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for r in results {
+            match &r.error {
+                None => self.telemetry.incr("measure/valid", 1),
+                Some(e) => {
+                    self.telemetry.incr("measure/failed", 1);
+                    self.telemetry
+                        .incr(&format!("measure/errors/{}", error_kind(e)), 1);
+                }
+            }
+        }
     }
 
     /// Measures a batch of states (one trial each). Builds and times the
@@ -101,12 +154,15 @@ impl Measurer {
     /// and in submission order.
     pub fn measure_batch(&mut self, states: &[State]) -> Vec<MeasureResult> {
         self.trials += states.len() as u64;
+        let _phase = self.telemetry.span("measurement");
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(states.len().max(1));
         if workers <= 1 || states.len() < 4 {
-            return states.iter().map(|s| self.measure_one(s)).collect();
+            let results: Vec<MeasureResult> = states.iter().map(|s| self.measure_one(s)).collect();
+            self.record_outcome(&results);
+            return results;
         }
         let this = &*self;
         let mut results: Vec<Option<MeasureResult>> = vec![None; states.len()];
@@ -123,12 +179,21 @@ impl Measurer {
             }
         })
         .expect("measurement workers do not panic");
-        results.into_iter().map(|r| r.expect("all slots filled")).collect()
+        let results: Vec<MeasureResult> = results
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect();
+        self.record_outcome(&results);
+        results
     }
 
     /// Builds and times one state without touching the trial counter.
     fn measure_one(&self, state: &State) -> MeasureResult {
-        let program = match lower(state) {
+        let lowered = {
+            let _phase = self.telemetry.span("lowering");
+            lower(state)
+        };
+        let program = match lowered {
             Ok(p) => p,
             Err(e) => {
                 return MeasureResult {

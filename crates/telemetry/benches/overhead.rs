@@ -1,0 +1,47 @@
+//! Measures the cost of telemetry calls in the disabled (no sink) state —
+//! the acceptance bar is "no allocation per event, negligible overhead in
+//! `tune_round`" — and, for contrast, the enabled in-memory path.
+//!
+//! Run: `cargo bench -p telemetry`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use telemetry::{Telemetry, TraceEvent};
+
+fn bench_disabled(c: &mut Criterion) {
+    let t = Telemetry::disabled();
+    c.bench_function("disabled_emit", |b| {
+        b.iter(|| {
+            t.emit(|| TraceEvent::RoundStart {
+                task: "task".to_string(),
+                round: black_box(3),
+                trials_so_far: 64,
+            })
+        })
+    });
+    c.bench_function("disabled_incr", |b| {
+        b.iter(|| t.incr(black_box("measure/errors/lowering"), 1))
+    });
+    c.bench_function("disabled_span", |b| {
+        b.iter(|| t.span(black_box("evolution")))
+    });
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let t = Telemetry::with_metrics();
+    c.bench_function("enabled_incr", |b| {
+        b.iter(|| t.incr(black_box("measure/errors/lowering"), 1))
+    });
+    c.bench_function("enabled_span", |b| {
+        b.iter(|| t.span(black_box("evolution")))
+    });
+}
+
+criterion_group! {
+    name = overhead;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500));
+    targets = bench_disabled, bench_enabled
+}
+criterion_main!(overhead);

@@ -1,0 +1,189 @@
+//! Streaming log-bucketed histogram.
+//!
+//! Values are assigned to exponential buckets (8 per decade, spanning
+//! 1e-12 .. 1e4), so quantile estimates carry at most ~±15% relative error —
+//! plenty for phase-timing and latency distributions — while the histogram
+//! itself is a fixed-size array with O(1) insertion and no per-observation
+//! allocation.
+
+use serde::{Deserialize, Serialize};
+
+const BUCKETS_PER_DECADE: usize = 8;
+const MIN_EXP: i32 = -12;
+const DECADES: usize = 16;
+const NBUCKETS: usize = DECADES * BUCKETS_PER_DECADE;
+
+/// Fixed-memory streaming histogram over positive values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; NBUCKETS],
+        }
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v <= 10f64.powi(MIN_EXP) {
+        return 0;
+    }
+    let idx = ((v.log10() - MIN_EXP as f64) * BUCKETS_PER_DECADE as f64).floor() as i64;
+    idx.clamp(0, NBUCKETS as i64 - 1) as usize
+}
+
+/// Geometric midpoint of a bucket — the value reported for quantiles that
+/// land in it.
+fn bucket_value(i: usize) -> f64 {
+    10f64.powf(MIN_EXP as f64 + (i as f64 + 0.5) / BUCKETS_PER_DECADE as f64)
+}
+
+impl Histogram {
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() || v < 0.0 {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                // Clamp the bucket midpoint by the true observed extremes so
+                // single-bucket histograms report exact values.
+                return Some(bucket_value(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50).expect("non-empty"),
+            p90: self.quantile(0.90).expect("non-empty"),
+            p99: self.quantile(0.99).expect("non-empty"),
+        })
+    }
+}
+
+/// Serializable point-in-time digest of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_none());
+        assert!(h.summary().is_none());
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range_are_close() {
+        let mut h = Histogram::default();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.50).unwrap();
+        let p90 = h.quantile(0.90).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Log-bucketing carries bounded relative error.
+        assert!((375.0..=660.0).contains(&p50), "p50 = {p50}");
+        assert!((700.0..=1000.0).contains(&p90), "p90 = {p90}");
+        assert!((850.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn single_value_reports_exactly() {
+        let mut h = Histogram::default();
+        h.observe(0.25);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 0.25);
+        assert_eq!(s.max, 0.25);
+        assert_eq!(s.p50, 0.25);
+        assert_eq!(s.p99, 0.25);
+    }
+
+    #[test]
+    fn rejects_nonfinite_and_negative() {
+        let mut h = Histogram::default();
+        h.observe(f64::INFINITY);
+        h.observe(f64::NAN);
+        h.observe(-1.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn tiny_values_land_in_first_bucket() {
+        let mut h = Histogram::default();
+        h.observe(0.0);
+        h.observe(1e-15);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5).unwrap() <= 1e-12);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_json() {
+        let mut h = Histogram::default();
+        for v in [0.001, 0.002, 0.004, 0.008] {
+            h.observe(v);
+        }
+        let s = h.summary().unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

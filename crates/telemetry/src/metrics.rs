@@ -1,0 +1,134 @@
+//! Metrics registry: named counters, gauges, and streaming histograms behind
+//! coarse per-kind mutexes. All maps are `BTreeMap` so snapshots (and
+//! anything serialized from them) are deterministically ordered.
+
+use crate::histogram::{Histogram, HistogramSummary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    pub(crate) fn incr(&self, name: &str, by: u64) {
+        let mut counters = self.counters.lock().expect("counter registry poisoned");
+        match counters.get_mut(name) {
+            Some(v) => *v += by,
+            None => {
+                counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    pub(crate) fn gauge_set(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.lock().expect("gauge registry poisoned");
+        match gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    pub(crate) fn observe(&self, name: &str, value: f64) {
+        let mut histograms = self.histograms.lock().expect("histogram registry poisoned");
+        match histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(value);
+                histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    pub(crate) fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("counter registry poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().expect("poisoned").clone(),
+            gauges: self.gauges.lock().expect("poisoned").clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("poisoned")
+                .iter()
+                .filter_map(|(k, h)| h.summary().map(|s| (k.clone(), s)))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable point-in-time view of every metric. Histograms are digested
+/// to [`HistogramSummary`] (count/sum/min/max/p50/p90/p99).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics_accumulate() {
+        let r = Registry::default();
+        r.incr("measure/errors/lowering", 1);
+        r.incr("measure/errors/lowering", 2);
+        r.incr("measure/ok", 5);
+        assert_eq!(r.counter_value("measure/errors/lowering"), 3);
+        assert_eq!(r.counter_value("measure/ok"), 5);
+        assert_eq!(r.counter_value("missing"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["measure/errors/lowering"], 3);
+    }
+
+    #[test]
+    fn gauge_semantics_overwrite() {
+        let r = Registry::default();
+        r.gauge_set("model/loss", 0.9);
+        r.gauge_set("model/loss", 0.4);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauges["model/loss"], 0.4);
+    }
+
+    #[test]
+    fn histograms_digest_into_snapshot() {
+        let r = Registry::default();
+        for i in 1..=100 {
+            r.observe("phase/evolution", i as f64 * 1e-3);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms["phase/evolution"];
+        assert_eq!(h.count, 100);
+        assert!(h.p50 > 0.0 && h.p50 <= h.p90 && h.p90 <= h.p99);
+        assert!((h.sum - 5.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered_json() {
+        let r = Registry::default();
+        r.incr("b", 1);
+        r.incr("a", 1);
+        r.incr("c", 1);
+        let json = serde_json::to_string(&r.snapshot()).unwrap();
+        let a = json.find("\"a\"").unwrap();
+        let b = json.find("\"b\"").unwrap();
+        let c = json.find("\"c\"").unwrap();
+        assert!(a < b && b < c, "keys must serialize sorted: {json}");
+    }
+}

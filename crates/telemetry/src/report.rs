@@ -1,0 +1,235 @@
+//! Pure analysis functions over a parsed trace: everything `trace-report`
+//! prints, kept here so it is unit-testable and reusable from other tools.
+
+use crate::histogram::HistogramSummary;
+use crate::trace::{TraceEvent, TraceLine};
+use std::collections::BTreeMap;
+
+/// Best-measured-latency-vs-cumulative-trials curve per task, reconstructed
+/// from `MeasureBatch` events (the Fig. 7/10 x/y axes).
+pub fn best_curves(lines: &[TraceLine]) -> BTreeMap<String, Vec<(u64, f64)>> {
+    let mut curves: BTreeMap<String, Vec<(u64, f64)>> = BTreeMap::new();
+    let mut trials: BTreeMap<String, u64> = BTreeMap::new();
+    let mut best: BTreeMap<String, f64> = BTreeMap::new();
+    for line in lines {
+        if let TraceEvent::MeasureBatch {
+            task,
+            valid,
+            failed,
+            best_seconds,
+            ..
+        } = &line.event
+        {
+            let t = trials.entry(task.clone()).or_insert(0);
+            *t += valid + failed;
+            let b = best.entry(task.clone()).or_insert(f64::INFINITY);
+            if let Some(s) = best_seconds {
+                if *s < *b {
+                    *b = *s;
+                }
+            }
+            if b.is_finite() {
+                curves.entry(task.clone()).or_default().push((*t, *b));
+            }
+        }
+    }
+    curves
+}
+
+/// Phase-time breakdown from the last `PhaseProfile` snapshot: `phase/…`
+/// histograms sorted by total time, descending.
+pub fn phase_breakdown(lines: &[TraceLine]) -> Vec<(String, HistogramSummary)> {
+    let snapshot = lines.iter().rev().find_map(|l| match &l.event {
+        TraceEvent::PhaseProfile { snapshot } => Some(snapshot),
+        _ => None,
+    });
+    let Some(snapshot) = snapshot else {
+        return Vec::new();
+    };
+    let mut phases: Vec<(String, HistogramSummary)> = snapshot
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.starts_with("phase/"))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    phases.sort_by(|a, b| b.1.sum.partial_cmp(&a.1.sum).expect("finite sums"));
+    phases
+}
+
+/// One `ModelRetrain` observation, in trace order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelPoint {
+    pub seq: u64,
+    pub task: String,
+    pub pairs: u64,
+    pub ranking_loss: f64,
+    pub rank_corr: f64,
+}
+
+/// Cost-model accuracy drift over the run: every retrain event in order.
+pub fn model_drift(lines: &[TraceLine]) -> Vec<ModelPoint> {
+    lines
+        .iter()
+        .filter_map(|l| match &l.event {
+            TraceEvent::ModelRetrain {
+                task,
+                pairs,
+                ranking_loss,
+                pred_vs_measured_rank_corr,
+            } => Some(ModelPoint {
+                seq: l.seq,
+                task: task.clone(),
+                pairs: *pairs,
+                ranking_loss: *ranking_loss,
+                rank_corr: *pred_vs_measured_rank_corr,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Per-task allocation from `SchedulerStep` events: how many rounds the task
+/// scheduler granted each task, and the final objective it reported.
+pub fn allocations(lines: &[TraceLine]) -> BTreeMap<String, u64> {
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for line in lines {
+        if let TraceEvent::SchedulerStep { task, .. } = &line.event {
+            *counts.entry(task.clone()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Aggregate measurement failures by error kind across the whole trace.
+pub fn error_kinds(lines: &[TraceLine]) -> BTreeMap<String, u64> {
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    for line in lines {
+        if let TraceEvent::MeasureBatch { error_kinds, .. } = &line.event {
+            for (kind, n) in error_kinds {
+                *kinds.entry(kind.clone()).or_insert(0) += n;
+            }
+        }
+    }
+    kinds
+}
+
+/// Count of events per variant name — the trace's table of contents.
+pub fn event_counts(lines: &[TraceLine]) -> BTreeMap<&'static str, u64> {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for line in lines {
+        let name = match &line.event {
+            TraceEvent::RoundStart { .. } => "RoundStart",
+            TraceEvent::SketchStats { .. } => "SketchStats",
+            TraceEvent::EvolutionStats { .. } => "EvolutionStats",
+            TraceEvent::MeasureBatch { .. } => "MeasureBatch",
+            TraceEvent::ModelRetrain { .. } => "ModelRetrain",
+            TraceEvent::GbdtRound { .. } => "GbdtRound",
+            TraceEvent::SchedulerStep { .. } => "SchedulerStep",
+            TraceEvent::PhaseProfile { .. } => "PhaseProfile",
+            TraceEvent::TuningFinished { .. } => "TuningFinished",
+        };
+        *counts.entry(name).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::GradientTerms;
+
+    fn line(seq: u64, event: TraceEvent) -> TraceLine {
+        TraceLine {
+            seq,
+            t_ms: seq as f64,
+            event,
+        }
+    }
+
+    fn batch(task: &str, valid: u64, failed: u64, best: Option<f64>) -> TraceEvent {
+        TraceEvent::MeasureBatch {
+            task: task.into(),
+            valid,
+            failed,
+            error_kinds: if failed > 0 {
+                vec![("lowering".into(), failed)]
+            } else {
+                vec![]
+            },
+            best_seconds: best,
+        }
+    }
+
+    #[test]
+    fn best_curve_is_monotone_and_cumulative() {
+        let lines = vec![
+            line(0, batch("a", 8, 0, Some(4.0))),
+            line(1, batch("a", 6, 2, Some(5.0))), // worse batch: best stays 4.0
+            line(2, batch("a", 8, 0, Some(2.0))),
+            line(3, batch("b", 4, 4, None)), // all failed: no point yet
+            line(4, batch("b", 8, 0, Some(1.0))),
+        ];
+        let curves = best_curves(&lines);
+        assert_eq!(curves["a"], vec![(8, 4.0), (16, 4.0), (24, 2.0)]);
+        assert_eq!(curves["b"], vec![(16, 1.0)]);
+    }
+
+    #[test]
+    fn error_kinds_aggregate_across_batches() {
+        let lines = vec![
+            line(0, batch("a", 4, 4, Some(1.0))),
+            line(1, batch("a", 6, 2, Some(1.0))),
+        ];
+        assert_eq!(error_kinds(&lines)["lowering"], 6);
+    }
+
+    #[test]
+    fn allocations_count_scheduler_steps() {
+        let step = |s, task: &str| {
+            line(
+                s,
+                TraceEvent::SchedulerStep {
+                    step: s,
+                    task: task.into(),
+                    gradient_terms: GradientTerms::from_raw(0.0, 0.0, 0.0, 0.0),
+                    objective: Some(1.0),
+                },
+            )
+        };
+        let lines = vec![step(0, "a"), step(1, "b"), step(2, "a")];
+        let alloc = allocations(&lines);
+        assert_eq!(alloc["a"], 2);
+        assert_eq!(alloc["b"], 1);
+    }
+
+    #[test]
+    fn drift_and_counts_and_phases() {
+        let mut snapshot = crate::MetricsSnapshot::default();
+        let mut h = crate::Histogram::default();
+        h.observe(0.5);
+        snapshot
+            .histograms
+            .insert("phase/evolution".into(), h.summary().unwrap());
+        let lines = vec![
+            line(
+                0,
+                TraceEvent::ModelRetrain {
+                    task: "a".into(),
+                    pairs: 64,
+                    ranking_loss: 0.4,
+                    pred_vs_measured_rank_corr: 0.2,
+                },
+            ),
+            line(1, TraceEvent::PhaseProfile { snapshot }),
+        ];
+        let drift = model_drift(&lines);
+        assert_eq!(drift.len(), 1);
+        assert_eq!(drift[0].pairs, 64);
+        let phases = phase_breakdown(&lines);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].0, "phase/evolution");
+        let counts = event_counts(&lines);
+        assert_eq!(counts["ModelRetrain"], 1);
+        assert_eq!(counts["PhaseProfile"], 1);
+    }
+}

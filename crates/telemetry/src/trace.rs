@@ -1,0 +1,251 @@
+//! Structured tuning-trace schema: the typed events the search loop emits,
+//! the JSONL envelope they are written in, and a tolerant reader.
+//!
+//! Every line of a trace file is one JSON-encoded [`TraceLine`]:
+//! a monotone sequence number, a wall-clock offset in milliseconds since the
+//! sink was installed, and the [`TraceEvent`] payload. Event payloads are
+//! deterministic for a fixed tuning seed; all wall-clock information lives in
+//! `t_ms` (and in `PhaseProfile` snapshots), so traces from identical runs
+//! can be compared by stripping those — see `docs/TELEMETRY.md`.
+
+use crate::metrics::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::io::BufRead;
+
+/// One event in the tuning trace. Externally tagged in JSON:
+/// `{"RoundStart": {...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A search round is starting for `task`.
+    RoundStart {
+        task: String,
+        round: u64,
+        trials_so_far: u64,
+    },
+    /// Sketch generation finished for `task`.
+    SketchStats { task: String, sketches: u64 },
+    /// One evolutionary-search invocation finished.
+    EvolutionStats {
+        task: String,
+        generations: u64,
+        mutations_applied: u64,
+        crossovers_applied: u64,
+        crossover_rate: f64,
+        best_predicted: f64,
+    },
+    /// One hardware-measurement batch finished. `best_seconds` is `None`
+    /// when every candidate in the batch failed. `error_kinds` is sorted by
+    /// kind for deterministic output.
+    MeasureBatch {
+        task: String,
+        valid: u64,
+        failed: u64,
+        error_kinds: Vec<(String, u64)>,
+        best_seconds: Option<f64>,
+    },
+    /// The learned cost model was retrained on the measurement history.
+    ModelRetrain {
+        task: String,
+        pairs: u64,
+        ranking_loss: f64,
+        pred_vs_measured_rank_corr: f64,
+    },
+    /// One boosting round inside GBDT training.
+    GbdtRound {
+        round: u64,
+        trees: u64,
+        train_loss: f64,
+    },
+    /// The task scheduler allocated the next round to `task`. `objective`
+    /// is `None` while still unbounded (some task not yet measured).
+    SchedulerStep {
+        step: u64,
+        task: String,
+        gradient_terms: GradientTerms,
+        objective: Option<f64>,
+    },
+    /// Point-in-time dump of the metrics registry (counters, gauges, phase
+    /// timers). Emitted by `Telemetry::flush`. Contains wall-clock data.
+    PhaseProfile { snapshot: MetricsSnapshot },
+    /// Tuning finished for `task`.
+    TuningFinished {
+        task: String,
+        trials: u64,
+        best_seconds: Option<f64>,
+    },
+}
+
+/// The per-task-scheduler-step gradient decomposition (paper §6): the
+/// backward-looking history term, the optimistic forward term, and the
+/// similarity term, plus the combined gradient actually used. Fields are
+/// `None` when the term is unbounded (e.g. the similarity term with no
+/// similar task) — JSON has no encoding for ±∞.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientTerms {
+    pub backward: Option<f64>,
+    pub optimistic: Option<f64>,
+    pub similarity: Option<f64>,
+    pub combined: Option<f64>,
+}
+
+impl GradientTerms {
+    /// Builds the record from raw term values, mapping non-finite values
+    /// (unbounded terms) to `None`.
+    pub fn from_raw(backward: f64, optimistic: f64, similarity: f64, combined: f64) -> Self {
+        let keep = |v: f64| v.is_finite().then_some(v);
+        GradientTerms {
+            backward: keep(backward),
+            optimistic: keep(optimistic),
+            similarity: keep(similarity),
+            combined: keep(combined),
+        }
+    }
+}
+
+/// JSONL envelope: one line of a trace file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLine {
+    /// Monotone per-sink sequence number.
+    pub seq: u64,
+    /// Milliseconds since the sink was installed. Wall-clock; excluded from
+    /// determinism comparisons.
+    pub t_ms: f64,
+    pub event: TraceEvent,
+}
+
+/// Read a JSONL trace produced via `--trace`. Unparseable lines are counted,
+/// not fatal, so a trace truncated by a crash still reports.
+pub fn read_trace<R: BufRead>(reader: R) -> std::io::Result<(Vec<TraceLine>, usize)> {
+    let mut lines = Vec::new();
+    let mut skipped = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceLine>(&line) {
+            Ok(l) => lines.push(l),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((lines, skipped))
+}
+
+/// Read a trace file from disk. Returns the parsed lines and the number of
+/// skipped (corrupt) lines.
+pub fn read_trace_file(path: &std::path::Path) -> std::io::Result<(Vec<TraceLine>, usize)> {
+    let file = std::fs::File::open(path)?;
+    read_trace(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RoundStart {
+                task: "conv2d".into(),
+                round: 0,
+                trials_so_far: 0,
+            },
+            TraceEvent::EvolutionStats {
+                task: "conv2d".into(),
+                generations: 4,
+                mutations_applied: 37,
+                crossovers_applied: 11,
+                crossover_rate: 0.229,
+                best_predicted: 1.5,
+            },
+            TraceEvent::MeasureBatch {
+                task: "conv2d".into(),
+                valid: 14,
+                failed: 2,
+                error_kinds: vec![("lowering".into(), 2)],
+                best_seconds: Some(3.2e-4),
+            },
+            TraceEvent::MeasureBatch {
+                task: "conv2d".into(),
+                valid: 0,
+                failed: 8,
+                error_kinds: vec![("lowering".into(), 8)],
+                best_seconds: None,
+            },
+            TraceEvent::ModelRetrain {
+                task: "conv2d".into(),
+                pairs: 120,
+                ranking_loss: 0.31,
+                pred_vs_measured_rank_corr: 0.38,
+            },
+            TraceEvent::SchedulerStep {
+                step: 3,
+                task: "conv2d".into(),
+                gradient_terms: GradientTerms::from_raw(-0.5, -1.25, f64::INFINITY, -0.875),
+                objective: Some(4.2e-3),
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_through_jsonl() {
+        let mut text = String::new();
+        for (i, event) in sample_events().into_iter().enumerate() {
+            let line = TraceLine {
+                seq: i as u64,
+                t_ms: i as f64 * 10.0,
+                event,
+            };
+            text.push_str(&serde_json::to_string(&line).unwrap());
+            text.push('\n');
+        }
+        let (lines, skipped) = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0].seq, 0);
+        match &lines[3].event {
+            TraceEvent::MeasureBatch {
+                best_seconds,
+                failed,
+                ..
+            } => {
+                assert_eq!(*best_seconds, None);
+                assert_eq!(*failed, 8);
+            }
+            other => panic!("expected MeasureBatch, got {other:?}"),
+        }
+        // Re-serialize and compare: the round trip must be lossless.
+        for (line, event) in lines.iter().zip(sample_events()) {
+            assert_eq!(line.event, event);
+        }
+    }
+
+    #[test]
+    fn corrupt_lines_are_counted_not_fatal() {
+        let text = format!(
+            "{}\nnot json\n{{\"seq\":9}}\n\n{}\n",
+            serde_json::to_string(&TraceLine {
+                seq: 0,
+                t_ms: 0.0,
+                event: TraceEvent::RoundStart {
+                    task: "t".into(),
+                    round: 0,
+                    trials_so_far: 0
+                },
+            })
+            .unwrap(),
+            serde_json::to_string(&TraceLine {
+                seq: 1,
+                t_ms: 1.0,
+                event: TraceEvent::TuningFinished {
+                    task: "t".into(),
+                    trials: 64,
+                    best_seconds: Some(1e-3)
+                },
+            })
+            .unwrap()
+        );
+        let (lines, skipped) = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(skipped, 2);
+    }
+}

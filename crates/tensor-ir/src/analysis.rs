@@ -182,11 +182,7 @@ impl StoreAnalysis {
     /// nested inside the innermost reduce loop that are vectorized or
     /// unrolled (these become independent registers in real codegen).
     pub fn independent_accumulators(&self) -> f64 {
-        let Some(last_reduce) = self
-            .loops
-            .iter()
-            .rposition(|l| l.kind != IterKind::Space)
-        else {
+        let Some(last_reduce) = self.loops.iter().rposition(|l| l.kind != IterKind::Space) else {
             return f64::INFINITY; // no reduction chain at all
         };
         let mut acc = 1.0;
@@ -461,7 +457,7 @@ mod tests {
         assert_eq!(an.len(), 2);
         let compute = an.iter().find(|s| s.reduce.is_some()).unwrap();
         assert_eq!(compute.loops.len(), 3); // i, j, k
-        // Store C[i, j]: strides (16, 1, 0).
+                                            // Store C[i, j]: strides (16, 1, 0).
         let store = &compute.accesses[0];
         assert_eq!(store.access, AccessType::ReadWrite);
         assert_eq!(store.strides, vec![16, 1, 0]);

@@ -177,9 +177,9 @@ impl CompiledProgram {
                 // Value.
                 stack.clear();
                 eval_code(&st.value_code, env, bufs, stack)?;
-                let v = stack.pop().ok_or_else(|| {
-                    Error::Interp("value program left an empty stack".into())
-                })?;
+                let v = stack
+                    .pop()
+                    .ok_or_else(|| Error::Interp("value program left an empty stack".into()))?;
                 bufs.store(st.buffer, idx, v.f(), st.reduce)
             }
         }
@@ -394,28 +394,22 @@ mod tests {
         let mut b = DagBuilder::new();
         let a = b.placeholder("A", &[2, 6, 6]);
         let w = b.constant("W", &[2, 3, 3]);
-        b.compute_reduce(
-            "C",
-            &[2, 6, 6],
-            &[3, 3],
-            crate::dag::Reducer::Sum,
-            |ax| {
-                let h = ax[1].clone() + ax[3].clone() - Expr::int(1);
-                let wd = ax[2].clone() + ax[4].clone() - Expr::int(1);
-                let conds = [
-                    Expr::cmp(CmpOp::Ge, h.clone(), Expr::int(0)),
-                    Expr::cmp(CmpOp::Lt, h.clone(), Expr::int(6)),
-                    Expr::cmp(CmpOp::Ge, wd.clone(), Expr::int(0)),
-                    Expr::cmp(CmpOp::Lt, wd.clone(), Expr::int(6)),
-                ];
-                let mut v = Expr::load(a, vec![ax[0].clone(), h, wd])
-                    * Expr::load(w, vec![ax[0].clone(), ax[3].clone(), ax[4].clone()]);
-                for c in conds.into_iter().rev() {
-                    v = Expr::select(c, v, Expr::float(0.0));
-                }
-                v
-            },
-        );
+        b.compute_reduce("C", &[2, 6, 6], &[3, 3], crate::dag::Reducer::Sum, |ax| {
+            let h = ax[1].clone() + ax[3].clone() - Expr::int(1);
+            let wd = ax[2].clone() + ax[4].clone() - Expr::int(1);
+            let conds = [
+                Expr::cmp(CmpOp::Ge, h.clone(), Expr::int(0)),
+                Expr::cmp(CmpOp::Lt, h.clone(), Expr::int(6)),
+                Expr::cmp(CmpOp::Ge, wd.clone(), Expr::int(0)),
+                Expr::cmp(CmpOp::Lt, wd.clone(), Expr::int(6)),
+            ];
+            let mut v = Expr::load(a, vec![ax[0].clone(), h, wd])
+                * Expr::load(w, vec![ax[0].clone(), ax[3].clone(), ax[4].clone()]);
+            for c in conds.into_iter().rev() {
+                v = Expr::select(c, v, Expr::float(0.0));
+            }
+            v
+        });
         Arc::new(b.build().unwrap())
     }
 

@@ -145,13 +145,7 @@ impl Node {
 
     /// Whether this node is a placeholder holding constant data.
     pub fn is_const_placeholder(&self) -> bool {
-        matches!(
-            self.kind,
-            NodeKind::Placeholder {
-                is_const: true,
-                ..
-            }
-        )
+        matches!(self.kind, NodeKind::Placeholder { is_const: true, .. })
     }
 
     /// Known constant contents, if any.
@@ -174,8 +168,10 @@ fn is_affine_single_axis(e: &Expr) -> bool {
                 true
             }
             Expr::Binary { op, lhs, rhs } => {
-                matches!(op, crate::expr::BinOp::Add | crate::expr::BinOp::Sub | crate::expr::BinOp::Mul)
-                    && walk(lhs, axes)
+                matches!(
+                    op,
+                    crate::expr::BinOp::Add | crate::expr::BinOp::Sub | crate::expr::BinOp::Mul
+                ) && walk(lhs, axes)
                     && walk(rhs, axes)
             }
             _ => false,
@@ -381,7 +377,10 @@ impl ComputeDag {
             }
             if let Some(c) = n.compute() {
                 if c.reducer.is_some() == c.reduce_extents.is_empty() {
-                    return Err(format!("node {:?}: reducer/reduce_extents mismatch", n.name));
+                    return Err(format!(
+                        "node {:?}: reducer/reduce_extents mismatch",
+                        n.name
+                    ));
                 }
                 if c.axis_names.len() != c.shape.len() + c.reduce_extents.len() {
                     return Err(format!("node {:?}: axis_names arity mismatch", n.name));
@@ -402,10 +401,9 @@ impl ComputeDag {
                             ));
                         }
                     }
-                    Expr::Axis(a)
-                        if *a >= n_axes => {
-                            err = Some(format!("node {:?} references axis {}", n.name, a));
-                        }
+                    Expr::Axis(a) if *a >= n_axes => {
+                        err = Some(format!("node {:?} references axis {}", n.name, a));
+                    }
                     Expr::LoopVar(_) => {
                         err = Some(format!("node {:?} body contains a loop var", n.name));
                     }

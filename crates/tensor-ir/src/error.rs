@@ -37,7 +37,10 @@ impl std::fmt::Display for Error {
                 write!(f, "unknown iterator {iter:?} in stage of node {node:?}")
             }
             Error::BadSplit { extent, inner } => {
-                write!(f, "split lengths (product {inner}) do not divide extent {extent}")
+                write!(
+                    f,
+                    "split lengths (product {inner}) do not divide extent {extent}"
+                )
             }
             Error::Invalid(msg) => write!(f, "invalid transform: {msg}"),
             Error::Lower(msg) => write!(f, "lowering error: {msg}"),
@@ -55,8 +58,11 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(Error::UnknownNode("X".into()).to_string().contains("X"));
-        assert!(Error::BadSplit { extent: 10, inner: 3 }
-            .to_string()
-            .contains("10"));
+        assert!(Error::BadSplit {
+            extent: 10,
+            inner: 3
+        }
+        .to_string()
+        .contains("10"));
     }
 }

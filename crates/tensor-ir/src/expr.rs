@@ -423,13 +423,7 @@ mod tests {
     #[test]
     fn max_and_select_builders() {
         let m = Expr::max(Expr::float(0.0), Expr::axis(0));
-        assert!(matches!(
-            m,
-            Expr::Binary {
-                op: BinOp::Max,
-                ..
-            }
-        ));
+        assert!(matches!(m, Expr::Binary { op: BinOp::Max, .. }));
         let s = Expr::select(
             Expr::cmp(CmpOp::Lt, Expr::axis(0), Expr::int(4)),
             Expr::float(1.0),

@@ -262,7 +262,9 @@ impl LowerCtx<'_> {
             for (psid, prefix_len) in attached {
                 if prefix_len == pos {
                     let vals: Vec<Expr> = (0..prefix_len)
-                        .map(|p| self.bindings[&(sid, self.state.stages[sid].loop_order[p])].clone())
+                        .map(|p| {
+                            self.bindings[&(sid, self.state.stages[sid].loop_order[p])].clone()
+                        })
                         .collect();
                     out.extend(self.emit_stage(psid, &vals)?);
                 }
@@ -411,7 +413,10 @@ impl LowerCtx<'_> {
         let stage = &self.state.stages[sid];
         let spec = self.state.dag.nodes[stage.node].compute().unwrap();
         (0..spec.num_spatial())
-            .map(|a| self.iter_value(sid, stage.root_iters[a]).map(|e| simplify(&e)))
+            .map(|a| {
+                self.iter_value(sid, stage.root_iters[a])
+                    .map(|e| simplify(&e))
+            })
             .collect()
     }
 
@@ -432,30 +437,24 @@ impl LowerCtx<'_> {
 /// `+ 0`, `/ 1` and folds constant arithmetic.
 pub fn simplify(e: &Expr) -> Expr {
     e.map(&mut |e| match e {
-        Expr::Binary { op, lhs, rhs } => {
-            match (op, lhs.as_ref(), rhs.as_ref()) {
-                (BinOp::Mul, x, Expr::IntConst(1)) | (BinOp::Add, x, Expr::IntConst(0)) => {
-                    x.clone()
-                }
-                (BinOp::Mul, Expr::IntConst(1), x) | (BinOp::Add, Expr::IntConst(0), x) => {
-                    x.clone()
-                }
-                (BinOp::Mul, _, Expr::IntConst(0)) | (BinOp::Mul, Expr::IntConst(0), _) => {
-                    Expr::IntConst(0)
-                }
-                (BinOp::Div, x, Expr::IntConst(1)) => x.clone(),
-                (BinOp::Mod, _, Expr::IntConst(1)) => Expr::IntConst(0),
-                (op, Expr::IntConst(a), Expr::IntConst(b)) => match op {
-                    BinOp::Add => Expr::IntConst(a + b),
-                    BinOp::Sub => Expr::IntConst(a - b),
-                    BinOp::Mul => Expr::IntConst(a * b),
-                    BinOp::Div if *b != 0 => Expr::IntConst(a / b),
-                    BinOp::Mod if *b != 0 => Expr::IntConst(a % b),
-                    _ => Expr::Binary { op, lhs, rhs },
-                },
-                _ => Expr::Binary { op, lhs, rhs },
+        Expr::Binary { op, lhs, rhs } => match (op, lhs.as_ref(), rhs.as_ref()) {
+            (BinOp::Mul, x, Expr::IntConst(1)) | (BinOp::Add, x, Expr::IntConst(0)) => x.clone(),
+            (BinOp::Mul, Expr::IntConst(1), x) | (BinOp::Add, Expr::IntConst(0), x) => x.clone(),
+            (BinOp::Mul, _, Expr::IntConst(0)) | (BinOp::Mul, Expr::IntConst(0), _) => {
+                Expr::IntConst(0)
             }
-        }
+            (BinOp::Div, x, Expr::IntConst(1)) => x.clone(),
+            (BinOp::Mod, _, Expr::IntConst(1)) => Expr::IntConst(0),
+            (op, Expr::IntConst(a), Expr::IntConst(b)) => match op {
+                BinOp::Add => Expr::IntConst(a + b),
+                BinOp::Sub => Expr::IntConst(a - b),
+                BinOp::Mul => Expr::IntConst(a * b),
+                BinOp::Div if *b != 0 => Expr::IntConst(a / b),
+                BinOp::Mod if *b != 0 => Expr::IntConst(a % b),
+                _ => Expr::Binary { op, lhs, rhs },
+            },
+            _ => Expr::Binary { op, lhs, rhs },
+        },
         other => other,
     })
 }
@@ -506,7 +505,10 @@ mod tests {
         let prog = lower(&st).unwrap();
         let mut found_mul = false;
         prog.for_each_store(&mut |_, s| {
-            if let Stmt::Store { buffer, indices, .. } = s {
+            if let Stmt::Store {
+                buffer, indices, ..
+            } = s
+            {
                 if prog.dag.nodes[*buffer].name == "C" && !indices.is_empty() {
                     // Index 0 should be i.0 * 2 + i.1.
                     if let Expr::Binary { op: BinOp::Add, .. } = &indices[0] {
@@ -562,13 +564,7 @@ mod tests {
         prog.for_each_store(&mut |_, s| {
             if let Stmt::Store { value, .. } = s {
                 value.visit(&mut |e| {
-                    if matches!(
-                        e,
-                        Expr::Binary {
-                            op: BinOp::Div,
-                            ..
-                        }
-                    ) {
+                    if matches!(e, Expr::Binary { op: BinOp::Div, .. }) {
                         saw_div = true;
                     }
                 });

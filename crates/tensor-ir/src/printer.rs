@@ -108,16 +108,20 @@ pub fn print_expr(program: &Program, e: &Expr) -> String {
                 BinOp::Mul => "*",
                 BinOp::Div => "//",
                 BinOp::Mod => "%",
-                BinOp::Min => return format!(
-                    "min({}, {})",
-                    print_expr(program, lhs),
-                    print_expr(program, rhs)
-                ),
-                BinOp::Max => return format!(
-                    "max({}, {})",
-                    print_expr(program, lhs),
-                    print_expr(program, rhs)
-                ),
+                BinOp::Min => {
+                    return format!(
+                        "min({}, {})",
+                        print_expr(program, lhs),
+                        print_expr(program, rhs)
+                    )
+                }
+                BinOp::Max => {
+                    return format!(
+                        "max({}, {})",
+                        print_expr(program, lhs),
+                        print_expr(program, rhs)
+                    )
+                }
             };
             format!(
                 "({} {o} {})",

@@ -200,7 +200,10 @@ impl Stage {
 
     /// Product of the extents of the current loop nest.
     pub fn loop_volume(&self) -> i64 {
-        self.loop_order.iter().map(|&i| self.iters[i].extent).product()
+        self.loop_order
+            .iter()
+            .map(|&i| self.iters[i].extent)
+            .product()
     }
 
     /// Live iterators of the given kind, in loop order.
@@ -371,7 +374,12 @@ impl State {
     /// Splits a live iterator into `lengths.len() + 1` parts. `lengths` are
     /// the extents of the inner parts (outer→inner); the outermost extent is
     /// inferred and all lengths must divide exactly.
-    pub fn split(&mut self, sid: StageId, iter: IterId, lengths: &[i64]) -> Result<Vec<IterId>, Error> {
+    pub fn split(
+        &mut self,
+        sid: StageId,
+        iter: IterId,
+        lengths: &[i64],
+    ) -> Result<Vec<IterId>, Error> {
         if lengths.is_empty() {
             return Err(Error::Invalid("split needs at least one length".into()));
         }
@@ -396,7 +404,10 @@ impl State {
                 name: format!("{}.{}", base, p),
                 extent: e,
                 kind,
-                source: IterSource::SplitPart { parent: iter, part: p },
+                source: IterSource::SplitPart {
+                    parent: iter,
+                    part: p,
+                },
                 annotation: Annotation::None,
                 split_children: None,
                 fused_into: None,
@@ -476,7 +487,12 @@ impl State {
     /// Marks a stage as computed at the loop nest of the stage computing
     /// `target`: the first `prefix_len` iterators of the stage are identified
     /// with the first `prefix_len` loops of the target stage.
-    pub fn compute_at(&mut self, sid: StageId, target: NodeId, prefix_len: usize) -> Result<(), Error> {
+    pub fn compute_at(
+        &mut self,
+        sid: StageId,
+        target: NodeId,
+        prefix_len: usize,
+    ) -> Result<(), Error> {
         let tsid = self
             .stage_of_node(target)
             .ok_or(Error::Invalid("compute_at target has no stage".into()))?;
@@ -500,15 +516,10 @@ impl State {
                 )));
             }
             if a.kind != IterKind::Space {
-                return Err(Error::Invalid(
-                    "compute_at prefix must be spatial".into(),
-                ));
+                return Err(Error::Invalid("compute_at prefix must be spatial".into()));
             }
         }
-        self.stages[sid].loc = ComputeLoc::At {
-            target,
-            prefix_len,
-        };
+        self.stages[sid].loc = ComputeLoc::At { target, prefix_len };
         Ok(())
     }
 
@@ -604,9 +615,7 @@ impl State {
         // New body: old Axis(n) (= k) becomes k_o * factor + k_i where
         // k_i = new Axis(n) (spatial) and k_o = new Axis(n + 1) (reduce).
         let substituted = spec.body.map(&mut |e| match e {
-            Expr::Axis(a) if a == n => {
-                Expr::axis(n + 1) * Expr::int(factor) + Expr::axis(n)
-            }
+            Expr::Axis(a) if a == n => Expr::axis(n + 1) * Expr::int(factor) + Expr::axis(n),
             other => other,
         });
         let mut rf_shape = spec.shape.clone();

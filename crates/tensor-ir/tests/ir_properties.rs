@@ -215,7 +215,11 @@ fn multi_reduce_axes_tile_and_run() {
     b.compute_reduce("C", &[4, 4, 4], &[4, 3, 3], Reducer::Sum, |ax| {
         Expr::load(
             a,
-            vec![ax[3].clone(), ax[1].clone() + ax[4].clone(), ax[2].clone() + ax[5].clone()],
+            vec![
+                ax[3].clone(),
+                ax[1].clone() + ax[4].clone(),
+                ax[2].clone() + ax[5].clone(),
+            ],
         ) * Expr::load(w, vec![ax[3].clone(), ax[4].clone(), ax[5].clone()])
     });
     let dag = Arc::new(b.build().unwrap());

@@ -139,7 +139,11 @@ pub fn resnet3d_18(batch: i64) -> Vec<NetworkTask> {
 /// transposed convolutions (4×4 kernels, stride 2).
 pub fn dcgan(batch: i64) -> Vec<NetworkTask> {
     vec![
-        t("matmul:dcgan/proj", ops::gmm(1, batch, 4 * 4 * 1024, 100), 1.0),
+        t(
+            "matmul:dcgan/proj",
+            ops::gmm(1, batch, 4 * 4 * 1024, 100),
+            1.0,
+        ),
         t(
             "t2d:dcgan/up1",
             ops::transposed_conv2d(batch, 1024, 512, 4, 4, 2, 1),
@@ -235,7 +239,9 @@ mod tests {
             let tasks = network(name, 1).unwrap();
             assert!(!tasks.is_empty(), "{name}");
             for t in &tasks {
-                t.dag.validate().unwrap_or_else(|e| panic!("{name}/{}: {e}", t.name));
+                t.dag
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", t.name));
                 assert!(t.weight >= 1.0);
                 assert!(t.dag.flop_count() > 0.0);
             }
@@ -261,10 +267,7 @@ mod tests {
             .iter()
             .map(|t| t.dag.flop_count() * t.weight)
             .sum();
-        assert!(
-            (2e9..1.5e10).contains(&flops),
-            "resnet50 flops {flops:.3e}"
-        );
+        assert!((2e9..1.5e10).contains(&flops), "resnet50 flops {flops:.3e}");
         // MobileNet-V2 is an order of magnitude cheaper.
         let mb: f64 = mobilenet_v2(1)
             .iter()

@@ -51,7 +51,15 @@ pub fn gmm(batch: i64, n: i64, m: i64, k: i64) -> Arc<ComputeDag> {
 }
 
 /// 1D convolution (NCW).
-pub fn conv1d(batch: i64, ci: i64, co: i64, len: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+pub fn conv1d(
+    batch: i64,
+    ci: i64,
+    co: i64,
+    len: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+) -> Arc<ComputeDag> {
     let lo = conv_out(len, kernel, stride, pad);
     let lp = pad_extent(lo, kernel, stride);
     let mut b = DagBuilder::new();
@@ -64,17 +72,11 @@ pub fn conv1d(batch: i64, ci: i64, co: i64, len: i64, kernel: i64, stride: i64, 
             Expr::load(a, vec![ax[0].clone(), ax[1].clone(), src]),
         )
     });
-    b.compute_reduce(
-        "C",
-        &[batch, co, lo],
-        &[ci, kernel],
-        Reducer::Sum,
-        |ax| {
-            let l = ax[2].clone() * Expr::int(stride) + ax[4].clone();
-            Expr::load(p, vec![ax[0].clone(), ax[3].clone(), l])
-                * Expr::load(w, vec![ax[1].clone(), ax[3].clone(), ax[4].clone()])
-        },
-    );
+    b.compute_reduce("C", &[batch, co, lo], &[ci, kernel], Reducer::Sum, |ax| {
+        let l = ax[2].clone() * Expr::int(stride) + ax[4].clone();
+        Expr::load(p, vec![ax[0].clone(), ax[3].clone(), l])
+            * Expr::load(w, vec![ax[1].clone(), ax[3].clone(), ax[4].clone()])
+    });
     Arc::new(b.build().expect("valid conv1d"))
 }
 
@@ -121,11 +123,7 @@ pub fn conv2d_general(
             let src_c = if groups == 1 {
                 ax[4].clone()
             } else {
-                Expr::binary(
-                    tensor_ir::BinOp::Div,
-                    ax[1].clone(),
-                    Expr::int(cog),
-                ) * Expr::int(cig)
+                Expr::binary(tensor_ir::BinOp::Div, ax[1].clone(), Expr::int(cog)) * Expr::int(cig)
                     + ax[4].clone()
             };
             let h = ax[2].clone() * Expr::int(stride) + ax[5].clone() * Expr::int(dilation);
@@ -141,24 +139,57 @@ pub fn conv2d_general(
 }
 
 /// Standard 2D convolution.
-pub fn conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+pub fn conv2d(
+    batch: i64,
+    ci: i64,
+    co: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+) -> Arc<ComputeDag> {
     conv2d_general(batch, ci, co, size, kernel, stride, pad, 1, 1)
 }
 
 /// Dilated 2D convolution (DIL).
 #[allow(clippy::too_many_arguments)]
-pub fn dilated_conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64, dilation: i64) -> Arc<ComputeDag> {
+pub fn dilated_conv2d(
+    batch: i64,
+    ci: i64,
+    co: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+    dilation: i64,
+) -> Arc<ComputeDag> {
     conv2d_general(batch, ci, co, size, kernel, stride, pad, dilation, 1)
 }
 
 /// Group convolution (GRP).
 #[allow(clippy::too_many_arguments)]
-pub fn group_conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64, groups: i64) -> Arc<ComputeDag> {
+pub fn group_conv2d(
+    batch: i64,
+    ci: i64,
+    co: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+    groups: i64,
+) -> Arc<ComputeDag> {
     conv2d_general(batch, ci, co, size, kernel, stride, pad, 1, groups)
 }
 
 /// Depth-wise 2D convolution (DEP).
-pub fn depthwise_conv2d(batch: i64, c: i64, size: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+pub fn depthwise_conv2d(
+    batch: i64,
+    c: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+) -> Arc<ComputeDag> {
     let ho = conv_out(size, kernel, stride, pad);
     let hp = pad_extent(ho, kernel, stride);
     let mut b = DagBuilder::new();
@@ -191,7 +222,16 @@ pub fn depthwise_conv2d(batch: i64, c: i64, size: i64, kernel: i64, stride: i64,
 
 /// 3D convolution (NCDHW).
 #[allow(clippy::too_many_arguments)]
-pub fn conv3d(batch: i64, ci: i64, co: i64, depth: i64, size: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+pub fn conv3d(
+    batch: i64,
+    ci: i64,
+    co: i64,
+    depth: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+) -> Arc<ComputeDag> {
     let do_ = conv_out(depth, kernel, stride, pad);
     let ho = conv_out(size, kernel, stride, pad);
     let dp = pad_extent(do_, kernel, stride);
@@ -240,7 +280,15 @@ pub fn conv3d(batch: i64, ci: i64, co: i64, depth: i64, size: i64, kernel: i64, 
 /// Transposed 2D convolution (T2D): the guards `(h+p−kh) mod s == 0`
 /// produce the zero multiplications the paper's §7.1 discusses — a code
 /// generator eliminates them only when the guard loops are unrolled.
-pub fn transposed_conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+pub fn transposed_conv2d(
+    batch: i64,
+    ci: i64,
+    co: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+) -> Arc<ComputeDag> {
     let out = (size - 1) * stride - 2 * pad + kernel;
     let mut b = DagBuilder::new();
     let a = b.placeholder("A", &[batch, ci, size, size]);
@@ -288,7 +336,16 @@ pub fn transposed_conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, s
 /// Capsule 2D convolution (CAP): each "pixel" is a 4×4 pose matrix; the
 /// kernel applies a matrix product per capsule pair.
 #[allow(clippy::too_many_arguments)]
-pub fn capsule_conv2d(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64, caps: i64) -> Arc<ComputeDag> {
+pub fn capsule_conv2d(
+    batch: i64,
+    ci: i64,
+    co: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+    caps: i64,
+) -> Arc<ComputeDag> {
     let ho = conv_out(size, kernel, stride, pad);
     let hp = pad_extent(ho, kernel, stride);
     let mut b = DagBuilder::new();
@@ -398,10 +455,9 @@ mod tests {
                                     let ih = oh * stride + kh - pad;
                                     let iw = ow * stride + kw - pad;
                                     if ih >= 0 && ih < size && iw >= 0 && iw < size {
-                                        let av = a[(((bb * ci + ic) * size + ih) * size + iw)
-                                            as usize];
-                                        let wv = w[(((oc * ci + ic) * kernel + kh) * kernel
-                                            + kw)
+                                        let av =
+                                            a[(((bb * ci + ic) * size + ih) * size + iw) as usize];
+                                        let wv = w[(((oc * ci + ic) * kernel + kh) * kernel + kw)
                                             as usize];
                                         acc += av * wv;
                                     }
@@ -452,11 +508,9 @@ mod tests {
                                     let oh = ih * stride + kh - pad;
                                     let ow = iw * stride + kw - pad;
                                     if oh >= 0 && oh < out_size && ow >= 0 && ow < out_size {
-                                        let wv = w[(((ic * co + oc) * kernel + kh) * kernel
-                                            + kw)
+                                        let wv = w[(((ic * co + oc) * kernel + kh) * kernel + kw)
                                             as usize];
-                                        expect[(((bb * co + oc) * out_size + oh) * out_size
-                                            + ow)
+                                        expect[(((bb * co + oc) * out_size + oh) * out_size + ow)
                                             as usize] += av * wv;
                                     }
                                 }
@@ -511,7 +565,11 @@ mod tests {
         let bufs = interp::run_naive(&dag, &inputs).unwrap();
         let got = bufs.get(output_node(&dag));
         for b in 0..2usize {
-            let expect: f32 = a[b * 24..(b + 1) * 24].iter().map(|v| v * v).sum::<f32>().sqrt();
+            let expect: f32 = a[b * 24..(b + 1) * 24]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt();
             assert!((got[b] - expect).abs() < 1e-4, "{} vs {expect}", got[b]);
         }
     }
@@ -537,10 +595,7 @@ mod tests {
     #[test]
     fn capsule_conv_shape_and_flops() {
         let dag = capsule_conv2d(1, 2, 2, 4, 3, 1, 1, 4);
-        assert_eq!(
-            dag.node_by_name("C").unwrap().shape(),
-            &[1, 4, 4, 2, 4, 4]
-        );
+        assert_eq!(dag.node_by_name("C").unwrap().shape(), &[1, 4, 4, 2, 4, 4]);
         assert!(dag.flop_count() > 0.0);
         let inputs = interp::random_inputs(&dag, 7);
         interp::run_naive(&dag, &inputs).unwrap();

@@ -121,10 +121,7 @@ mod tests {
         for &op in &OP_CLASSES {
             let f1 = build_case(op, 0, 1).unwrap().flop_count();
             let f16 = build_case(op, 0, 16).unwrap().flop_count();
-            assert!(
-                (f16 / f1 - 16.0).abs() < 0.5,
-                "{op}: {f1} vs {f16}"
-            );
+            assert!((f16 / f1 - 16.0).abs() < 0.5, "{op}: {f1} vs {f16}");
         }
     }
 }

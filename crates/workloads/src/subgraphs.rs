@@ -11,7 +11,15 @@ use crate::ops::conv_out;
 /// ConvLayer: conv2d → batch-norm (inference form: scale + shift) → ReLU.
 /// The batch-norm and ReLU are strictly inlinable, so Ansor fuses the
 /// whole layer into one tiled loop nest.
-pub fn conv_layer(batch: i64, ci: i64, co: i64, size: i64, kernel: i64, stride: i64, pad: i64) -> Arc<ComputeDag> {
+pub fn conv_layer(
+    batch: i64,
+    ci: i64,
+    co: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+) -> Arc<ComputeDag> {
     let ho = conv_out(size, kernel, stride, pad);
     let hp = (ho - 1) * stride + kernel;
     let mut b = DagBuilder::new();
@@ -127,8 +135,8 @@ mod tests {
                 for j in 0..4i64 {
                     let mut acc = 0.0f32;
                     for d in 0..3i64 {
-                        acc += q[((b * 4 + i) * 3 + d) as usize]
-                            * k[((b * 4 + j) * 3 + d) as usize];
+                        acc +=
+                            q[((b * 4 + i) * 3 + d) as usize] * k[((b * 4 + j) * 3 + d) as usize];
                     }
                     let got = c[((b * 4 + i) * 4 + j) as usize];
                     assert!((got - acc).abs() < 1e-4);

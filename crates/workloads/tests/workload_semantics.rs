@@ -86,8 +86,8 @@ fn conv1d_matches_manual_reference() {
                 for kk in 0..k {
                     let il = ol * s + kk - p;
                     if il >= 0 && il < len {
-                        acc += a[((ic) * len + il) as usize]
-                            * w[((oc * ci + ic) * k + kk) as usize];
+                        acc +=
+                            a[((ic) * len + il) as usize] * w[((oc * ci + ic) * k + kk) as usize];
                     }
                 }
             }

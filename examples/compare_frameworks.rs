@@ -7,7 +7,7 @@
 //! ```
 
 use ansor::baselines::{search_frameworks, vendor::vendor_seconds};
-use ansor::core::{save_records, load_records, best_record, SketchPolicy, LearnedCostModel};
+use ansor::core::{best_record, load_records, save_records, LearnedCostModel, SketchPolicy};
 use ansor::prelude::*;
 
 fn main() {
@@ -22,7 +22,12 @@ fn main() {
     println!("conv2d 56x56, 64->64 channels — {trials} trials per framework\n");
     println!("{:<12} {:>12} {:>12}", "framework", "best", "GFLOP/s");
     let v = vendor_seconds(&task, &HardwareTarget::intel_20core_avx512());
-    println!("{:<12} {:>9.3} ms {:>12.1}", "Vendor", v * 1e3, flops / v / 1e9);
+    println!(
+        "{:<12} {:>9.3} ms {:>12.1}",
+        "Vendor",
+        v * 1e3,
+        flops / v / 1e9
+    );
     for fw in search_frameworks() {
         let r = fw.tune(&task, trials, 1);
         println!(
@@ -48,9 +53,14 @@ fn main() {
     let path = dir.join("conv2d.jsonl");
     let _ = std::fs::remove_file(&path);
     save_records(&path, &policy.log).expect("save log");
-    println!("\nsaved {} tuning records to {}", policy.log.len(), path.display());
+    println!(
+        "\nsaved {} tuning records to {}",
+        policy.log.len(),
+        path.display()
+    );
 
-    let records = load_records(&path).expect("load log");
+    let (records, skipped) = load_records(&path).expect("load log");
+    assert_eq!(skipped, 0, "freshly written log must parse cleanly");
     let best = best_record(&records, &task.name).expect("a best record");
     let state = best.replay(task.dag.clone()).expect("replayable");
     let mut fresh = Measurer::new(task.target.clone());

@@ -31,8 +31,7 @@ fn novel_operator() -> Arc<ComputeDag> {
         )
     });
     b.compute("O", &[256, 256], |ax| {
-        Expr::load(d, vec![ax[0].clone(), ax[1].clone()])
-            * Expr::load(s, vec![ax[1].clone()])
+        Expr::load(d, vec![ax[0].clone(), ax[1].clone()]) * Expr::load(s, vec![ax[1].clone()])
     });
     Arc::new(b.build().unwrap())
 }
@@ -53,9 +52,11 @@ impl SketchRule for AggressiveUnrollRule {
         }
         // Only fire once per node: skip if the pragma is already set.
         let name = ws.state.dag.nodes[i].name.clone();
-        let already = ws.state.steps.iter().any(
-            |s| matches!(s, Step::Pragma { node, .. } if *node == name),
-        );
+        let already = ws
+            .state
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::Pragma { node, .. } if *node == name));
         if already {
             return RuleResult::Pass;
         }
@@ -106,5 +107,9 @@ fn main() {
         let mut m = Measurer::new(task.target.clone());
         m.measure(&State::new(dag.clone())).seconds
     };
-    println!("naive program: {:.3} ms  (speedup {:.0}x)", naive * 1e3, naive / result.best_seconds);
+    println!(
+        "naive program: {:.3} ms  (speedup {:.0}x)",
+        naive * 1e3,
+        naive / result.best_seconds
+    );
 }

@@ -28,13 +28,20 @@ fn main() {
     println!("FLOPs per run: {:.2e}", dag.flop_count());
 
     // 2. Create a search task on the simulated 20-core CPU and tune.
-    let task = SearchTask::new("matmul_relu:512", dag.clone(), HardwareTarget::intel_20core());
+    let task = SearchTask::new(
+        "matmul_relu:512",
+        dag.clone(),
+        HardwareTarget::intel_20core(),
+    );
     let mut measurer = Measurer::new(task.target.clone());
     let options = TuningOptions {
         num_measure_trials: 256,
         ..Default::default()
     };
-    println!("tuning with {} measurement trials...", options.num_measure_trials);
+    println!(
+        "tuning with {} measurement trials...",
+        options.num_measure_trials
+    );
     let result = auto_schedule(&task, options, &mut measurer);
     let best = result.best.expect("found a schedule");
 
@@ -62,8 +69,7 @@ fn main() {
         .iter()
         .zip(reference.get(3))
         .map(|(x, y)| (x - y).abs())
-        .fold(0.0f32, f32::max)
-        ;
+        .fold(0.0f32, f32::max);
     println!("max |tuned - naive| = {max_err:.2e}");
     assert!(max_err < 1e-2, "tuned program must compute the same values");
     println!("functional check passed.");

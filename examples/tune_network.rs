@@ -16,7 +16,9 @@ fn main() {
     let target = HardwareTarget::intel_20core();
 
     let tasks = network(net, batch).unwrap_or_else(|| {
-        eprintln!("unknown network {net:?}; use resnet50 | mobilenet_v2 | resnet3d_18 | dcgan | bert");
+        eprintln!(
+            "unknown network {net:?}; use resnet50 | mobilenet_v2 | resnet3d_18 | dcgan | bert"
+        );
         std::process::exit(1);
     });
     println!("{net}: {} unique subgraph tasks", tasks.len());

@@ -47,16 +47,10 @@ fn main() {
             }
         }
         let result = auto_schedule(&task, options, &mut measurer);
-        println!(
-            "  {name:<9} tuned: {:.3} ms",
-            result.best_seconds * 1e3
-        );
+        println!("  {name:<9} tuned: {:.3} ms", result.best_seconds * 1e3);
         best.push(result.best_seconds);
     }
-    println!(
-        "\ndirect / winograd speedup = {:.2}x",
-        best[0] / best[1]
-    );
+    println!("\ndirect / winograd speedup = {:.2}x", best[0] / best[1]);
     println!(
         "Note: the multiplication count alone would give 2.25x, but the\n\
          transform stages materialize large intermediate tensors whose\n\

@@ -169,14 +169,20 @@ fn main() {
     let mut model = LearnedCostModel::new();
     let mut measurer = Measurer::new(target);
     if let Some(path) = &cli.log {
-        if let Ok(records) = load_records(path) {
+        if let Ok((records, skipped)) = load_records(path) {
+            if skipped > 0 {
+                eprintln!("warning: skipped {skipped} corrupt lines in {path}");
+            }
             let n = policy.warm_start(&records, &mut model);
             if n > 0 {
                 println!("warm-started from {n} records in {path}");
             }
         }
     }
-    println!("tuning {op} (shape {}, batch {}) with {} trials...", cli.shape, cli.batch, cli.trials);
+    println!(
+        "tuning {op} (shape {}, batch {}) with {} trials...",
+        cli.shape, cli.batch, cli.trials
+    );
     while policy.tune_round(&mut model, &mut measurer) > 0 {}
     let best_seconds = policy.best_seconds();
     println!(

@@ -1,0 +1,293 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`
+//! with `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `benchmark_group`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple wall-clock
+//! harness: per benchmark it warms up for the configured duration, picks an
+//! iteration batch size, collects `sample_size` timed batches, and prints
+//! min/median/max time per iteration.
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches` does)
+//! or `--quick`, every benchmark body runs exactly once, unmeasured — a
+//! smoke-test mode so benches stay cheap outside `cargo bench`.
+
+// Vendored stand-in: not held to the workspace lint bar.
+#![allow(clippy::all)]
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies. Re-exported name matches criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Benchmark harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    settings: Settings,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Quick mode when run as a test rather than a benchmark: either via
+        // the conventional `--test` flag, or because the harness was built
+        // with debug assertions (`cargo test` uses the test profile; `cargo
+        // bench` uses the release-based bench profile).
+        let quick =
+            cfg!(debug_assertions) || std::env::args().any(|a| a == "--test" || a == "--quick");
+        Criterion {
+            settings: Settings::default(),
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), &self.settings, self.quick, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: None,
+        }
+    }
+}
+
+/// A named group of benchmarks with (optionally) overridden settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Option<Settings>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn settings_mut(&mut self) -> &mut Settings {
+        let base = self.criterion.settings.clone();
+        self.settings.get_or_insert(base)
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings_mut().sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings_mut().warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings_mut().measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into());
+        let settings = self
+            .settings
+            .clone()
+            .unwrap_or_else(|| self.criterion.settings.clone());
+        run_bench(&full_id, &settings, self.criterion.quick, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    settings: Settings,
+    quick: bool,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            return;
+        }
+
+        // Warm-up, and estimate the cost of one iteration while at it.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Choose a batch size so that sample_size batches fit in the
+        // measurement window.
+        let budget = self.settings.measurement.as_secs_f64();
+        let total_iters = (budget / per_iter.max(1e-9)).ceil() as u64;
+        let batch = (total_iters / self.settings.sample_size as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.settings.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, quick: bool, f: &mut F) {
+    let mut bencher = Bencher {
+        settings: settings.clone(),
+        quick,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if quick {
+        println!("{id}: ok (quick mode, 1 iteration)");
+        return;
+    }
+    let mut samples = bencher.samples_ns;
+    if samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{id:<44} time: [{} {} {}]  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group function. Both criterion forms are supported:
+/// `criterion_group!(name, target1, target2)` and
+/// `criterion_group! { name = n; config = expr; targets = t1, t2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bencher_runs_once() {
+        let mut count = 0u32;
+        let mut b = Bencher {
+            settings: Settings::default(),
+            quick: true,
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn measured_bencher_collects_samples() {
+        let mut b = Bencher {
+            settings: Settings {
+                sample_size: 5,
+                warm_up: Duration::from_millis(5),
+                measurement: Duration::from_millis(20),
+            },
+            quick: false,
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.pow(7)));
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(12.0), "12.00 ns");
+        assert_eq!(fmt_ns(1.2e4), "12.00 µs");
+        assert_eq!(fmt_ns(1.2e7), "12.00 ms");
+        assert_eq!(fmt_ns(1.2e10), "12.000 s");
+    }
+}

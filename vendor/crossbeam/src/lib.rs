@@ -1,0 +1,80 @@
+//! Minimal, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn`, which
+//! std has provided natively since 1.63 (`std::thread::scope`). This shim
+//! adapts the std API to crossbeam's: the scope function returns a `Result`
+//! (crossbeam catches child panics; here a child panic propagates out of
+//! `std::thread::scope` instead, which for the `.expect(..)` call sites in
+//! this workspace is equivalent), and spawned closures receive a `&Scope`
+//! argument for nested spawning.
+
+// Vendored stand-in: not held to the workspace lint bar.
+#![allow(clippy::all)]
+pub mod thread {
+    /// Result of [`scope`]. Always `Ok` here: child panics propagate as
+    /// panics rather than being captured (see crate docs).
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Wrapper over [`std::thread::Scope`] exposing crossbeam's
+    /// closure-takes-scope spawn signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            })
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the caller's
+    /// stack. All spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_borrowed_buffer() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        crate::thread::scope(|scope| {
+            for (d, o) in data.chunks(2).zip(out.chunks_mut(2)) {
+                scope.spawn(move |_| {
+                    for (x, y) in d.iter().zip(o.iter_mut()) {
+                        *y = x * 10;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        crate::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

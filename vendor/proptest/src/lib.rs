@@ -1,0 +1,535 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Real proptest does integrated shrinking; the offline shim keeps the same
+//! API surface but implements plain random sampling: each `proptest!` test
+//! runs its body against `ProptestConfig::cases` freshly sampled inputs from
+//! a per-test deterministic RNG (seeded from the test's module path + name),
+//! so failures reproduce exactly across runs. `prop_assume!` rejects the
+//! current case; a bounded reject budget prevents pathological filters from
+//! looping forever.
+//!
+//! Supported surface (everything this workspace's tests use): `Strategy` with
+//! `prop_map` / `prop_recursive` / `boxed`, range and `RangeInclusive`
+//! strategies for ints and floats, tuple strategies, `prop::sample::select`,
+//! `any::<T>()`, `Just`, `prop_oneof!`, `proptest!` (with optional
+//! `#![proptest_config(..)]`), `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`.
+
+// Vendored stand-in: not held to the workspace lint bar.
+#![allow(clippy::all)]
+use rand::prelude::*;
+use std::rc::Rc;
+
+/// The RNG handed to strategies. Deterministic per test.
+pub type TestRng = StdRng;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed: the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` filter rejected the inputs: resample and retry.
+    Reject(String),
+}
+
+pub type TestCaseResult = std::result::Result<(), TestCaseError>;
+
+/// A generator of random values. The shim's `sample` replaces real
+/// proptest's value-tree machinery (no shrinking).
+pub trait Strategy: 'static {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive values: `depth` levels of "either a base value or one
+    /// recursion step". The `_desired_size`/`_expected_branch` hints that real
+    /// proptest uses for size control are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut current: BoxedStrategy<Self::Value> = self.clone().boxed();
+        for _ in 0..depth {
+            let leaf = self.clone().boxed();
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![leaf, deeper]).boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + 'static,
+    U: 'static,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! numeric_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_inclusive_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident . $n:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+/// Types with a canonical "uniform over the whole domain" strategy
+/// (`any::<T>()`).
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::prelude::*;
+
+    /// Uniform choice from a fixed list (`prop::sample::select`).
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Clone for Select<T> {
+        fn clone(&self) -> Self {
+            Select {
+                items: self.items.clone(),
+            }
+        }
+    }
+
+    pub fn select<T: Clone + 'static>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs a non-empty list");
+        Select { items }
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.items
+                .choose(rng)
+                .expect("select list is non-empty")
+                .clone()
+        }
+    }
+}
+
+/// Stable FNV-1a hash of the test path: the per-test seed. Independent of
+/// std's `DefaultHasher` so the sampled cases never change under a std
+/// upgrade.
+#[doc(hidden)]
+pub fn __test_seed(path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn __rng(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}` at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}` at {}:{}\n  left: {:?}\n right: {:?}\n  {}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __seed =
+                $crate::__test_seed(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng = $crate::__rng(__seed);
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(20).saturating_add(1000);
+            while __passed < __config.cases {
+                __attempts += 1;
+                if __attempts > __max_attempts {
+                    panic!(
+                        "proptest shim: `{}` rejected too many cases ({} attempts for {} cases)",
+                        stringify!($name),
+                        __attempts,
+                        __config.cases
+                    );
+                }
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)*
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {
+                        __passed += 1;
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest case failed (seed {:#x}, case {}):\n{}",
+                            __seed, __passed, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    /// Real proptest's prelude exposes the crate under the name `prop` so
+    /// tests can write `prop::sample::select(..)`.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -4i64..5, b in 1usize..=4) {
+            prop_assert!((-4..5).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn map_and_oneof_compose(v in prop_oneof![
+            (0i64..10).prop_map(|x| x * 2),
+            (100i64..110).prop_map(|x| x),
+        ]) {
+            prop_assert!((0..20).contains(&v) || (100..110).contains(&v), "v = {}", v);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => usize::from(*v < 10),
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 64, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            });
+        let mut rng = crate::__rng(7);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&strat.sample(&mut rng)));
+        }
+        assert!(max_depth > 1, "recursion never taken");
+        assert!(max_depth <= 5, "depth bound exceeded: {max_depth}");
+    }
+
+    #[test]
+    fn deterministic_per_test_seed() {
+        let a = crate::__test_seed("mod::test_a");
+        assert_eq!(a, crate::__test_seed("mod::test_a"));
+        assert_ne!(a, crate::__test_seed("mod::test_b"));
+    }
+}

@@ -1,0 +1,586 @@
+//! Minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! Real serde abstracts over serializer backends; this workspace only ever
+//! serializes to and from JSON, so the shim collapses the data model to one
+//! concrete tree type, [`Value`], mirroring `serde_json::Value`:
+//!
+//! - `Serialize` is "convert to a `Value`".
+//! - `Deserialize` is "convert from a `&Value`".
+//! - `serde_json` (also vendored) renders a `Value` to JSON text and back.
+//!
+//! The semantics deliberately match serde_json where the workspace can
+//! observe them: non-finite floats serialize to `null` (and refuse to
+//! deserialize back into a float), maps with integer-like keys become string
+//! keys, objects are `BTreeMap`-backed so output key order is deterministic,
+//! enums use externally-tagged encoding (`"Unit"`, `{"Variant": ...}`).
+//!
+//! The paired `serde_derive` shim generates impls of these traits for
+//! non-generic structs and enums, honouring `#[serde(skip)]` and
+//! `#[serde(default)]`.
+
+// Vendored stand-in: not held to the workspace lint bar.
+#![allow(clippy::all)]
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON object representation. `BTreeMap` keeps key order deterministic,
+/// matching serde_json's `preserve_order`-off default closely enough for the
+/// round-trip and golden-output tests in this workspace.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON-shaped value tree — the single concrete data model of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// A JSON number: distinguishes integer and float representations the same
+/// way serde_json does, so integers round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 {
+                    Some(v as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v >= 0.0 && v <= u64::MAX as f64 {
+                    Some(v as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error. One concrete type (real serde parameterizes this
+/// per-format; the JSON-only shim doesn't need to).
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for enum {ty}"))
+    }
+
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        DeError(format!(
+            "invalid type: expected {expected}, found {}",
+            got.type_name()
+        ))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by generated code: wrap a data-carrying enum variant in its
+/// externally-tagged `{"Variant": payload}` form.
+#[doc(hidden)]
+pub fn __variant(name: &str, payload: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(name.to_string(), payload);
+    Value::Object(m)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::invalid_type("bool", v))
+    }
+}
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::invalid_type(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::invalid_type(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // serde_json semantics: NaN/∞ have no JSON representation and
+                // serialize as null. (The telemetry/records code stores
+                // validity explicitly instead of relying on this.)
+                let v = *self as f64;
+                if v.is_finite() {
+                    Value::Number(Number::Float(v))
+                } else {
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| DeError::invalid_type(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::invalid_type("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::invalid_type("char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::invalid_type("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! smart_ptr_impl {
+    ($($p:ident),*) => {$(
+        impl<T: Serialize> Serialize for $p<T> {
+            fn to_value(&self) -> Value {
+                (**self).to_value()
+            }
+        }
+        impl<T: Deserialize> Deserialize for $p<T> {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                T::from_value(v).map($p::new)
+            }
+        }
+    )*};
+}
+
+smart_ptr_impl!(Box, Rc, Arc);
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = v.as_array().ok_or_else(|| DeError::invalid_type("tuple array", v))?;
+                let expected = [$($n),+].len();
+                if a.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected} elements, got {}",
+                        a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impl!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+/// Map keys must render as JSON strings. Mirrors serde_json, which accepts
+/// integer keys by stringifying them.
+pub trait MapKey: Ord + Sized {
+    fn to_map_key(&self) -> String;
+    fn from_map_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_map_key(&self) -> String {
+        self.clone()
+    }
+    fn from_map_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_key_impl {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_map_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_map_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| {
+                    DeError::custom(format!(concat!("invalid ", stringify!($t), " map key: {:?}"), s))
+                })
+            }
+        }
+    )*};
+}
+
+int_key_impl!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_map_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::invalid_type("object", v))?
+            .iter()
+            .map(|(k, x)| Ok((K::from_map_key(k)?, V::from_value(x)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + std::hash::Hash + Eq, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Route through the BTreeMap-backed object so HashMap's iteration
+        // order can't leak into serialized output.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_map_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::invalid_type("object", v))?
+            .iter()
+            .map(|(k, x)| Ok((K::from_map_key(k)?, V::from_value(x)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::invalid_type("null", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).is_err());
+        assert_eq!(1.5f64.to_value(), Value::Number(Number::Float(1.5)));
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let some: Option<u32> = Some(3);
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::from_value(&some.to_value()).unwrap(),
+            Some(3)
+        );
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn integer_keyed_maps_use_string_keys() {
+        let mut m = HashMap::new();
+        m.insert(7usize, -2i64);
+        let v = m.to_value();
+        assert_eq!(v.get("7").and_then(Value::as_i64), Some(-2));
+        let back: HashMap<usize, i64> = HashMap::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let t = (3u64, 0.5f64);
+        let v = t.to_value();
+        assert_eq!(v.as_array().map(Vec::len), Some(2));
+        let back: (u64, f64) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,482 @@
+//! Minimal stand-in for `serde_derive`, written against the vendored `serde`
+//! shim's `Value`-tree data model.
+//!
+//! Real serde_derive builds on `syn`/`quote`; neither is available offline,
+//! so this macro walks the raw `proc_macro::TokenStream` directly and emits
+//! generated impls as source text. Supported input shapes — which cover every
+//! derive site in this workspace — are:
+//!
+//! - non-generic structs with named fields;
+//! - non-generic enums with unit, tuple, and struct variants;
+//! - the `#[serde(skip)]` and `#[serde(default)]` field attributes.
+//!
+//! Anything else (generics, tuple structs, other serde attributes) fails the
+//! build with an explicit "shim" panic rather than silently mis-serializing.
+
+// Vendored stand-in: not held to the workspace lint bar.
+#![allow(clippy::all)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes / visibility until the `struct` or `enum` keyword.
+    let keyword = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive shim: no struct/enum keyword found"),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple struct `{name}` is not supported");
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive shim: unit struct `{name}` is not supported");
+            }
+            Some(_) => {}
+            None => panic!("serde_derive shim: `{name}` has no body"),
+        }
+    };
+
+    let shape = if keyword == "struct" {
+        Shape::Struct(parse_named_fields(body))
+    } else {
+        Shape::Enum(parse_variants(body))
+    };
+    Input { name, shape }
+}
+
+/// Consume leading `#[...]` attributes, returning (skip, default) from any
+/// `#[serde(...)]` among them.
+fn parse_leading_attrs(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        let Some(TokenTree::Group(g)) = iter.next() else {
+            panic!("serde_derive shim: malformed attribute");
+        };
+        let mut inner = g.stream().into_iter();
+        match inner.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+            _ => continue, // doc comment or unrelated attribute
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            continue;
+        };
+        for tt in args.stream() {
+            if let TokenTree::Ident(id) = tt {
+                match id.to_string().as_str() {
+                    "skip" => skip = true,
+                    "default" => default = true,
+                    other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+    }
+    (skip, default)
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let (skip, default) = parse_leading_attrs(&mut iter);
+
+        // Optional visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+        }
+
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{name}`, got {other:?}"),
+        }
+
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // Generic arguments use bare `<`/`>` punctuation (not token groups),
+        // so commas inside `HashMap<K, V>` must not terminate the field.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let _ = parse_leading_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume the separating comma (and reject discriminants, which serde
+        // enums in this workspace never use).
+        match iter.next() {
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("serde_derive shim: unexpected token after variant: {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Count top-level fields in a tuple-variant payload by counting commas at
+/// angle-bracket depth 0.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for tt in ts {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    fields += 1;
+                    pending = false;
+                    continue;
+                }
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                }
+                pending = true;
+            }
+            _ => pending = true,
+        }
+    }
+    fields + usize::from(pending)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let mut b = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                b.push_str(&format!(
+                    "__m.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            b.push_str("::serde::Value::Object(__m)");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => \
+                         ::serde::__variant(\"{vn}\", ::serde::Serialize::to_value(__f0)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::__variant(\"{vn}\", \
+                             ::serde::Value::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| format!("{n}: __b_{n}", n = f.name))
+                            .collect();
+                        let pat = if binds.is_empty() {
+                            "..".to_string()
+                        } else {
+                            format!("{}, ..", binds.join(", "))
+                        };
+                        let mut inner = String::from("let mut __vm = ::serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__vm.insert(\"{n}\".to_string(), \
+                                 ::serde::Serialize::to_value(__b_{n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{ {inner} \
+                             ::serde::__variant(\"{vn}\", ::serde::Value::Object(__vm)) }}\n",
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unused_mut, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Field initializer for struct (or struct-variant) deserialization, reading
+/// from a `&::serde::Map` bound to `{map}`.
+fn field_init(f: &Field, map: &str, ty_name: &str) -> String {
+    if f.skip {
+        return format!("{n}: ::std::default::Default::default(),\n", n = f.name);
+    }
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        // Mirror serde: a missing field is an error unless the field's type
+        // accepts null (e.g. Option<T> -> None).
+        format!(
+            "match ::serde::Deserialize::from_value(&::serde::Value::Null) {{\n\
+               Ok(__d) => __d,\n\
+               Err(_) => return Err(::serde::DeError::missing_field(\"{n}\", \"{ty_name}\")),\n\
+             }}",
+            n = f.name
+        )
+    };
+    format!(
+        "{n}: match {map}.get(\"{n}\") {{\n\
+           Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+           None => {missing},\n\
+         }},\n",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let mut b = format!(
+                "let __m = match __v {{\n\
+                   ::serde::Value::Object(m) => m,\n\
+                   other => return Err(::serde::DeError::invalid_type(\"object\", other)),\n\
+                 }};\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&field_init(f, "__m", name));
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let __a = match __inner {{\n\
+                                 ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                                 other => return Err(::serde::DeError::invalid_type(\
+                                   \"array of {n}\", other)),\n\
+                               }};\n\
+                               Ok({name}::{vn}({elems}))\n\
+                             }}\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&field_init(f, "__fm", name));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let __fm = match __inner {{\n\
+                                 ::serde::Value::Object(m) => m,\n\
+                                 other => return Err(::serde::DeError::invalid_type(\
+                                   \"object\", other)),\n\
+                               }};\n\
+                               Ok({name}::{vn} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                   ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                   }},\n\
+                   ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                     let (__k, __inner) = __m.iter().next().expect(\"len checked\");\n\
+                     match __k.as_str() {{\n\
+                       {data_arms}\
+                       __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                     }}\n\
+                   }}\n\
+                   other => Err(::serde::DeError::invalid_type(\"enum {name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unused_mut, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}
