@@ -9,7 +9,9 @@
 //! - `--trace <path>` — write a structured JSONL tuning trace (see
 //!   docs/TELEMETRY.md; inspect with `trace-report <path>`);
 //! - `--quiet` — suppress the human-readable tables when `--json` or
-//!   `--trace` already captures the results.
+//!   `--trace` already captures the results;
+//! - `--threads <n>` — worker threads for the parallel runtime (see
+//!   docs/PARALLELISM.md; results are bit-identical at every `n`).
 //!
 //! Default budgets are scaled down from the paper's (documented per
 //! binary and in EXPERIMENTS.md); the *comparative shapes* are stable
@@ -43,22 +45,31 @@ pub struct Args {
     pub trace: Option<String>,
     /// Suppress tables when another output captures the results (`--quiet`).
     pub quiet: bool,
+    /// Worker-thread override (`--threads <n>`; `None` = auto).
+    pub threads: Option<usize>,
     /// Extra free-form flags.
     pub flags: Vec<String>,
 }
 
 impl Args {
-    /// Parses `std::env::args`.
+    /// Parses `std::env::args` and applies the `--threads` override to the
+    /// parallel runtime, so every binary gets the flag for free.
     pub fn parse() -> Args {
-        Args::parse_from(std::env::args().skip(1))
+        let args = Args::parse_from(std::env::args().skip(1));
+        if let Some(n) = args.threads {
+            ansor_runtime::set_threads(n);
+        }
+        args
     }
 
-    /// Parses an explicit argument list (testable form of [`Args::parse`]).
+    /// Parses an explicit argument list (testable form of [`Args::parse`];
+    /// does *not* touch the global runtime configuration).
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Args {
         let mut scale = Scale::Default;
         let mut json = None;
         let mut trace = None;
         let mut quiet = false;
+        let mut threads = None;
         let mut flags = Vec::new();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -68,6 +79,9 @@ impl Args {
                 "--json" => json = it.next(),
                 "--trace" => trace = it.next(),
                 "--quiet" => quiet = true,
+                "--threads" => {
+                    threads = it.next().and_then(|v| v.parse().ok());
+                }
                 other => flags.push(other.to_string()),
             }
         }
@@ -76,6 +90,7 @@ impl Args {
             json,
             trace,
             quiet,
+            threads,
             flags,
         }
     }
@@ -223,6 +238,14 @@ mod tests {
         assert_eq!(a.trace.as_deref(), Some("out.jsonl"));
         assert!(a.quiet);
         assert!(a.has_flag("--xyz"));
+        assert_eq!(a.threads, None);
+    }
+
+    #[test]
+    fn threads_flag_parses() {
+        assert_eq!(args(&["--threads", "4"]).threads, Some(4));
+        assert_eq!(args(&["--threads"]).threads, None, "missing value");
+        assert_eq!(args(&["--threads", "zero?"]).threads, None, "bad value");
     }
 
     #[test]

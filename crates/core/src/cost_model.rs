@@ -10,7 +10,8 @@
 
 use std::collections::HashMap;
 
-use ansor_features::extract_program_features;
+use ansor_features::{extract_program_features, extract_states_features};
+use ansor_runtime::SigCache;
 use gbdt::{Gbdt, GbdtParams, TreeParams};
 use rand::prelude::*;
 use tensor_ir::{lower, State};
@@ -63,6 +64,12 @@ pub struct LearnedCostModel {
     /// Cap on the number of most recent records used per training pass.
     max_train_records: usize,
     telemetry: telemetry::Telemetry,
+    /// Signature-keyed score cache: evolution populations carry heavy
+    /// duplication (failed mutations clone the parent, retained-best
+    /// individuals re-enter every generation), and a score is a pure
+    /// function of `(state, model)` — so duplicates are never re-lowered,
+    /// re-featurized, or re-scored. Cleared on every retrain.
+    score_cache: SigCache<f64>,
 }
 
 impl Default for LearnedCostModel {
@@ -90,7 +97,13 @@ impl LearnedCostModel {
             },
             max_train_records: 800,
             telemetry: telemetry::Telemetry::disabled(),
+            score_cache: SigCache::new(1 << 16),
         }
+    }
+
+    /// Lifetime (hits, misses) of the signature-keyed score cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.score_cache.hits(), self.score_cache.misses())
     }
 
     /// Number of stored measurement records.
@@ -149,6 +162,9 @@ impl LearnedCostModel {
 
     fn retrain(&mut self, task: &SearchTask) {
         let _phase = self.telemetry.span("model_retrain");
+        // Scores are about to change with the model; stale entries must
+        // not survive.
+        self.score_cache.clear();
         // Per-task normalization: y = min_seconds / seconds ∈ (0, 1].
         let mut min_per_task: HashMap<&str, f64> = HashMap::new();
         for r in &self.records {
@@ -205,35 +221,25 @@ impl LearnedCostModel {
 
 impl CostModel for LearnedCostModel {
     /// Predicts scores for a batch; lowering + feature extraction +
-    /// inference run on worker threads (the evolution loop queries the
-    /// model for thousands of candidates per round, §5).
+    /// inference run on the parallel runtime's worker threads (the
+    /// evolution loop queries the model for thousands of candidates per
+    /// round, §5), behind the signature-keyed score cache. Scores are
+    /// bit-identical across thread counts.
     fn predict(&self, _task: &SearchTask, states: &[State]) -> Vec<f64> {
         let _phase = self.telemetry.span("model_predict");
         self.telemetry
             .incr("model/predictions", states.len() as u64);
-        let score_one = |s: &State| match lower(s) {
-            Ok(p) => self.score_program(&extract_program_features(&p)),
-            Err(_) => f64::NEG_INFINITY,
-        };
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(states.len().max(1));
-        if workers <= 1 || states.len() < 8 {
-            return states.iter().map(score_one).collect();
-        }
-        let mut scores = vec![0.0f64; states.len()];
-        let chunk = states.len().div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
-            for (cs, out) in states.chunks(chunk).zip(scores.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
-                    for (s, o) in cs.iter().zip(out.iter_mut()) {
-                        *o = score_one(s);
-                    }
-                });
-            }
-        })
-        .expect("prediction workers do not panic");
+        let (h0, m0) = self.cache_stats();
+        let scores = ansor_runtime::parallel_map(states, |s| {
+            self.score_cache
+                .get_or_insert_with(s.signature(), || match lower(s) {
+                    Ok(p) => self.score_program(&extract_program_features(&p)),
+                    Err(_) => f64::NEG_INFINITY,
+                })
+        });
+        let (h1, m1) = self.cache_stats();
+        self.telemetry.incr("model/score_cache_hits", h1 - h0);
+        self.telemetry.incr("model/score_cache_misses", m1 - m0);
         scores
     }
 
@@ -259,9 +265,11 @@ impl CostModel for LearnedCostModel {
     fn update(&mut self, task: &SearchTask, states: &[State], seconds: &[f64]) {
         {
             let _phase = self.telemetry.span("feature_extraction");
-            for (s, &sec) in states.iter().zip(seconds) {
-                let Ok(p) = lower(s) else { continue };
-                let features = extract_program_features(&p);
+            // Lowering + featurization of the measured batch runs on the
+            // parallel runtime; records are appended in input order.
+            let features = extract_states_features(states);
+            for (f, &sec) in features.into_iter().zip(seconds) {
+                let Some(features) = f else { continue };
                 self.records.push(Record {
                     features,
                     seconds: sec,

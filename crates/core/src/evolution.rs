@@ -18,9 +18,7 @@
 //!   replaying the steps (out-of-order rewrites that break dependencies are
 //!   rejected).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
 
 use rand::prelude::*;
 use tensor_ir::{State, Step};
@@ -41,13 +39,10 @@ pub struct Individual {
 }
 
 impl Individual {
-    /// Stable content signature for deduplication.
+    /// Stable content signature for deduplication — the key of the
+    /// measurement and cost-model score caches (see `ansor-runtime`).
     pub fn signature(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        for s in &self.state.steps {
-            format!("{s:?}").hash(&mut h);
-        }
-        h.finish()
+        self.state.signature()
     }
 }
 

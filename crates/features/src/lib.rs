@@ -42,6 +42,24 @@ pub fn extract_program_features(program: &Program) -> Vec<Vec<f32>> {
         .collect()
 }
 
+/// Extracts features for a batch of programs on the parallel runtime's
+/// worker threads. Results are in input order and bit-identical across
+/// thread counts (each program is featurized independently).
+pub fn extract_features_batch(programs: &[Program]) -> Vec<Vec<Vec<f32>>> {
+    ansor_runtime::parallel_map(programs, extract_program_features)
+}
+
+/// Lowers and featurizes a batch of schedule states in parallel; `None`
+/// marks states that fail to lower. This is the cost model's training-side
+/// hot path: one call per measured batch.
+pub fn extract_states_features(states: &[tensor_ir::State]) -> Vec<Option<Vec<Vec<f32>>>> {
+    ansor_runtime::parallel_map(states, |s| {
+        tensor_ir::lower(s)
+            .ok()
+            .map(|p| extract_program_features(&p))
+    })
+}
+
 /// Extracts the 164-entry feature vector of one analyzed statement.
 pub fn extract_store_features(s: &StoreAnalysis) -> Vec<f32> {
     let mut f = Vec::with_capacity(FEATURE_DIM);
@@ -464,6 +482,38 @@ mod tests {
         let ai0 = names.iter().position(|n| n == "ai_0").unwrap();
         let c = &feats[1];
         assert!(c[ai0 + 9] >= c[ai0], "{:?}", &c[ai0..ai0 + 10]);
+    }
+
+    #[test]
+    fn batch_extraction_matches_serial_in_order() {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[64, 64]);
+        let w = b.placeholder("B", &[64, 64]);
+        b.compute_reduce("C", &[64, 64], &[64], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        let dag = Arc::new(b.build().unwrap());
+        let mut states = Vec::new();
+        for f in [1i64, 2, 4, 8, 16, 32] {
+            let steps = if f > 1 {
+                vec![Step::Split {
+                    node: "C".into(),
+                    iter: "i".into(),
+                    lengths: vec![f],
+                }]
+            } else {
+                vec![]
+            };
+            states.push(State::replay(dag.clone(), &steps).unwrap());
+        }
+        let programs: Vec<_> = states.iter().map(|s| lower(s).unwrap()).collect();
+        let batch = extract_features_batch(&programs);
+        let from_states = extract_states_features(&states);
+        for (i, p) in programs.iter().enumerate() {
+            assert_eq!(batch[i], extract_program_features(p));
+            assert_eq!(from_states[i].as_ref().unwrap(), &batch[i]);
+        }
     }
 
     #[test]

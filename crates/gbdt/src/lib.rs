@@ -56,6 +56,26 @@ impl Default for GbdtParams {
     }
 }
 
+/// Below this many samples, batch prediction and residual updates stay
+/// serial — thread spawn overhead would dwarf the per-sample tree walks.
+const PARALLEL_BATCH: usize = 1024;
+
+/// Subtracts `lr · tree(x[i])` from every residual. Predictions for large
+/// training sets run on the parallel runtime; the subtraction itself is
+/// per-sample, so results match the serial loop bit for bit.
+fn apply_tree(residual: &mut [f32], x: &[Vec<f32>], tree: &RegressionTree, lr: f32) {
+    if x.len() < PARALLEL_BATCH {
+        for (r, xi) in residual.iter_mut().zip(x) {
+            *r -= lr * tree.predict(xi);
+        }
+        return;
+    }
+    let preds = ansor_runtime::parallel_map(x, |xi| tree.predict(xi));
+    for (r, p) in residual.iter_mut().zip(preds) {
+        *r -= lr * p;
+    }
+}
+
 /// A trained gradient-boosted regression model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Gbdt {
@@ -145,9 +165,7 @@ impl Gbdt {
                     break;
                 }
             }
-            for (i, r) in residual.iter_mut().enumerate() {
-                *r -= params.learning_rate * tree.predict(&x[i]);
-            }
+            apply_tree(&mut residual, x, &tree, params.learning_rate);
             trees.push(tree);
         }
         Gbdt {
@@ -203,9 +221,7 @@ impl Gbdt {
                 tp.feature_subset = subset;
             }
             let tree = RegressionTree::fit(x, &residual, w, &tp);
-            for (i, r) in residual.iter_mut().enumerate() {
-                *r -= params.learning_rate * tree.predict(&x[i]);
-            }
+            apply_tree(&mut residual, x, &tree, params.learning_rate);
             model.trees.push(tree);
             let mse = model.weighted_mse(val_x, val_y, val_w);
             if mse < best_mse - 1e-12 {
@@ -228,9 +244,14 @@ impl Gbdt {
         v
     }
 
-    /// Predicts a batch of feature vectors.
+    /// Predicts a batch of feature vectors on the parallel runtime's
+    /// worker threads (each sample is independent, so results are
+    /// bit-identical across thread counts).
     pub fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<f32> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        if xs.len() < PARALLEL_BATCH {
+            return xs.iter().map(|x| self.predict(x)).collect();
+        }
+        ansor_runtime::parallel_map(xs, |x| self.predict(x))
     }
 
     /// Weighted mean squared error on a dataset.

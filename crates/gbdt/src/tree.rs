@@ -173,9 +173,18 @@ fn weighted_mean(idx: &[usize], y: &[f32], w: &[f32]) -> (f64, f32) {
     }
 }
 
+/// Below this many (sample × feature) scan steps the split search stays
+/// serial: thread spawn overhead would dwarf the work.
+const PARALLEL_SPLIT_WORK: usize = 32 * 1024;
+
 /// Exact greedy split search: for every feature, sort the node's samples by
 /// value and scan boundaries between distinct values, maximizing the
 /// weighted-variance reduction.
+///
+/// Large nodes search candidate features on the parallel runtime's worker
+/// threads; per-feature results are folded in candidate order with a
+/// strict-greater comparison, so the chosen split — gain ties included —
+/// is identical to the serial scan on every thread count.
 fn best_split(
     x: &[Vec<f32>],
     y: &[f32],
@@ -190,48 +199,75 @@ fn best_split(
         total_w += w[i] as f64;
         total_wy += (w[i] * y[i]) as f64;
     }
-    let mut best: Option<Split> = None;
-    let mut order: Vec<usize> = idx.to_vec();
     let all_features: Vec<usize> = (0..n_features).collect();
     let candidates: &[usize] = if params.feature_subset.is_empty() {
         &all_features
     } else {
         &params.feature_subset
     };
-    for &f in candidates {
-        if f >= n_features {
+    let per_feature = |&f: &usize| -> Option<Split> {
+        best_split_on_feature(x, y, w, idx, f, params, total_w, total_wy)
+    };
+    let found: Vec<Option<Split>> = if idx.len() * candidates.len() >= PARALLEL_SPLIT_WORK {
+        ansor_runtime::parallel_map(candidates, per_feature)
+    } else {
+        candidates.iter().map(per_feature).collect()
+    };
+    let mut best: Option<Split> = None;
+    for s in found.into_iter().flatten() {
+        if best.as_ref().map(|b| s.gain > b.gain).unwrap_or(true) {
+            best = Some(s);
+        }
+    }
+    best
+}
+
+/// The boundary scan of [`best_split`] for one candidate feature.
+#[allow(clippy::too_many_arguments)]
+fn best_split_on_feature(
+    x: &[Vec<f32>],
+    y: &[f32],
+    w: &[f32],
+    idx: &[usize],
+    f: usize,
+    params: &TreeParams,
+    total_w: f64,
+    total_wy: f64,
+) -> Option<Split> {
+    if f >= x[idx[0]].len() {
+        return None;
+    }
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_unstable_by(|&a, &b| {
+        x[a][f]
+            .partial_cmp(&x[b][f])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut best: Option<Split> = None;
+    let mut lw = 0.0f64;
+    let mut lwy = 0.0f64;
+    for k in 0..order.len() - 1 {
+        let i = order[k];
+        lw += w[i] as f64;
+        lwy += (w[i] * y[i]) as f64;
+        let xv = x[i][f];
+        let xn = x[order[k + 1]][f];
+        if xn <= xv {
+            continue; // no boundary between equal values
+        }
+        let rw = total_w - lw;
+        let rwy = total_wy - lwy;
+        if lw < params.min_child_weight || rw < params.min_child_weight {
             continue;
         }
-        order.sort_unstable_by(|&a, &b| {
-            x[a][f]
-                .partial_cmp(&x[b][f])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut lw = 0.0f64;
-        let mut lwy = 0.0f64;
-        for k in 0..order.len() - 1 {
-            let i = order[k];
-            lw += w[i] as f64;
-            lwy += (w[i] * y[i]) as f64;
-            let xv = x[i][f];
-            let xn = x[order[k + 1]][f];
-            if xn <= xv {
-                continue; // no boundary between equal values
-            }
-            let rw = total_w - lw;
-            let rwy = total_wy - lwy;
-            if lw < params.min_child_weight || rw < params.min_child_weight {
-                continue;
-            }
-            // Variance reduction ∝ (Σwy)²/Σw for each side.
-            let gain = lwy * lwy / lw + rwy * rwy / rw - total_wy * total_wy / total_w;
-            if gain > params.min_gain && best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
-                best = Some(Split {
-                    feature: f,
-                    threshold: (xv + xn) * 0.5,
-                    gain,
-                });
-            }
+        // Variance reduction ∝ (Σwy)²/Σw for each side.
+        let gain = lwy * lwy / lw + rwy * rwy / rw - total_wy * total_wy / total_w;
+        if gain > params.min_gain && best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
+            best = Some(Split {
+                feature: f,
+                threshold: (xv + xn) * 0.5,
+                gain,
+            });
         }
     }
     best

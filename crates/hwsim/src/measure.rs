@@ -9,7 +9,9 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
+use ansor_runtime::SigCache;
 use serde::{Deserialize, Serialize};
 use tensor_ir::{lower, Program, State};
 
@@ -62,6 +64,14 @@ pub struct Measurer {
     pub options: MeasureOptions,
     trials: u64,
     telemetry: telemetry::Telemetry,
+    /// Signature-keyed result cache: duplicate states (mutation clones,
+    /// retained-best re-measures across rounds) are never re-lowered or
+    /// re-timed. Shared across clones of this measurer. Results are pure
+    /// functions of `(state, target, options)`, so serving from cache is
+    /// bit-identical to recomputing. Trial accounting is unaffected —
+    /// every requested measurement still consumes a trial, as in the
+    /// paper's budget model.
+    cache: Arc<SigCache<MeasureResult>>,
 }
 
 /// Maps a measurement-error message onto a small stable category set (one
@@ -85,14 +95,14 @@ pub fn error_kind(message: &str) -> &'static str {
 }
 
 impl Measurer {
+    /// Entries kept in the measurement cache. Search runs measure a few
+    /// thousand distinct programs; 32k entries covers paper-scale budgets
+    /// with slack while bounding memory.
+    const CACHE_CAPACITY: usize = 1 << 15;
+
     /// Creates a measurer for a target with default (noise-free) options.
     pub fn new(target: HardwareTarget) -> Measurer {
-        Measurer {
-            target,
-            options: MeasureOptions::default(),
-            trials: 0,
-            telemetry: telemetry::Telemetry::disabled(),
-        }
+        Self::with_options(target, MeasureOptions::default())
     }
 
     /// Creates a measurer with explicit options.
@@ -102,7 +112,13 @@ impl Measurer {
             options,
             trials: 0,
             telemetry: telemetry::Telemetry::disabled(),
+            cache: Arc::new(SigCache::new(Self::CACHE_CAPACITY)),
         }
+    }
+
+    /// Lifetime (hits, misses) of the signature-keyed result cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
     }
 
     /// Installs a telemetry handle: measurement batches are timed under the
@@ -126,7 +142,7 @@ impl Measurer {
     pub fn measure(&mut self, state: &State) -> MeasureResult {
         self.trials += 1;
         let _phase = self.telemetry.span("measurement");
-        let result = self.measure_one(state);
+        let result = self.measure_cached(state);
         self.record_outcome(std::slice::from_ref(&result));
         result
     }
@@ -149,42 +165,31 @@ impl Measurer {
     }
 
     /// Measures a batch of states (one trial each). Builds and times the
-    /// programs on worker threads — the paper's measurer also builds and
-    /// runs candidates in parallel — while keeping results deterministic
-    /// and in submission order.
+    /// programs on the parallel runtime's worker threads — the paper's
+    /// measurer also builds and runs candidates in parallel — with results
+    /// in submission order and bit-identical across thread counts (see
+    /// `ansor-runtime`'s determinism contract).
     pub fn measure_batch(&mut self, states: &[State]) -> Vec<MeasureResult> {
         self.trials += states.len() as u64;
         let _phase = self.telemetry.span("measurement");
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(states.len().max(1));
-        if workers <= 1 || states.len() < 4 {
-            let results: Vec<MeasureResult> = states.iter().map(|s| self.measure_one(s)).collect();
-            self.record_outcome(&results);
-            return results;
-        }
         let this = &*self;
-        let mut results: Vec<Option<MeasureResult>> = vec![None; states.len()];
-        crossbeam::thread::scope(|scope| {
-            for (chunk_states, chunk_results) in states
-                .chunks(states.len().div_ceil(workers))
-                .zip(results.chunks_mut(states.len().div_ceil(workers)))
-            {
-                scope.spawn(move |_| {
-                    for (s, slot) in chunk_states.iter().zip(chunk_results.iter_mut()) {
-                        *slot = Some(this.measure_one(s));
-                    }
-                });
-            }
-        })
-        .expect("measurement workers do not panic");
-        let results: Vec<MeasureResult> = results
-            .into_iter()
-            .map(|r| r.expect("all slots filled"))
-            .collect();
+        let results = ansor_runtime::parallel_map(states, |s| this.measure_cached(s));
         self.record_outcome(&results);
         results
+    }
+
+    /// [`Measurer::measure_one`] behind the signature-keyed cache:
+    /// duplicate programs are served without re-lowering or re-timing.
+    fn measure_cached(&self, state: &State) -> MeasureResult {
+        let sig = state.signature();
+        if let Some(r) = self.cache.get(sig) {
+            self.telemetry.incr("measure/cache_hits", 1);
+            return r;
+        }
+        self.telemetry.incr("measure/cache_misses", 1);
+        let r = self.measure_one(state);
+        self.cache.insert(sig, r.clone());
+        r
     }
 
     /// Builds and times one state without touching the trial counter.
@@ -287,6 +292,22 @@ mod tests {
         for (s, b) in states.iter().zip(&batch) {
             assert_eq!(m2.measure(s).seconds, b.seconds);
         }
+    }
+
+    #[test]
+    fn duplicate_states_hit_the_cache_but_still_count_trials() {
+        let mut m = Measurer::new(HardwareTarget::intel_20core());
+        let st = simple_state();
+        let first = m.measure(&st);
+        let again = m.measure(&st);
+        assert_eq!(first, again, "cache must be transparent");
+        assert_eq!(m.trials(), 2, "every request consumes a trial");
+        let (hits, misses) = m.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+        // Batches share the same cache.
+        let batch = m.measure_batch(&[st.clone(), st]);
+        assert_eq!(batch[0], first);
+        assert_eq!(m.cache_stats().0, 3);
     }
 
     #[test]

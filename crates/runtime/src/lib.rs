@@ -1,0 +1,241 @@
+//! The parallel search runtime: a std-only scoped thread pool with
+//! deterministic work-stealing, plus signature-keyed caches.
+//!
+//! Ansor's throughput is bounded by how fast candidate programs can be
+//! lowered, featurized, and measured each round (§4–5 of the paper). The
+//! hot paths — batched measurement, feature extraction, GBDT split search,
+//! and cost-model scoring of evolution populations — are all
+//! embarrassingly parallel over independent items, so this crate provides
+//! one primitive, [`parallel_map`], that they all share.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical regardless of thread count**:
+//!
+//! - results are returned ordered by input index, never by completion
+//!   order;
+//! - each item is processed by exactly one worker, and the per-item
+//!   closure receives only the item (no shared mutable state), so a pure
+//!   closure yields the same output no matter which worker ran it;
+//! - randomized items use [`derive_seed`]`(seed, index)` to give every
+//!   item its own RNG stream — a function of `(seed, index)` only, never
+//!   of the worker or the interleaving.
+//!
+//! Scheduling is *deterministic work-stealing*: the input is cut into
+//! fixed chunks and workers claim chunks from a shared atomic cursor.
+//! Which worker runs which chunk varies run to run; which chunks exist
+//! and where each result lands does not.
+//!
+//! See `docs/PARALLELISM.md` for the full contract and the `--threads`
+//! flag plumbing.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+
+pub use cache::SigCache;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configured worker count: 0 = not set (fall back to `ANSOR_THREADS`,
+/// then to the machine's available parallelism).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by [`parallel_map`] (the `--threads N`
+/// flag). `0` restores auto-detection.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker count: the value from [`set_threads`], else the
+/// `ANSOR_THREADS` environment variable, else available parallelism.
+/// Always at least 1.
+pub fn threads() -> usize {
+    let n = THREADS.load(Ordering::SeqCst);
+    if n > 0 {
+        return n;
+    }
+    if let Ok(v) = std::env::var("ANSOR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derives an independent RNG seed for item `index` of a run seeded with
+/// `seed` (splitmix64 over the pair). Equal inputs give equal streams on
+/// every thread count — the foundation of the determinism contract.
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Number of items per stolen chunk: small enough to balance skewed item
+/// costs (one slow lowering does not serialize the batch), large enough
+/// to keep cursor contention negligible.
+const CHUNK: usize = 8;
+
+/// Maps `f` over `items` on the runtime's worker threads and returns the
+/// results **in input order**. Falls back to a plain serial map when one
+/// worker suffices or the batch is tiny.
+///
+/// `f` must be pure per item for the determinism contract to hold;
+/// shared state behind locks is allowed when the protected operation is
+/// order-insensitive (counters, caches).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_indexed(items, |_, item| f(item))
+}
+
+/// [`parallel_map`] variant whose closure also receives the item index —
+/// combine with [`derive_seed`] for per-item RNG streams.
+pub fn parallel_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n.div_ceil(CHUNK)).max(1);
+    if workers <= 1 || n < 2 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let n_chunks = n.div_ceil(CHUNK);
+    // Each worker gets its own view of the result slots, indexed by chunk
+    // id; the atomic cursor is the work-stealing queue. Declared outside
+    // the scope so worker borrows outlive every spawned thread.
+    let slots: Vec<std::sync::Mutex<Option<&mut [Option<R>]>>> = results
+        .chunks_mut(CHUNK)
+        .map(|c| std::sync::Mutex::new(Some(c)))
+        .collect();
+    std::thread::scope(|scope| {
+        let slots = &slots;
+        let cursor = &cursor;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let c = cursor.fetch_add(1, Ordering::SeqCst);
+                if c >= n_chunks {
+                    break;
+                }
+                let mut slot = slots[c].lock().expect("chunk slot poisoned");
+                let out = slot.take().expect("each chunk is claimed once");
+                for (j, r) in out.iter_mut().enumerate() {
+                    let idx = c * CHUNK + j;
+                    *r = Some(f(idx, &items[idx]));
+                }
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("all chunks processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let items: Vec<u64> = (0..537).collect();
+        let run = |threads: usize| -> Vec<f64> {
+            set_threads(threads);
+            let out = parallel_map_indexed(&items, |i, &x| {
+                // A float reduction sensitive to evaluation order within
+                // an item (but items are independent).
+                let mut acc = 0.0f64;
+                let s = derive_seed(42, i as u64);
+                for k in 0..64 {
+                    acc += ((x as f64) + (s % 1000) as f64 / (k + 1) as f64).sin();
+                }
+                acc
+            });
+            set_threads(0);
+            out
+        };
+        let a = run(1);
+        let b = run(4);
+        let c = run(16);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn skewed_item_costs_still_complete_and_order() {
+        // First item is far slower than the rest; stealing must not
+        // scramble result placement.
+        let items: Vec<u64> = (0..100).collect();
+        set_threads(4);
+        let out = parallel_map(&items, |&x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        set_threads(0);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spreads() {
+        assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+        assert_ne!(derive_seed(7, 3), derive_seed(7, 4));
+        assert_ne!(derive_seed(7, 3), derive_seed(8, 3));
+        // No trivial collisions across a small grid.
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..32u64 {
+            for i in 0..32u64 {
+                assert!(seen.insert(derive_seed(s, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[9u32], |&x| x * 2), vec![18]);
+    }
+
+    #[test]
+    fn threads_env_var_is_a_fallback_only() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn borrows_from_caller_stack() {
+        let base = vec![10u64; 64];
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map(&items, |&i| base[i] + i as u64);
+        assert_eq!(out[5], 15);
+    }
+}

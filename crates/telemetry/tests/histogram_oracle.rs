@@ -1,0 +1,104 @@
+//! Percentile correctness of the log-bucketed [`telemetry::Histogram`],
+//! checked against an exact sorted-vector oracle.
+//!
+//! The histogram has 8 buckets per decade, so a quantile estimate (the
+//! geometric midpoint of the bucket holding the rank) can differ from the
+//! exact order statistic by at most half a bucket in log space: a factor
+//! of `10^(1/16) ≈ 1.155`. Every distribution below must land p50/p90/p99
+//! within that bound.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use telemetry::Histogram;
+
+/// Half a bucket of relative error in log10 space, plus float slack.
+const BOUND: f64 = 1.1549; // 10^(1/16) = 1.15478…, padded
+
+/// Exact `q`-quantile with the same rank convention as the histogram:
+/// `rank = max(ceil(q·n), 1)`, 1-based into the sorted values.
+fn oracle(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Feeds `values` to a histogram and checks p50/p90/p99 (plus the q=0 and
+/// q=1 extremes) against the oracle.
+fn check(tag: &str, values: &[f64]) {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(h.count(), values.len() as u64, "{tag}: count");
+
+    // q=0 and q=1 hit the same bound: their buckets contain min and max.
+    for q in [0.0, 0.50, 0.90, 0.99, 1.0] {
+        let exact = oracle(&sorted, q);
+        let est = h.quantile(q).unwrap();
+        let ratio = est / exact;
+        assert!(
+            (1.0 / BOUND..=BOUND).contains(&ratio),
+            "{tag}: q={q}: estimate {est} vs exact {exact} (ratio {ratio})"
+        );
+    }
+    // Monotone in q.
+    let qs: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+    let est: Vec<f64> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+    assert!(
+        est.windows(2).all(|w| w[0] <= w[1]),
+        "{tag}: quantiles must be monotone in q"
+    );
+}
+
+#[test]
+fn uniform_distribution_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for n in [10usize, 100, 5000] {
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1e-3..10.0f64)).collect();
+        check(&format!("uniform[{n}]"), &values);
+    }
+}
+
+#[test]
+fn log_uniform_distribution_matches_oracle() {
+    // Spans 8 decades — the regime log-bucketing is built for.
+    let mut rng = StdRng::seed_from_u64(202);
+    let values: Vec<f64> = (0..4000)
+        .map(|_| 10f64.powf(rng.gen_range(-6.0..2.0f64)))
+        .collect();
+    check("log-uniform", &values);
+}
+
+#[test]
+fn exponential_tail_matches_oracle() {
+    // Heavy right tail, the shape of real latency data.
+    let mut rng = StdRng::seed_from_u64(303);
+    let values: Vec<f64> = (0..4000)
+        .map(|_| 1e-3 * (-(1.0 - rng.gen_range(0.0..1.0f64)).ln()).max(1e-12))
+        .collect();
+    check("exponential", &values);
+}
+
+#[test]
+fn near_constant_data_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(404);
+    let values: Vec<f64> = (0..500)
+        .map(|_| 0.25 * (1.0 + rng.gen_range(-1e-4..1e-4f64)))
+        .collect();
+    check("near-constant", &values);
+}
+
+#[test]
+fn bimodal_data_matches_oracle() {
+    // Two far-apart modes: quantiles must jump between them correctly.
+    let mut rng = StdRng::seed_from_u64(505);
+    let values: Vec<f64> = (0..2000)
+        .map(|i| {
+            let base = if i % 4 == 0 { 2.0 } else { 2e-3 };
+            base * (1.0 + rng.gen_range(-0.01..0.01f64))
+        })
+        .collect();
+    check("bimodal", &values);
+}

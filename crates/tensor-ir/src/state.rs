@@ -267,6 +267,20 @@ impl State {
         Ok(s)
     }
 
+    /// Stable content signature of the transform-step history — the
+    /// program's complete genome. Two states with equal signatures lower
+    /// to the same program, so signature-keyed caches (measurement,
+    /// cost-model scores) can serve duplicates produced by mutation and
+    /// crossover without re-lowering.
+    pub fn signature(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for s in &self.steps {
+            format!("{s:?}").hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// The stage computing the node with the given name.
     pub fn stage_by_node_name(&self, name: &str) -> Option<StageId> {
         let id = self.dag.node_id(name)?;

@@ -53,6 +53,11 @@ fn parse() -> Cli {
             "--units" => cli.units = val().parse().unwrap_or(20),
             "--target" => cli.target = val(),
             "--log" => cli.log = Some(val()),
+            "--threads" => {
+                if let Ok(n) = val().parse() {
+                    ansor::runtime::set_threads(n);
+                }
+            }
             "--list" => cli.list = true,
             "--program" => cli.show_program = true,
             "--help" | "-h" => {
@@ -80,6 +85,7 @@ fn print_help() {
          \x20             --units N\n\
          common:\n\
          \x20  --target intel|intel-avx512|arm|gpu   (default intel)\n\
+         \x20  --threads N                            parallel-runtime workers\n\
          \x20  --list                                 list available workloads"
     );
 }

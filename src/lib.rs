@@ -50,6 +50,7 @@
 
 pub use ansor_baselines as baselines;
 pub use ansor_core as core;
+pub use ansor_runtime as runtime;
 pub use ansor_workloads as workloads;
 pub use hwsim as hw;
 pub use tensor_ir as ir;

@@ -1,0 +1,110 @@
+//! The parallel runtime's determinism contract, end to end: a tuning run
+//! (evolution + cost model + measurement) at `--threads 1` and at
+//! `--threads 4` must produce the *same search* — identical best state,
+//! identical tuning-record log, and identical trace event sequences.
+//! Only wall-clock data (`PhaseProfile` snapshots, `t_ms`) may differ.
+//!
+//! Both runs go through `runtime::set_threads`, the exact switch the
+//! `--threads` flag drives (see docs/PARALLELISM.md).
+
+use std::sync::Arc;
+
+use ansor::core::TuningRecordLog;
+use ansor::prelude::*;
+use ansor::runtime;
+use telemetry::{read_trace, SharedBuf, Telemetry, TraceEvent};
+
+fn matmul_task() -> SearchTask {
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[128, 128]);
+    let w = b.constant("B", &[128, 128]);
+    b.compute_reduce("C", &[128, 128], &[128], Reducer::Sum, |ax| {
+        Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+            * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+    });
+    SearchTask::new(
+        "matmul:threads",
+        Arc::new(b.build().unwrap()),
+        HardwareTarget::intel_20core(),
+    )
+}
+
+/// Everything a tuning run produces that the determinism contract covers.
+struct Run {
+    best_steps: Option<String>,
+    best_seconds: f64,
+    log: Vec<TuningRecordLog>,
+    events: Vec<TraceEvent>,
+}
+
+fn tuned_run(threads: usize, seed: u64) -> Run {
+    runtime::set_threads(threads);
+    let buf = SharedBuf::new();
+    let tel = Telemetry::to_writer(Box::new(buf.clone()));
+    let task = matmul_task();
+    let options = TuningOptions {
+        num_measure_trials: 48,
+        measures_per_round: 16,
+        init_population: 32,
+        seed,
+        telemetry: tel.clone(),
+        ..Default::default()
+    };
+    let mut policy = SketchPolicy::new(task.clone(), options);
+    let mut measurer = Measurer::new(task.target.clone());
+    measurer.set_telemetry(tel.clone());
+    let mut model = LearnedCostModel::new();
+    model.set_telemetry(tel.clone());
+    while policy.tune_round(&mut model, &mut measurer) > 0 {}
+    policy.emit_finished();
+    tel.flush();
+    runtime::set_threads(0);
+
+    let (lines, skipped) = read_trace(buf.contents().as_slice()).expect("readable trace");
+    assert_eq!(skipped, 0, "trace must be fully parseable");
+    let events = lines
+        .into_iter()
+        .map(|l| l.event)
+        .filter(|e| !matches!(e, TraceEvent::PhaseProfile { .. }))
+        .collect();
+    Run {
+        best_steps: policy
+            .best_individual()
+            .map(|i| format!("{:?}", i.state.steps)),
+        best_seconds: policy.best_seconds(),
+        log: policy.log.clone(),
+        events,
+    }
+}
+
+// One test function on purpose: `set_threads` is process-global, and the
+// test harness runs sibling `#[test]`s concurrently.
+#[test]
+fn thread_count_does_not_change_search_results() {
+    let serial = tuned_run(1, 5);
+    let parallel = tuned_run(4, 5);
+
+    assert!(serial.best_steps.is_some(), "run must find a program");
+    assert!(serial.best_seconds.is_finite());
+    assert!(serial.log.len() >= 32, "run must fill most of its budget");
+    assert!(
+        serial
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MeasureBatch { .. })),
+        "trace must contain measurement batches"
+    );
+
+    assert_eq!(serial.best_steps, parallel.best_steps, "best state");
+    assert_eq!(
+        serial.best_seconds.to_bits(),
+        parallel.best_seconds.to_bits(),
+        "best seconds must be bit-identical"
+    );
+    assert_eq!(serial.log, parallel.log, "tuning-record logs");
+    assert_eq!(serial.events, parallel.events, "trace event sequences");
+
+    // The comparison is not vacuous: a different seed searches differently.
+    let other = tuned_run(4, 6);
+    assert_ne!(serial.events, other.events, "seeds must matter");
+}
