@@ -11,7 +11,9 @@
 //! - `--quiet` — suppress the human-readable tables when `--json` or
 //!   `--trace` already captures the results;
 //! - `--threads <n>` — worker threads for the parallel runtime (see
-//!   docs/PARALLELISM.md; results are bit-identical at every `n`).
+//!   docs/PARALLELISM.md; results are bit-identical at every `n`);
+//! - `--faults <spec>` — deterministic measurement-fault injection
+//!   (`none`, `default`, or `key=value,…`; see docs/ROBUSTNESS.md).
 //!
 //! Default budgets are scaled down from the paper's (documented per
 //! binary and in EXPERIMENTS.md); the *comparative shapes* are stable
@@ -47,18 +49,25 @@ pub struct Args {
     pub quiet: bool,
     /// Worker-thread override (`--threads <n>`; `None` = auto).
     pub threads: Option<usize>,
+    /// Fault-injection spec (`--faults <spec>`; `None` = fault-free).
+    pub faults: Option<hwsim::FaultPlan>,
     /// Extra free-form flags.
     pub flags: Vec<String>,
 }
 
 impl Args {
-    /// Parses `std::env::args` and applies the `--threads` override to the
-    /// parallel runtime, so every binary gets the flag for free.
+    /// Parses `std::env::args` and applies the `--threads` and `--faults`
+    /// overrides to the process-wide runtime configuration, so every binary
+    /// gets both flags for free. The fault plan is installed as the default
+    /// for all measurers — including those the baseline frameworks create
+    /// internally — and is `None` (fault-free, bit-identical to older
+    /// builds) unless `--faults` is given.
     pub fn parse() -> Args {
         let args = Args::parse_from(std::env::args().skip(1));
         if let Some(n) = args.threads {
             ansor_runtime::set_threads(n);
         }
+        hwsim::set_default_plan(args.faults.clone());
         args
     }
 
@@ -70,6 +79,7 @@ impl Args {
         let mut trace = None;
         let mut quiet = false;
         let mut threads = None;
+        let mut faults = None;
         let mut flags = Vec::new();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -82,6 +92,16 @@ impl Args {
                 "--threads" => {
                     threads = it.next().and_then(|v| v.parse().ok());
                 }
+                "--faults" => {
+                    let spec = it.next().unwrap_or_default();
+                    match hwsim::FaultPlan::parse(&spec) {
+                        Ok(plan) => faults = (!plan.is_inert()).then_some(plan),
+                        Err(e) => {
+                            eprintln!("--faults: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 other => flags.push(other.to_string()),
             }
         }
@@ -91,6 +111,7 @@ impl Args {
             trace,
             quiet,
             threads,
+            faults,
             flags,
         }
     }
@@ -257,6 +278,16 @@ mod tests {
         assert!(!args(&["--quiet", "--trace", "t.jsonl"]).tables_enabled());
         assert!(!args(&["--quiet", "--json", "t.json"]).tables_enabled());
         assert!(args(&["--trace", "t.jsonl"]).tables_enabled(), "not quiet");
+    }
+
+    #[test]
+    fn faults_flag_parses() {
+        assert_eq!(args(&[]).faults, None);
+        assert_eq!(args(&["--faults", "none"]).faults, None, "inert → None");
+        let a = args(&["--faults", "default"]);
+        assert_eq!(a.faults, Some(hwsim::FaultPlan::default()));
+        let b = args(&["--faults", "transient=0.2,seed=9"]);
+        assert_eq!(b.faults.as_ref().map(|p| p.seed), Some(9));
     }
 
     #[test]

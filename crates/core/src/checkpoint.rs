@@ -1,0 +1,283 @@
+//! Versioned tuning checkpoints: crash-safe persistence of a run's full
+//! search state.
+//!
+//! A checkpoint captures everything the search stack needs to continue a
+//! killed run *bit-identically*: RNG streams (the vendored xoshiro's raw
+//! state words), trial budgets, per-task best states (as replayable
+//! transform-step lists), the measured-signature and quarantine sets, the
+//! cost model's training records, the measurer's trial/simulated-clock
+//! accounting, and the offset of records already flushed to the on-disk
+//! log. The cost model itself is *not* serialized — GBDT training is a
+//! deterministic pure function of the record list, so restoring replays one
+//! retrain and lands on the identical model (see `docs/ROBUSTNESS.md`).
+//!
+//! Files are JSON with a leading `version` field; [`TuneCheckpoint::save`]
+//! writes atomically (temp file + rename) so a crash mid-write never
+//! corrupts the previous checkpoint.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use tensor_ir::Step;
+
+use crate::records::TuningRecordLog;
+use crate::search_policy::TuningRecord;
+use crate::task_scheduler::SchedulerRecord;
+
+/// Current checkpoint format version. Bump on incompatible changes; load
+/// rejects mismatches instead of misinterpreting old files.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// One retained best-measured program: enough to rebuild the
+/// `Individual` by replaying its steps on the task DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BestEntry {
+    /// Measured seconds.
+    pub seconds: f64,
+    /// Index into the task's sketch list.
+    pub sketch: usize,
+    /// The program's transform-step history.
+    pub steps: Vec<Step>,
+}
+
+/// Serialized state of one `SketchPolicy`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCheckpoint {
+    /// Task name (validated against the policy on restore).
+    pub task: String,
+    /// Raw xoshiro256++ state words of the policy RNG.
+    pub rng: Vec<u64>,
+    /// Measurement trials consumed.
+    pub trials: u64,
+    /// Tuning rounds run.
+    pub rounds: u64,
+    /// Signatures of every measured program, sorted for stable output.
+    pub measured_signatures: Vec<u64>,
+    /// Quarantined (terminally-failed) signatures, sorted.
+    pub quarantined: Vec<u64>,
+    /// Best measured programs, ascending by seconds.
+    pub best_measured: Vec<BestEntry>,
+    /// Per-trial tuning-curve history.
+    pub history: Vec<TuningRecord>,
+    /// Replayable per-trial records.
+    pub log: Vec<TuningRecordLog>,
+}
+
+/// One cost-model training record. `seconds` is `None` for non-finite
+/// (failed) measurements, which JSON cannot encode directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Per-statement feature vectors (f32 widened to f64 losslessly; JSON
+    /// float printing round-trips exactly).
+    pub features: Vec<Vec<f32>>,
+    /// Measured seconds; `None` encodes a non-finite time.
+    pub seconds: Option<f64>,
+    /// Task the record came from (normalization group).
+    pub task: String,
+}
+
+/// Serialized state of a `LearnedCostModel`: just its record list. The
+/// trained GBDT is a deterministic function of the records, so restore
+/// retrains once instead of persisting trees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ModelCheckpoint {
+    /// Stored training records, oldest first.
+    pub records: Vec<ModelRecord>,
+    /// GBDT training passes completed so far (the `gbdt/train_passes`
+    /// telemetry counter). Restored into the resumed run's telemetry so
+    /// `GbdtRound` trace events keep numbering where the killed run left
+    /// off.
+    pub train_passes: u64,
+}
+
+/// Serialized state of a `TaskScheduler` (per-task policies included).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerCheckpoint {
+    /// Raw xoshiro256++ state words of the scheduler RNG.
+    pub rng: Vec<u64>,
+    /// Units allocated per task.
+    pub allocations: Vec<u64>,
+    /// Exhausted-task flags.
+    pub exhausted: Vec<bool>,
+    /// Per-task best-latency history (`gᵢ` after each allocated unit);
+    /// `None` encodes a non-finite latency (task not yet measured).
+    pub best_history: Vec<Vec<Option<f64>>>,
+    /// Step-by-step scheduling history.
+    pub history: Vec<SchedulerRecord>,
+    /// Per-task policy checkpoints, in task order.
+    pub policies: Vec<PolicyCheckpoint>,
+    /// Shared cost model.
+    pub model: ModelCheckpoint,
+}
+
+/// Top-level checkpoint written by `ansor-tune --checkpoint`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Invocation fingerprint (workload + options + seed + fault spec);
+    /// resume refuses a checkpoint taken under different settings.
+    pub fingerprint: String,
+    /// Measurer trial counter.
+    pub measurer_trials: u64,
+    /// Measurer simulated-fault clock (nanoseconds).
+    pub sim_fault_nanos: u64,
+    /// Number of tuning records already flushed to the `--log` file, so a
+    /// resumed run appends only the remainder.
+    pub records_flushed: usize,
+    /// Single-op mode state (policy + model).
+    pub single: Option<SinglePolicyCheckpoint>,
+    /// Network (task scheduler) mode state.
+    pub scheduler: Option<SchedulerCheckpoint>,
+}
+
+/// Single-op mode payload: one policy plus the cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SinglePolicyCheckpoint {
+    /// The tuning policy.
+    pub policy: PolicyCheckpoint,
+    /// The learned cost model.
+    pub model: ModelCheckpoint,
+}
+
+impl TuneCheckpoint {
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, then
+    /// rename over `path`. A crash mid-write leaves the previous file
+    /// intact.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(self).expect("checkpoint serializes");
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads and validates a checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> Result<TuneCheckpoint, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+        let ck: TuneCheckpoint = serde_json::from_str(&text)
+            .map_err(|e| format!("corrupt checkpoint {}: {e:?}", path.display()))?;
+        if ck.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint {} has version {} (expected {CHECKPOINT_VERSION})",
+                path.display(),
+                ck.version
+            ));
+        }
+        Ok(ck)
+    }
+}
+
+/// Converts raw RNG words from a checkpoint back into a fixed-size array,
+/// validating the word count.
+pub fn rng_state_from(words: &[u64]) -> Result<[u64; 4], String> {
+    words
+        .try_into()
+        .map_err(|_| format!("bad RNG state: {} words (expected 4)", words.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TuneCheckpoint {
+        TuneCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: "single:GMM:s0:b1:intel:t64:seed0:faults=none".into(),
+            measurer_trials: 32,
+            sim_fault_nanos: 1_500_000_000,
+            records_flushed: 16,
+            single: Some(SinglePolicyCheckpoint {
+                policy: PolicyCheckpoint {
+                    task: "GMM:s0b1".into(),
+                    rng: vec![1, 2, 3, 4],
+                    trials: 32,
+                    rounds: 2,
+                    measured_signatures: vec![5, 9, 11],
+                    quarantined: vec![9],
+                    best_measured: vec![BestEntry {
+                        seconds: 1.25e-3,
+                        sketch: 0,
+                        steps: vec![Step::Split {
+                            node: "C".into(),
+                            iter: "i".into(),
+                            lengths: vec![8],
+                        }],
+                    }],
+                    history: vec![TuningRecord {
+                        trial: 1,
+                        seconds: 2e-3,
+                        best_seconds: 2e-3,
+                    }],
+                    log: vec![],
+                },
+                model: ModelCheckpoint {
+                    records: vec![ModelRecord {
+                        features: vec![vec![0.5, 0.25]],
+                        seconds: Some(2e-3),
+                        task: "GMM:s0b1".into(),
+                    }],
+                    train_passes: 2,
+                },
+            }),
+            scheduler: None,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let ck = sample();
+        let json = serde_json::to_string(&ck).unwrap();
+        let back: TuneCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn save_load_round_trip_and_atomicity() {
+        let dir = std::env::temp_dir().join(format!("ansor-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file renamed away"
+        );
+        let back = TuneCheckpoint::load(&path).unwrap();
+        assert_eq!(ck, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("ansor-ckpt2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.ckpt");
+        let mut ck = sample();
+        ck.version = 999;
+        ck.save(&path).unwrap();
+        let err = TuneCheckpoint::load(&path).unwrap_err();
+        assert!(err.contains("version 999"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_finite_seconds_survive_via_option() {
+        let rec = ModelRecord {
+            features: vec![],
+            seconds: None,
+            task: "t".into(),
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: ModelRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seconds, None);
+    }
+
+    #[test]
+    fn rng_state_validation() {
+        assert_eq!(rng_state_from(&[1, 2, 3, 4]).unwrap(), [1, 2, 3, 4]);
+        assert!(rng_state_from(&[1, 2]).is_err());
+    }
+}

@@ -160,7 +160,57 @@ impl LearnedCostModel {
         Some((pairs, loss, 1.0 - 2.0 * loss))
     }
 
-    fn retrain(&mut self, task: &SearchTask) {
+    /// Rebuilds this model from a checkpoint: records are restored and one
+    /// deterministic retrain reproduces the exact GBDT the checkpointed
+    /// model held (training is a pure function of the record list — no RNG
+    /// state crosses calls). Telemetry is suppressed for the retrain so a
+    /// resumed run's trace carries no extra `ModelRetrain`/`GbdtRound`
+    /// events.
+    pub fn restore(&mut self, ck: &crate::checkpoint::ModelCheckpoint) {
+        let tel = std::mem::replace(&mut self.telemetry, telemetry::Telemetry::disabled());
+        self.records = ck
+            .records
+            .iter()
+            .map(|r| Record {
+                features: r.features.clone(),
+                seconds: r.seconds.unwrap_or(f64::INFINITY),
+                task: r.task.clone(),
+            })
+            .collect();
+        self.model = None;
+        self.score_cache.clear();
+        if !self.records.is_empty() {
+            self.retrain("checkpoint-restore");
+        }
+        self.telemetry = tel;
+        // Re-seed the pass counter so `GbdtRound` trace events in the
+        // resumed run continue the killed run's numbering (the restore
+        // retrain above ran under the disabled handle, so it added nothing).
+        let done = self.telemetry.counter_value("gbdt/train_passes");
+        if ck.train_passes > done {
+            self.telemetry
+                .incr("gbdt/train_passes", ck.train_passes - done);
+        }
+    }
+
+    /// Serializes the model's training records (the model itself is a
+    /// deterministic function of them; see [`LearnedCostModel::restore`]).
+    pub fn checkpoint(&self) -> crate::checkpoint::ModelCheckpoint {
+        crate::checkpoint::ModelCheckpoint {
+            records: self
+                .records
+                .iter()
+                .map(|r| crate::checkpoint::ModelRecord {
+                    features: r.features.clone(),
+                    seconds: r.seconds.is_finite().then_some(r.seconds),
+                    task: r.task.clone(),
+                })
+                .collect(),
+            train_passes: self.telemetry.counter_value("gbdt/train_passes"),
+        }
+    }
+
+    fn retrain(&mut self, task_name: &str) {
         let _phase = self.telemetry.span("model_retrain");
         // Scores are about to change with the model; stale entries must
         // not survive.
@@ -200,7 +250,7 @@ impl LearnedCostModel {
         ));
         if self.telemetry.is_tracing() {
             if let Some((pairs, ranking_loss, rank_corr)) = self.ranking_quality(200) {
-                let task = task.name.clone();
+                let task = task_name.to_string();
                 self.telemetry.emit(|| telemetry::TraceEvent::ModelRetrain {
                     task,
                     pairs,
@@ -277,7 +327,7 @@ impl CostModel for LearnedCostModel {
                 });
             }
         }
-        self.retrain(task);
+        self.retrain(&task.name);
     }
 
     fn is_trained(&self) -> bool {

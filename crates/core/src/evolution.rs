@@ -95,10 +95,14 @@ pub fn evolutionary_search(
     top_k: usize,
     rng: &mut impl Rng,
 ) -> Vec<Individual> {
-    evolutionary_search_with_stats(task, sketches, init, model, cfg, top_k, rng).0
+    let banned = HashSet::new();
+    evolutionary_search_with_stats(task, sketches, init, model, cfg, top_k, &banned, rng).0
 }
 
-/// [`evolutionary_search`] variant that also reports operator statistics.
+/// [`evolutionary_search`] variant that also reports operator statistics
+/// and skips `banned` signatures (quarantined terminally-failed states —
+/// they may still breed, but are never returned as candidates).
+#[allow(clippy::too_many_arguments)]
 pub fn evolutionary_search_with_stats(
     task: &SearchTask,
     sketches: &[Sketch],
@@ -106,6 +110,7 @@ pub fn evolutionary_search_with_stats(
     model: &dyn CostModel,
     cfg: &EvolutionConfig,
     top_k: usize,
+    banned: &HashSet<u64>,
     rng: &mut impl Rng,
 ) -> (Vec<Individual>, EvolutionStats) {
     assert!(!init.is_empty(), "evolution needs a non-empty population");
@@ -126,7 +131,11 @@ pub fn evolutionary_search_with_stats(
             if !score.is_finite() {
                 continue;
             }
-            if seen.insert(ind.signature()) {
+            let sig = ind.signature();
+            if banned.contains(&sig) {
+                continue;
+            }
+            if seen.insert(sig) {
                 best.push((score, ind.clone()));
             }
         }

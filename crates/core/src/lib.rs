@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod annotate;
+pub mod checkpoint;
 pub mod cost_model;
 pub mod evolution;
 pub mod records;
@@ -15,6 +16,10 @@ pub mod sketch;
 pub mod task_scheduler;
 
 pub use annotate::{sample_program, AnnotationConfig, AnnotationHint};
+pub use checkpoint::{
+    BestEntry, ModelCheckpoint, ModelRecord, PolicyCheckpoint, SchedulerCheckpoint,
+    SinglePolicyCheckpoint, TuneCheckpoint, CHECKPOINT_VERSION,
+};
 pub use cost_model::{CostModel, LearnedCostModel, RandomModel};
 pub use evolution::{crossover, evolutionary_search, mutate, EvolutionConfig, Individual};
 pub use records::{best_record, load_records, save_records, TuningRecordLog};

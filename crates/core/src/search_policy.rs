@@ -23,6 +23,7 @@ use hwsim::Measurer;
 use telemetry::TraceEvent;
 
 use crate::annotate::{sample_program, AnnotationConfig};
+use crate::checkpoint::{rng_state_from, BestEntry, PolicyCheckpoint};
 use crate::cost_model::{CostModel, LearnedCostModel};
 use crate::evolution::{evolutionary_search_with_stats, EvolutionConfig, Individual};
 use crate::records::TuningRecordLog;
@@ -85,7 +86,7 @@ impl Default for TuningOptions {
 }
 
 /// One measurement record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuningRecord {
     /// 1-based measurement trial index.
     pub trial: u64,
@@ -93,6 +94,44 @@ pub struct TuningRecord {
     pub seconds: f64,
     /// Best seconds seen up to and including this trial.
     pub best_seconds: f64,
+}
+
+// Manual serde: failed trials carry `f64::INFINITY`, which JSON encodes as
+// `null`; the custom impls recover the infinity on load so checkpointed
+// tuning curves round-trip exactly (same convention as `TuningRecordLog`).
+impl Serialize for TuningRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        let enc = |s: f64| {
+            if s.is_finite() {
+                s.to_value()
+            } else {
+                serde::Value::Null
+            }
+        };
+        m.insert("trial".into(), self.trial.to_value());
+        m.insert("seconds".into(), enc(self.seconds));
+        m.insert("best_seconds".into(), enc(self.best_seconds));
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for TuningRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::DeError::invalid_type("object", v));
+        };
+        let field = |name: &str| m.get(name).unwrap_or(&serde::Value::Null);
+        let dec = |v: &serde::Value| match v {
+            serde::Value::Null => Ok(f64::INFINITY),
+            other => f64::from_value(other),
+        };
+        Ok(TuningRecord {
+            trial: u64::from_value(field("trial"))?,
+            seconds: dec(field("seconds"))?,
+            best_seconds: dec(field("best_seconds"))?,
+        })
+    }
 }
 
 /// Final result of tuning one task.
@@ -115,6 +154,11 @@ pub struct SketchPolicy {
     sketches: Vec<Sketch>,
     annotation: AnnotationConfig,
     measured_signatures: HashSet<u64>,
+    /// Signatures of terminally-failed programs (cursed hardware, retry
+    /// exhaustion): evolution stops returning them as candidates and they
+    /// never enter the retained-best population or the cost model (failed
+    /// measurements are already excluded from training).
+    quarantined: HashSet<u64>,
     /// Best measured `(seconds, individual)` pairs, ascending by seconds.
     best_measured: Vec<(f64, Individual)>,
     /// Full measurement history.
@@ -151,6 +195,7 @@ impl SketchPolicy {
             annotation,
             sketches,
             measured_signatures: HashSet::new(),
+            quarantined: HashSet::new(),
             best_measured: Vec::new(),
             history: Vec::new(),
             log: Vec::new(),
@@ -175,6 +220,7 @@ impl SketchPolicy {
             annotation,
             sketches,
             measured_signatures: HashSet::new(),
+            quarantined: HashSet::new(),
             best_measured: Vec::new(),
             history: Vec::new(),
             log: Vec::new(),
@@ -311,6 +357,7 @@ impl SketchPolicy {
                         model,
                         &self.options.evolution,
                         batch * 2,
+                        &self.quarantined,
                         &mut self.rng,
                     )
                 };
@@ -390,6 +437,14 @@ impl SketchPolicy {
         for (ind, res) in to_measure.into_iter().zip(results) {
             self.trials += 1;
             let seconds = res.seconds;
+            if let Some(e) = &res.error {
+                // Terminal injected faults (cursed hardware, retry
+                // exhaustion) are sticky: quarantine the signature so
+                // evolution stops proposing this program.
+                if hwsim::is_terminal_fault(e) && self.quarantined.insert(ind.signature()) {
+                    tel.incr("search/quarantined", 1);
+                }
+            }
             self.log.push(TuningRecordLog {
                 task: self.task.name.clone(),
                 trial: self.trials,
@@ -420,6 +475,74 @@ impl SketchPolicy {
     /// Tuning rounds run so far.
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// Signatures quarantined after terminal measurement faults.
+    pub fn quarantined(&self) -> &HashSet<u64> {
+        &self.quarantined
+    }
+
+    /// Serializes the policy's full search state. Restoring into a fresh
+    /// policy built with the same task and options continues the run
+    /// bit-identically (sketch generation is deterministic, so sketches are
+    /// regenerated rather than stored).
+    pub fn checkpoint(&self) -> PolicyCheckpoint {
+        let mut measured: Vec<u64> = self.measured_signatures.iter().copied().collect();
+        measured.sort_unstable();
+        let mut quarantined: Vec<u64> = self.quarantined.iter().copied().collect();
+        quarantined.sort_unstable();
+        PolicyCheckpoint {
+            task: self.task.name.clone(),
+            rng: self.rng.raw_state().to_vec(),
+            trials: self.trials,
+            rounds: self.rounds,
+            measured_signatures: measured,
+            quarantined,
+            best_measured: self
+                .best_measured
+                .iter()
+                .map(|(s, ind)| BestEntry {
+                    seconds: *s,
+                    sketch: ind.sketch,
+                    steps: ind.state.steps.clone(),
+                })
+                .collect(),
+            history: self.history.clone(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// Restores the state captured by [`SketchPolicy::checkpoint`]. The
+    /// policy must have been created with the same task (and, for
+    /// bit-identical continuation, the same options).
+    pub fn restore(&mut self, ck: &PolicyCheckpoint) -> Result<(), String> {
+        if ck.task != self.task.name {
+            return Err(format!(
+                "checkpoint is for task {:?}, policy tunes {:?}",
+                ck.task, self.task.name
+            ));
+        }
+        let mut best = Vec::with_capacity(ck.best_measured.len());
+        for e in &ck.best_measured {
+            let state = tensor_ir::State::replay(self.task.dag.clone(), &e.steps)
+                .map_err(|err| format!("checkpointed best state does not replay: {err}"))?;
+            best.push((
+                e.seconds,
+                Individual {
+                    state,
+                    sketch: e.sketch,
+                },
+            ));
+        }
+        self.rng = StdRng::from_raw_state(rng_state_from(&ck.rng)?);
+        self.trials = ck.trials;
+        self.rounds = ck.rounds;
+        self.measured_signatures = ck.measured_signatures.iter().copied().collect();
+        self.quarantined = ck.quarantined.iter().copied().collect();
+        self.best_measured = best;
+        self.history = ck.history.clone();
+        self.log = ck.log.clone();
+        Ok(())
     }
 
     /// Emits the final `TuningFinished` trace event for this task. Call
@@ -624,6 +747,77 @@ mod tests {
         let other = task(64);
         let mut p3 = SketchPolicy::new(other, small_options(32, PolicyVariant::Full));
         assert_eq!(p3.warm_start(&log, &mut model2), 0);
+    }
+
+    #[test]
+    fn terminal_faults_quarantine_signatures() {
+        let t = task(128);
+        // Aggressive plan: every 6th-ish state cursed, frequent transients.
+        let plan = hwsim::FaultPlan {
+            transient_prob: 0.3,
+            timeout_prob: 0.05,
+            cursed_prob: 0.15,
+            max_retries: 2,
+            ..hwsim::FaultPlan::default()
+        };
+        let tel = telemetry::Telemetry::with_metrics();
+        let mut measurer = Measurer::with_faults(t.target.clone(), plan);
+        measurer.set_telemetry(tel.clone());
+        let mut opts = small_options(64, PolicyVariant::Full);
+        opts.telemetry = tel.clone();
+        let mut policy = SketchPolicy::new(t, opts);
+        let mut model = LearnedCostModel::new();
+        while policy.tune_round(&mut model, &mut measurer) > 0 {}
+        assert!(
+            !policy.quarantined().is_empty(),
+            "15% cursed states must quarantine something over 64 trials"
+        );
+        assert_eq!(
+            tel.counter_value("search/quarantined"),
+            policy.quarantined().len() as u64
+        );
+        assert!(tel.counter_value("measure/retries") > 0);
+        // Search survived and still found a valid program.
+        assert!(policy.best_seconds().is_finite());
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_bit_identically() {
+        let t = task(128);
+        let opts = || small_options(48, PolicyVariant::Full);
+
+        // Uninterrupted reference run.
+        let mut m_ref = Measurer::new(t.target.clone());
+        let mut model_ref = LearnedCostModel::new();
+        let mut p_ref = SketchPolicy::new(t.clone(), opts());
+        while p_ref.tune_round(&mut model_ref, &mut m_ref) > 0 {}
+
+        // Interrupted run: two rounds, checkpoint, "crash", restore into
+        // fresh objects, continue.
+        let mut m1 = Measurer::new(t.target.clone());
+        let mut model1 = LearnedCostModel::new();
+        let mut p1 = SketchPolicy::new(t.clone(), opts());
+        p1.tune_round(&mut model1, &mut m1);
+        p1.tune_round(&mut model1, &mut m1);
+        let pck = p1.checkpoint();
+        let mck = model1.checkpoint();
+        drop((p1, model1, m1));
+
+        let mut p2 = SketchPolicy::new(t.clone(), opts());
+        p2.restore(&pck).unwrap();
+        let mut model2 = LearnedCostModel::new();
+        model2.restore(&mck);
+        let mut m2 = Measurer::new(t.target.clone());
+        m2.restore_accounting(p2.trials(), 0);
+        while p2.tune_round(&mut model2, &mut m2) > 0 {}
+
+        assert_eq!(p_ref.trials(), p2.trials());
+        assert_eq!(p_ref.best_seconds(), p2.best_seconds());
+        assert_eq!(p_ref.history, p2.history);
+        assert_eq!(p_ref.log, p2.log);
+        // Restoring into a different task is rejected.
+        let mut other = SketchPolicy::new(task(64), opts());
+        assert!(other.restore(&pck).is_err());
     }
 
     #[test]

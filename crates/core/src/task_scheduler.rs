@@ -115,7 +115,7 @@ impl Default for TaskSchedulerConfig {
 }
 
 /// One scheduler history record (for tuning curves like Figure 10).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerRecord {
     /// Total measurement trials spent so far across all tasks.
     pub total_trials: u64,
@@ -125,6 +125,57 @@ pub struct SchedulerRecord {
     pub dnn_latencies: Vec<f64>,
     /// Objective value after the step.
     pub objective: f64,
+}
+
+// Manual serde: latencies and the objective are `f64::INFINITY` until every
+// task in a DNN has a measurement, and JSON encodes non-finite floats as
+// `null`; the custom impls recover the infinities on load so checkpointed
+// scheduler histories round-trip exactly (same convention as
+// `TuningRecordLog`).
+impl Serialize for SchedulerRecord {
+    fn to_value(&self) -> serde::Value {
+        let enc = |s: &f64| {
+            if s.is_finite() {
+                s.to_value()
+            } else {
+                serde::Value::Null
+            }
+        };
+        let mut m = serde::Map::new();
+        m.insert("total_trials".into(), self.total_trials.to_value());
+        m.insert("chosen_task".into(), self.chosen_task.to_value());
+        m.insert(
+            "dnn_latencies".into(),
+            serde::Value::Array(self.dnn_latencies.iter().map(enc).collect()),
+        );
+        m.insert("objective".into(), enc(&self.objective));
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for SchedulerRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::DeError::invalid_type("object", v));
+        };
+        let field = |name: &str| m.get(name).unwrap_or(&serde::Value::Null);
+        let dec = |v: &serde::Value| match v {
+            serde::Value::Null => Ok(f64::INFINITY),
+            other => f64::from_value(other),
+        };
+        let serde::Value::Array(lat) = field("dnn_latencies") else {
+            return Err(serde::DeError::invalid_type(
+                "array",
+                field("dnn_latencies"),
+            ));
+        };
+        Ok(SchedulerRecord {
+            total_trials: u64::from_value(field("total_trials"))?,
+            chosen_task: usize::from_value(field("chosen_task"))?,
+            dnn_latencies: lat.iter().map(dec).collect::<Result<_, _>>()?,
+            objective: dec(field("objective"))?,
+        })
+    }
 }
 
 /// Schedules tuning time across many subgraph tasks (Figure 4's top box).
@@ -397,6 +448,55 @@ impl TaskScheduler {
         for policy in &self.policies {
             policy.emit_finished();
         }
+    }
+
+    /// Serializes the scheduler's full state (allocator + every per-task
+    /// policy + the shared cost model). Restoring into a fresh scheduler
+    /// built with the same tasks, objective, options, and config continues
+    /// the run bit-identically.
+    pub fn checkpoint(&self) -> crate::checkpoint::SchedulerCheckpoint {
+        crate::checkpoint::SchedulerCheckpoint {
+            rng: self.rng.raw_state().to_vec(),
+            allocations: self.allocations.clone(),
+            exhausted: self.exhausted.clone(),
+            best_history: self
+                .best_history
+                .iter()
+                .map(|h| h.iter().map(|s| s.is_finite().then_some(*s)).collect())
+                .collect(),
+            history: self.history.clone(),
+            policies: self.policies.iter().map(|p| p.checkpoint()).collect(),
+            model: self.model.checkpoint(),
+        }
+    }
+
+    /// Restores the state captured by [`TaskScheduler::checkpoint`].
+    pub fn restore(&mut self, ck: &crate::checkpoint::SchedulerCheckpoint) -> Result<(), String> {
+        let n = self.tasks.len();
+        if ck.policies.len() != n
+            || ck.allocations.len() != n
+            || ck.exhausted.len() != n
+            || ck.best_history.len() != n
+        {
+            return Err(format!(
+                "checkpoint covers {} tasks, scheduler has {n}",
+                ck.policies.len()
+            ));
+        }
+        for (policy, pc) in self.policies.iter_mut().zip(&ck.policies) {
+            policy.restore(pc)?;
+        }
+        self.model.restore(&ck.model);
+        self.rng = StdRng::from_raw_state(crate::checkpoint::rng_state_from(&ck.rng)?);
+        self.allocations = ck.allocations.clone();
+        self.exhausted = ck.exhausted.clone();
+        self.best_history = ck
+            .best_history
+            .iter()
+            .map(|h| h.iter().map(|s| s.unwrap_or(f64::INFINITY)).collect())
+            .collect();
+        self.history = ck.history.clone();
+        Ok(())
     }
 }
 

@@ -12,10 +12,12 @@
 
 pub mod analytical;
 pub mod cache;
+pub mod faults;
 pub mod measure;
 pub mod target;
 
 pub use analytical::{estimate_detailed, estimate_seconds, explain, gflops, StoreCost};
 pub use cache::{miss_traffic, CacheHierarchy, CacheLevel};
+pub use faults::{default_plan, is_terminal_fault, set_default_plan, FaultOutcome, FaultPlan};
 pub use measure::{error_kind, MeasureOptions, MeasureResult, Measurer};
 pub use target::{HardwareTarget, TargetKind};

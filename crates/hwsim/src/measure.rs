@@ -9,6 +9,7 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ansor_runtime::SigCache;
@@ -16,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use tensor_ir::{lower, Program, State};
 
 use crate::analytical::estimate_seconds;
+use crate::faults::{FaultOutcome, FaultPlan, INJECTED_PREFIX};
 use crate::target::HardwareTarget;
 
 /// Options controlling the measurer.
@@ -72,12 +74,29 @@ pub struct Measurer {
     /// every requested measurement still consumes a trial, as in the
     /// paper's budget model.
     cache: Arc<SigCache<MeasureResult>>,
+    /// Injected-fault plan; `None` measures faithfully. Fault decisions are
+    /// pure functions of `(plan, state signature, attempt)`, so results
+    /// stay bit-identical across thread counts and the result cache stays
+    /// transparent (see `crate::faults`).
+    faults: Option<FaultPlan>,
+    /// Simulated nanoseconds spent on timed-out attempts and retry
+    /// backoff, shared across clones. Integer nanoseconds so concurrent
+    /// accumulation is order-insensitive (atomic adds commute exactly).
+    sim_nanos: Arc<AtomicU64>,
 }
 
 /// Maps a measurement-error message onto a small stable category set (one
 /// failure counter / trace key per category).
 pub fn error_kind(message: &str) -> &'static str {
-    if message.starts_with("lowering error") {
+    if message.starts_with("injected fault: timeout") {
+        "timeout"
+    } else if message.starts_with("injected fault: cursed") {
+        "cursed_hw"
+    } else if message.starts_with("injected fault: gave up") {
+        "gave_up"
+    } else if message.starts_with("injected fault") {
+        "transient"
+    } else if message.starts_with("lowering error") {
         "lowering"
     } else if message.starts_with("invalid transform") {
         "invalid_transform"
@@ -105,7 +124,10 @@ impl Measurer {
         Self::with_options(target, MeasureOptions::default())
     }
 
-    /// Creates a measurer with explicit options.
+    /// Creates a measurer with explicit options. Picks up the process-wide
+    /// default fault plan (`--faults`; see [`crate::faults`]) — `None`
+    /// unless a binary installed one, so library users and tests are
+    /// unaffected.
     pub fn with_options(target: HardwareTarget, options: MeasureOptions) -> Measurer {
         Measurer {
             target,
@@ -113,6 +135,51 @@ impl Measurer {
             trials: 0,
             telemetry: telemetry::Telemetry::disabled(),
             cache: Arc::new(SigCache::new(Self::CACHE_CAPACITY)),
+            faults: crate::faults::default_plan(),
+            sim_nanos: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Creates a measurer with an explicit fault plan (ignores the
+    /// process-wide default).
+    pub fn with_faults(target: HardwareTarget, plan: FaultPlan) -> Measurer {
+        let mut m = Measurer::new(target);
+        m.faults = Some(plan);
+        m
+    }
+
+    /// Installs (or clears) the fault plan on this measurer.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Simulated seconds lost to injected faults so far: timed-out
+    /// attempts plus retry backoff. 0.0 without a fault plan. Shared
+    /// across clones of this measurer.
+    pub fn sim_fault_seconds(&self) -> f64 {
+        self.sim_nanos.load(Ordering::SeqCst) as f64 * 1e-9
+    }
+
+    /// Raw simulated-fault clock in nanoseconds (for checkpointing).
+    pub fn sim_fault_nanos(&self) -> u64 {
+        self.sim_nanos.load(Ordering::SeqCst)
+    }
+
+    /// Restores trial and simulated-clock accounting from a checkpoint.
+    pub fn restore_accounting(&mut self, trials: u64, sim_fault_nanos: u64) {
+        self.trials = trials;
+        self.sim_nanos.store(sim_fault_nanos, Ordering::SeqCst);
+    }
+
+    fn add_sim_seconds(&self, seconds: f64) {
+        if seconds > 0.0 {
+            self.sim_nanos
+                .fetch_add((seconds * 1e9) as u64, Ordering::SeqCst);
         }
     }
 
@@ -200,6 +267,8 @@ impl Measurer {
         };
         let program = match lowered {
             Ok(p) => p,
+            // Lowering failures are deterministic program defects, not
+            // hardware flakes: never retried, never fault-injected.
             Err(e) => {
                 return MeasureResult {
                     seconds: f64::INFINITY,
@@ -207,9 +276,55 @@ impl Measurer {
                 }
             }
         };
+        let base = self.time_program(&program, state);
+        let Some(plan) = &self.faults else {
+            return MeasureResult {
+                seconds: base,
+                error: None,
+            };
+        };
+        self.measure_with_faults(plan, state.signature(), base)
+    }
+
+    /// Retry loop around one fault-injected measurement: capped exponential
+    /// backoff on transient failures and timeouts (charged to the simulated
+    /// clock), immediate terminal failure on cursed hardware, give-up after
+    /// `max_retries`. Pure in `(plan, signature)`, so results are cacheable
+    /// and thread-count independent.
+    fn measure_with_faults(&self, plan: &FaultPlan, signature: u64, base: f64) -> MeasureResult {
+        let mut last_kind = "transient";
+        for attempt in 0..=plan.max_retries {
+            if attempt > 0 {
+                self.telemetry.incr("measure/retries", 1);
+                self.add_sim_seconds(plan.backoff_seconds(attempt));
+            }
+            match plan.draw(signature, attempt) {
+                FaultOutcome::Ok(mult) => {
+                    return MeasureResult {
+                        seconds: base * mult,
+                        error: None,
+                    }
+                }
+                FaultOutcome::Cursed => {
+                    return MeasureResult {
+                        seconds: f64::INFINITY,
+                        error: Some(format!("{INJECTED_PREFIX}: cursed hardware")),
+                    }
+                }
+                FaultOutcome::Transient => last_kind = "transient",
+                FaultOutcome::Timeout => {
+                    last_kind = "timeout";
+                    self.add_sim_seconds(plan.timeout_seconds);
+                }
+            }
+        }
+        self.telemetry.incr("measure/gave_up", 1);
         MeasureResult {
-            seconds: self.time_program(&program, state),
-            error: None,
+            seconds: f64::INFINITY,
+            error: Some(format!(
+                "{INJECTED_PREFIX}: gave up after {} retries ({last_kind})",
+                plan.max_retries
+            )),
         }
     }
 
@@ -320,6 +435,141 @@ mod tests {
         let mut m2 = Measurer::with_options(HardwareTarget::intel_20core(), opts);
         let st = simple_state();
         assert_eq!(m1.measure(&st).seconds, m2.measure(&st).seconds);
+    }
+
+    fn many_states(n: i64) -> Vec<State> {
+        let mut states = Vec::new();
+        for f in 0..n {
+            let mut st = simple_state();
+            if f > 0 {
+                st.apply(Step::Split {
+                    node: "C".into(),
+                    iter: "i".into(),
+                    lengths: vec![f],
+                })
+                .ok();
+            }
+            states.push(st);
+        }
+        states
+    }
+
+    #[test]
+    fn inert_plan_is_byte_identical_to_no_plan() {
+        let target = HardwareTarget::intel_20core();
+        let mut plain = Measurer::new(target.clone());
+        let mut inert = Measurer::with_faults(target, FaultPlan::none());
+        for st in many_states(16) {
+            assert_eq!(plain.measure(&st), inert.measure(&st));
+        }
+        assert_eq!(inert.sim_fault_nanos(), 0);
+    }
+
+    #[test]
+    fn persistent_transient_faults_give_up_after_cap() {
+        let plan = FaultPlan {
+            transient_prob: 1.0,
+            timeout_prob: 0.0,
+            cursed_prob: 0.0,
+            max_retries: 3,
+            ..FaultPlan::default()
+        };
+        let mut m = Measurer::with_faults(HardwareTarget::intel_20core(), plan);
+        let tel = telemetry::Telemetry::with_metrics();
+        m.set_telemetry(tel.clone());
+        let r = m.measure(&simple_state());
+        assert!(!r.is_valid());
+        let msg = r.error.as_deref().unwrap();
+        assert!(msg.starts_with("injected fault: gave up"), "{msg}");
+        assert!(crate::faults::is_terminal_fault(msg));
+        assert_eq!(error_kind(msg), "gave_up");
+        assert_eq!(tel.counter_value("measure/retries"), 3);
+        assert_eq!(tel.counter_value("measure/gave_up"), 1);
+        // Backoff 0.1 + 0.2 + 0.4 simulated seconds charged.
+        assert!((m.sim_fault_seconds() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cursed_states_fail_terminally_without_retries() {
+        let plan = FaultPlan {
+            transient_prob: 0.0,
+            timeout_prob: 0.0,
+            cursed_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut m = Measurer::with_faults(HardwareTarget::intel_20core(), plan);
+        let tel = telemetry::Telemetry::with_metrics();
+        m.set_telemetry(tel.clone());
+        let r = m.measure(&simple_state());
+        let msg = r.error.as_deref().unwrap();
+        assert!(msg.starts_with("injected fault: cursed"), "{msg}");
+        assert!(crate::faults::is_terminal_fault(msg));
+        assert_eq!(error_kind(msg), "cursed_hw");
+        assert_eq!(tel.counter_value("measure/retries"), 0);
+    }
+
+    #[test]
+    fn timeouts_charge_the_simulated_clock() {
+        let plan = FaultPlan {
+            transient_prob: 0.0,
+            timeout_prob: 1.0,
+            cursed_prob: 0.0,
+            max_retries: 2,
+            timeout_seconds: 1.5,
+            ..FaultPlan::default()
+        };
+        let mut m = Measurer::with_faults(HardwareTarget::intel_20core(), plan);
+        assert!(!m.measure(&simple_state()).is_valid());
+        // 3 timed-out attempts (1.5s each) + backoff 0.1 + 0.2.
+        assert!((m.sim_fault_seconds() - 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovered_measurements_equal_fault_free_values() {
+        // Default plan has noise 0: any state that eventually succeeds must
+        // report exactly its fault-free time, and most states succeed.
+        let target = HardwareTarget::intel_20core();
+        let mut plain = Measurer::new(target.clone());
+        let mut faulty = Measurer::with_faults(target, FaultPlan::default());
+        let states = many_states(32);
+        let mut valid = 0;
+        for st in &states {
+            let f = faulty.measure(st);
+            if f.is_valid() {
+                valid += 1;
+                assert_eq!(f.seconds, plain.measure(st).seconds);
+            } else {
+                assert!(crate::faults::is_terminal_fault(
+                    f.error.as_deref().unwrap()
+                ));
+            }
+        }
+        assert!(valid >= states.len() / 2, "only {valid} valid");
+    }
+
+    #[test]
+    fn fault_results_are_cached_and_thread_count_independent() {
+        let plan = FaultPlan::default();
+        let states = many_states(24);
+        let mut m = Measurer::with_faults(HardwareTarget::intel_20core(), plan.clone());
+        let batch = m.measure_batch(&states);
+        // Same states again: served from cache, bit-identical.
+        assert_eq!(m.measure_batch(&states), batch);
+        // A fresh measurer (fresh cache) reproduces the results exactly.
+        let mut m2 = Measurer::with_faults(HardwareTarget::intel_20core(), plan);
+        for (s, b) in states.iter().zip(&batch) {
+            assert_eq!(&m2.measure(s), b);
+        }
+    }
+
+    #[test]
+    fn restore_accounting_round_trips() {
+        let mut m = Measurer::new(HardwareTarget::intel_20core());
+        m.restore_accounting(17, 42_000);
+        assert_eq!(m.trials(), 17);
+        assert_eq!(m.sim_fault_nanos(), 42_000);
+        m.measure(&simple_state());
+        assert_eq!(m.trials(), 18);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests on the deterministic fault injector: whatever the plan,
+//! the measurer must bound its retries, cursed hardware must stay cursed,
+//! and a zero-probability plan must be indistinguishable from no injector
+//! at all.
+
+use std::sync::Arc;
+
+use hwsim::{FaultOutcome, FaultPlan, HardwareTarget, Measurer};
+use proptest::prelude::*;
+use tensor_ir::{DagBuilder, Expr, Reducer, State};
+
+fn matmul_state(n: i64) -> State {
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[n, n]);
+    let w = b.placeholder("B", &[n, n]);
+    b.compute_reduce("C", &[n, n], &[n], Reducer::Sum, |ax| {
+        Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+            * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+    });
+    State::new(Arc::new(b.build().unwrap()))
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0f64..0.9,
+        0.0f64..0.5,
+        0.0f64..0.3,
+        0.0f64..0.5,
+        0u32..6,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(transient, timeout, noise, cursed, retries, seed)| FaultPlan {
+                transient_prob: transient,
+                timeout_prob: timeout,
+                noise,
+                cursed_prob: cursed,
+                max_retries: retries,
+                timeout_seconds: 1.0,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The injected-attempt sequence terminates within the retry cap: the
+    /// measurer consults `draw` for at most `max_retries + 1` attempts, and
+    /// the `measure/retries` counter per measurement never exceeds the cap.
+    #[test]
+    fn retries_never_exceed_cap(plan in arb_plan(), sig in any::<u64>()) {
+        let mut attempts = 0u32;
+        for attempt in 0..=plan.max_retries {
+            attempts = attempt + 1;
+            match plan.draw(sig, attempt) {
+                FaultOutcome::Ok(_) | FaultOutcome::Cursed => break,
+                FaultOutcome::Transient | FaultOutcome::Timeout => {}
+            }
+        }
+        prop_assert!(attempts <= plan.max_retries + 1);
+
+        let tel = telemetry::Telemetry::with_metrics();
+        let mut m = Measurer::with_faults(HardwareTarget::intel_20core(), plan.clone());
+        m.set_telemetry(tel.clone());
+        m.measure(&matmul_state(32));
+        prop_assert!(tel.counter_value("measure/retries") <= plan.max_retries as u64);
+    }
+
+    /// Cursed hardware is sticky: the verdict for a signature never changes,
+    /// and a cursed signature draws `Cursed` at every attempt — quarantine
+    /// decisions are monotone.
+    #[test]
+    fn cursed_is_sticky(plan in arb_plan(), sig in any::<u64>()) {
+        let verdict = plan.is_cursed(sig);
+        for _ in 0..4 {
+            prop_assert_eq!(plan.is_cursed(sig), verdict);
+        }
+        if verdict {
+            for attempt in 0..=plan.max_retries {
+                prop_assert!(matches!(plan.draw(sig, attempt), FaultOutcome::Cursed));
+            }
+        }
+    }
+
+    /// Draws are pure functions of (plan, signature, attempt): re-asking
+    /// never changes the answer, so parallel measurement order is
+    /// irrelevant.
+    #[test]
+    fn draws_are_deterministic(plan in arb_plan(), sig in any::<u64>(), attempt in 0u32..8) {
+        let a = plan.draw(sig, attempt);
+        let b = plan.draw(sig, attempt);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// A zero-probability plan is inert: measurements are byte-identical to
+    /// a measurer with no injector installed, and no simulated time is
+    /// charged.
+    #[test]
+    fn zero_probability_plan_is_byte_identical(seed in any::<u64>(), n in 8i64..64) {
+        let inert = FaultPlan { seed, ..FaultPlan::none() };
+        prop_assert!(inert.is_inert());
+        let state = matmul_state(n);
+        let mut plain = Measurer::new(HardwareTarget::intel_20core());
+        let mut faulty = Measurer::with_faults(HardwareTarget::intel_20core(), inert);
+        let a = plain.measure(&state);
+        let b = faulty.measure(&state);
+        prop_assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+        prop_assert_eq!(a.error, b.error);
+        prop_assert_eq!(faulty.sim_fault_nanos(), 0);
+    }
+}

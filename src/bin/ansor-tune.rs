@@ -4,16 +4,26 @@
 //! ansor-tune --op C2D --shape 1 --batch 1 --trials 300 --target intel \
 //!            --log conv.jsonl
 //! ansor-tune --network dcgan --units 20 --target gpu
+//! ansor-tune --op GMM --checkpoint run.ckpt --checkpoint-every 2
+//! ansor-tune --resume run.ckpt --op GMM --checkpoint run.ckpt
+//! ansor-tune --bless
 //! ansor-tune --list
 //! ```
 //!
 //! Tunes a single operator (optionally resuming from / appending to a
 //! JSON-lines record log) or a whole network via the task scheduler, then
-//! prints the best schedule.
+//! prints the best schedule. Runs can periodically persist a versioned
+//! checkpoint (`--checkpoint`) and continue after a crash (`--resume`) to a
+//! bit-identical final result; `--faults <spec>` injects deterministic
+//! measurement faults (see docs/ROBUSTNESS.md).
 
-use ansor::core::{load_records, save_records, LearnedCostModel, SketchPolicy};
+use ansor::core::{
+    load_records, save_records, LearnedCostModel, SinglePolicyCheckpoint, SketchPolicy,
+    TuneCheckpoint, CHECKPOINT_VERSION,
+};
 use ansor::prelude::*;
 use ansor::workloads;
+use hwsim::FaultPlan;
 
 struct Cli {
     op: Option<String>,
@@ -26,6 +36,11 @@ struct Cli {
     log: Option<String>,
     list: bool,
     show_program: bool,
+    faults: String,
+    checkpoint: Option<String>,
+    checkpoint_every: usize,
+    resume: Option<String>,
+    bless: bool,
 }
 
 fn parse() -> Cli {
@@ -40,6 +55,11 @@ fn parse() -> Cli {
         log: None,
         list: false,
         show_program: false,
+        faults: "none".into(),
+        checkpoint: None,
+        checkpoint_every: 1,
+        resume: None,
+        bless: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,6 +73,11 @@ fn parse() -> Cli {
             "--units" => cli.units = val().parse().unwrap_or(20),
             "--target" => cli.target = val(),
             "--log" => cli.log = Some(val()),
+            "--faults" => cli.faults = val(),
+            "--checkpoint" => cli.checkpoint = Some(val()),
+            "--checkpoint-every" => cli.checkpoint_every = val().parse().unwrap_or(1).max(1),
+            "--resume" => cli.resume = Some(val()),
+            "--bless" => cli.bless = true,
             "--threads" => {
                 if let Ok(n) = val().parse() {
                     ansor::runtime::set_threads(n);
@@ -86,6 +111,11 @@ fn print_help() {
          common:\n\
          \x20  --target intel|intel-avx512|arm|gpu   (default intel)\n\
          \x20  --threads N                            parallel-runtime workers\n\
+         \x20  --faults none|default|k=v,...          inject measurement faults\n\
+         \x20  --checkpoint PATH                      persist search state\n\
+         \x20  --checkpoint-every N                   rounds between saves (default 1)\n\
+         \x20  --resume PATH                          continue a killed run\n\
+         \x20  --bless                                regenerate tests/golden/\n\
          \x20  --list                                 list available workloads"
     );
 }
@@ -103,6 +133,32 @@ fn target(name: &str) -> HardwareTarget {
     }
 }
 
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Loads a `--log` file, surfacing the skipped-line count and read errors
+/// instead of silently dropping them. A missing file is fine (first run).
+fn load_log(path: &str) -> Vec<ansor::core::TuningRecordLog> {
+    match load_records(path) {
+        Ok((records, skipped)) => {
+            if skipped > 0 {
+                println!(
+                    "warning: skipped {skipped} corrupt line{} in {path}",
+                    if skipped == 1 { "" } else { "s" }
+                );
+            }
+            records
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            eprintln!("warning: could not read {path}: {e}");
+            Vec::new()
+        }
+    }
+}
+
 fn main() {
     let cli = parse();
     if cli.list {
@@ -110,51 +166,33 @@ fn main() {
         println!("networks:  {}", workloads::all_networks().join(", "));
         return;
     }
-    let target = target(&cli.target);
-
-    if let Some(net) = &cli.network {
-        let Some(tasks) = workloads::network(net, cli.batch) else {
-            eprintln!("unknown network {net:?} (see --list)");
-            std::process::exit(2);
-        };
-        let tune_tasks: Vec<TuneTask> = tasks
-            .iter()
-            .map(|t| TuneTask {
-                task: SearchTask::new(t.name.clone(), t.dag.clone(), target.clone()),
-                weight: t.weight,
-                dnn: 0,
-            })
-            .collect();
-        let mut sched = TaskScheduler::new(
-            tune_tasks,
-            Objective::WeightedSum,
-            TuningOptions::default(),
-            TaskSchedulerConfig::default(),
-        );
-        let mut measurer = Measurer::new(target);
-        println!(
-            "tuning {net} ({} tasks) for {} units of 64 trials...",
-            tasks.len(),
-            cli.units
-        );
-        sched.tune(cli.units, &mut measurer);
-        println!(
-            "end-to-end latency estimate: {:.3} ms ({} trials)",
-            sched.dnn_latencies()[0] * 1e3,
-            sched.total_trials()
-        );
-        for (i, t) in sched.tasks.iter().enumerate() {
-            println!(
-                "  {:<28} units {:>3}  best {:>12.3} ms",
-                t.task.name,
-                sched.allocations[i],
-                sched.best_latencies()[i] * 1e3
-            );
+    if cli.bless {
+        let dir = std::path::Path::new(ansor::golden::GOLDEN_DIR);
+        match ansor::golden::bless(dir) {
+            Ok(summary) => println!(
+                "blessed {}: best {:.6} ms ({:.1} GFLOP/s, {} trials)",
+                dir.display(),
+                summary.best_seconds * 1e3,
+                summary.gflops,
+                summary.trials
+            ),
+            Err(e) => die(&format!("bless failed: {e}")),
         }
         return;
     }
+    let plan = match FaultPlan::parse(&cli.faults) {
+        Ok(p) => (!p.is_inert()).then_some(p),
+        Err(e) => die(&format!("--faults: {e}")),
+    };
+    hwsim::set_default_plan(plan.clone());
+    let target = target(&cli.target);
 
-    let op = cli.op.unwrap_or_else(|| {
+    if let Some(net) = &cli.network {
+        tune_network(&cli, net, target);
+        return;
+    }
+
+    let op = cli.op.clone().unwrap_or_else(|| {
         print_help();
         std::process::exit(2);
     });
@@ -162,6 +200,13 @@ fn main() {
         eprintln!("unknown case {op:?} shape {} (see --list)", cli.shape);
         std::process::exit(2);
     };
+    // The trial budget is deliberately not part of the fingerprint: it only
+    // gates the stop condition, so a checkpoint may be resumed with a larger
+    // `--trials` to extend a finished run.
+    let fingerprint = format!(
+        "single:{op}:s{}:b{}:target={}:faults={}",
+        cli.shape, cli.batch, cli.target, cli.faults
+    );
     let task = SearchTask::new(
         format!("{op}:s{}b{}", cli.shape, cli.batch),
         dag.clone(),
@@ -174,36 +219,191 @@ fn main() {
     let mut policy = SketchPolicy::new(task.clone(), options);
     let mut model = LearnedCostModel::new();
     let mut measurer = Measurer::new(target);
-    if let Some(path) = &cli.log {
-        if let Ok((records, skipped)) = load_records(path) {
-            if skipped > 0 {
-                eprintln!("warning: skipped {skipped} corrupt lines in {path}");
-            }
-            let n = policy.warm_start(&records, &mut model);
-            if n > 0 {
-                println!("warm-started from {n} records in {path}");
-            }
+    // Records already appended to --log (resume skips re-writing them).
+    let mut flushed = 0usize;
+
+    if let Some(path) = &cli.resume {
+        let ck = TuneCheckpoint::load(path).unwrap_or_else(|e| die(&e));
+        if ck.fingerprint != fingerprint {
+            die(&format!(
+                "checkpoint was taken under different settings\n  checkpoint: {}\n  this run:   {fingerprint}",
+                ck.fingerprint
+            ));
+        }
+        let Some(single) = &ck.single else {
+            die("checkpoint holds a network run; pass --network to resume it");
+        };
+        policy.restore(&single.policy).unwrap_or_else(|e| die(&e));
+        model.restore(&single.model);
+        measurer.restore_accounting(ck.measurer_trials, ck.sim_fault_nanos);
+        flushed = ck.records_flushed;
+        println!(
+            "resumed from {path}: {} trials done, {} rounds, best {:.6} ms",
+            policy.trials(),
+            policy.rounds(),
+            policy.best_seconds() * 1e3
+        );
+    } else if let Some(path) = &cli.log {
+        let records = load_log(path);
+        let n = policy.warm_start(&records, &mut model);
+        if n > 0 {
+            println!("warm-started from {n} records in {path}");
         }
     }
+
     println!(
         "tuning {op} (shape {}, batch {}) with {} trials...",
         cli.shape, cli.batch, cli.trials
     );
-    while policy.tune_round(&mut model, &mut measurer) > 0 {}
+    let save_checkpoint =
+        |policy: &SketchPolicy, model: &LearnedCostModel, measurer: &Measurer, flushed: usize| {
+            if let Some(path) = &cli.checkpoint {
+                let ck = TuneCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    fingerprint: fingerprint.clone(),
+                    measurer_trials: measurer.trials(),
+                    sim_fault_nanos: measurer.sim_fault_nanos(),
+                    records_flushed: flushed,
+                    single: Some(SinglePolicyCheckpoint {
+                        policy: policy.checkpoint(),
+                        model: model.checkpoint(),
+                    }),
+                    scheduler: None,
+                };
+                if let Err(e) = ck.save(path) {
+                    eprintln!("warning: checkpoint save failed: {e}");
+                }
+            }
+        };
+    let mut rounds_since_save = 0usize;
+    while policy.tune_round(&mut model, &mut measurer) > 0 {
+        rounds_since_save += 1;
+        if cli.checkpoint.is_some() && rounds_since_save >= cli.checkpoint_every {
+            rounds_since_save = 0;
+            // Flush new records before the checkpoint records their offset,
+            // so a resumed run appends exactly the remainder.
+            if let Some(path) = &cli.log {
+                save_records(path, &policy.log[flushed..]).expect("write log");
+                flushed = policy.log.len();
+            }
+            save_checkpoint(&policy, &model, &measurer, flushed);
+        }
+    }
     let best_seconds = policy.best_seconds();
     println!(
         "best: {:.6} ms  ({:.1} GFLOP/s)",
         best_seconds * 1e3,
         dag.flop_count() / best_seconds / 1e9
     );
-    if let Some(path) = &cli.log {
-        save_records(path, &policy.log).expect("write log");
-        println!("appended {} records to {path}", policy.log.len());
+    if plan.is_some() {
+        println!(
+            "fault injection: {:.1} simulated seconds lost to retries/timeouts",
+            measurer.sim_fault_seconds()
+        );
     }
+    if let Some(path) = &cli.log {
+        save_records(path, &policy.log[flushed..]).expect("write log");
+        println!("appended {} records to {path}", policy.log.len() - flushed);
+        flushed = policy.log.len();
+    }
+    save_checkpoint(&policy, &model, &measurer, flushed);
     if cli.show_program {
         if let Some(best) = policy.best_individual() {
             let program = lower(&best.state).expect("best program lowers");
             println!("\n{}", print_program(&program));
         }
+    }
+}
+
+fn tune_network(cli: &Cli, net: &str, target: HardwareTarget) {
+    let Some(tasks) = workloads::network(net, cli.batch) else {
+        eprintln!("unknown network {net:?} (see --list)");
+        std::process::exit(2);
+    };
+    // `--units` is not fingerprinted (it only gates the stop condition), so
+    // a checkpoint may be resumed with a larger budget to extend the run.
+    let fingerprint = format!(
+        "network:{net}:b{}:target={}:faults={}",
+        cli.batch, cli.target, cli.faults
+    );
+    let tune_tasks: Vec<TuneTask> = tasks
+        .iter()
+        .map(|t| TuneTask {
+            task: SearchTask::new(t.name.clone(), t.dag.clone(), target.clone()),
+            weight: t.weight,
+            dnn: 0,
+        })
+        .collect();
+    let mut sched = TaskScheduler::new(
+        tune_tasks,
+        Objective::WeightedSum,
+        TuningOptions::default(),
+        TaskSchedulerConfig::default(),
+    );
+    let mut measurer = Measurer::new(target);
+    let mut done_units = 0usize;
+    if let Some(path) = &cli.resume {
+        let ck = TuneCheckpoint::load(path).unwrap_or_else(|e| die(&e));
+        if ck.fingerprint != fingerprint {
+            die(&format!(
+                "checkpoint was taken under different settings\n  checkpoint: {}\n  this run:   {fingerprint}",
+                ck.fingerprint
+            ));
+        }
+        let Some(sc) = &ck.scheduler else {
+            die("checkpoint holds a single-op run; pass --op to resume it");
+        };
+        sched.restore(sc).unwrap_or_else(|e| die(&e));
+        measurer.restore_accounting(ck.measurer_trials, ck.sim_fault_nanos);
+        done_units = sched.history.len();
+        println!(
+            "resumed from {path}: {} of {} units done ({} trials)",
+            done_units,
+            cli.units,
+            sched.total_trials()
+        );
+    }
+    println!(
+        "tuning {net} ({} tasks) for {} units of 64 trials...",
+        tasks.len(),
+        cli.units
+    );
+    let mut units_since_save = 0usize;
+    while done_units < cli.units {
+        if sched.step(&mut measurer).is_none() {
+            break;
+        }
+        done_units += 1;
+        units_since_save += 1;
+        if let Some(path) = &cli.checkpoint {
+            if units_since_save >= cli.checkpoint_every {
+                units_since_save = 0;
+                let ck = TuneCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    fingerprint: fingerprint.clone(),
+                    measurer_trials: measurer.trials(),
+                    sim_fault_nanos: measurer.sim_fault_nanos(),
+                    records_flushed: 0,
+                    single: None,
+                    scheduler: Some(sched.checkpoint()),
+                };
+                if let Err(e) = ck.save(path) {
+                    eprintln!("warning: checkpoint save failed: {e}");
+                }
+            }
+        }
+    }
+    println!(
+        "end-to-end latency estimate: {:.3} ms ({} trials)",
+        sched.dnn_latencies()[0] * 1e3,
+        sched.total_trials()
+    );
+    for (i, t) in sched.tasks.iter().enumerate() {
+        println!(
+            "  {:<28} units {:>3}  best {:>12.3} ms",
+            t.task.name,
+            sched.allocations[i],
+            sched.best_latencies()[i] * 1e3
+        );
     }
 }

@@ -55,6 +55,8 @@ pub use ansor_workloads as workloads;
 pub use hwsim as hw;
 pub use tensor_ir as ir;
 
+pub mod golden;
+
 /// Convenient re-exports for the common tuning workflow.
 pub mod prelude {
     pub use ansor_core::{

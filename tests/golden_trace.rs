@@ -1,0 +1,52 @@
+//! The golden-trace regression gate: re-runs the canonical fixed-seed
+//! tuning session ([`ansor::golden`]) and compares its trace and summary
+//! byte-for-byte against the files committed under `tests/golden/`.
+//!
+//! Any change that shifts a single RNG draw, trace event, or measured time
+//! fails here. If the drift is intentional, regenerate the files with
+//! `cargo run --release --bin ansor-tune -- --bless` and commit them.
+
+use ansor::golden::{golden_run, GoldenSummary, GOLDEN_DIR, SUMMARY_FILE, TRACE_FILE};
+
+const BLESS_HINT: &str =
+    "if this change is intentional, run `cargo run --release --bin ansor-tune -- --bless` \
+     and commit the updated tests/golden/ files";
+
+fn golden_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(GOLDEN_DIR)
+        .join(file)
+}
+
+#[test]
+fn tuning_trace_matches_golden_files() {
+    let (events, summary) = golden_run();
+
+    let trace_path = golden_path(TRACE_FILE);
+    let committed_trace = std::fs::read_to_string(&trace_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}; {BLESS_HINT}", trace_path.display()));
+    let committed: Vec<&str> = committed_trace.lines().collect();
+    assert_eq!(
+        events.len(),
+        committed.len(),
+        "golden trace has {} events, this run produced {}; {BLESS_HINT}",
+        committed.len(),
+        events.len()
+    );
+    for (i, (got, want)) in events.iter().zip(&committed).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "golden trace drifted at event {} of {}; {BLESS_HINT}",
+            i + 1,
+            committed.len()
+        );
+    }
+
+    let summary_path = golden_path(SUMMARY_FILE);
+    let committed_summary = std::fs::read_to_string(&summary_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}; {BLESS_HINT}", summary_path.display()));
+    let want: GoldenSummary =
+        serde_json::from_str(&committed_summary).expect("golden summary parses");
+    assert_eq!(summary, want, "golden summary drifted; {BLESS_HINT}");
+}

@@ -212,6 +212,20 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// Snapshot of the raw xoshiro256++ state, for checkpointing.
+        /// Restore with [`StdRng::from_raw_state`] to continue the exact
+        /// stream. Not part of upstream rand's API (upstream's generators
+        /// implement serde instead); the workspace's checkpoint/resume
+        /// support needs the same capability.
+        pub fn raw_state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::raw_state`] snapshot.
+        pub fn from_raw_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         fn from_state(seed: u64) -> Self {
             // SplitMix64 expansion of the 64-bit seed into the full state, as
             // recommended by the xoshiro authors.
@@ -294,6 +308,18 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn raw_state_roundtrip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(5);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_raw_state(a.raw_state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
 
     #[test]
     fn deterministic_for_fixed_seed() {
