@@ -1,0 +1,240 @@
+//! Cost-model data-path microbenchmark: feature extraction (cold vs
+//! signature-cached), GBDT training (exact sort-based vs histogram-binned
+//! splits), and batch prediction over the packed feature matrix.
+//!
+//! Emits `BENCH_cost_model.json` (via `--json`) with wall-clock medians and
+//! the exact-vs-histogram train+predict speedup. The committed baseline in
+//! `results/` pins that *ratio* — a machine-independent number — and
+//! `--check <baseline.json>` exits non-zero when the current ratio regresses
+//! by more than 25%, which is the CI gate for the histogram path.
+//!
+//! Run: `cargo run -p ansor-bench --release --bin model-bench -- \
+//!        --json BENCH_cost_model.json`
+//! Gate: `... --bin model-bench -- --check results/BENCH_cost_model.json`
+
+use std::time::Instant;
+
+use ansor_bench::{maybe_dump_json, print_table, Args};
+use ansor_core::{generate_sketches, sample_program, AnnotationConfig, SearchTask};
+use ansor_features::{extract_state_matrix, FeatureMatrix, FEATURE_DIM};
+use ansor_runtime::SigCache;
+use gbdt::{Gbdt, GbdtParams, Matrix, SplitStrategy, TreeParams};
+use hwsim::HardwareTarget;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tensor_ir::{ComputeDag, DagBuilder, Expr, Reducer, State};
+
+#[derive(Serialize, Deserialize)]
+struct BenchReport {
+    /// Synthetic training-set shape.
+    n_rows: usize,
+    n_cols: usize,
+    /// Feature extraction over sampled real schedules, ms per batch.
+    extract_cold_ms: f64,
+    extract_cached_ms: f64,
+    /// GBDT training over the synthetic set, ms per pass.
+    train_exact_ms: f64,
+    train_hist_ms: f64,
+    /// Batch prediction over every row, ms per pass.
+    predict_exact_ms: f64,
+    predict_hist_ms: f64,
+    /// (train+predict) exact / (train+predict) histogram — the gated ratio.
+    train_predict_speedup: f64,
+}
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Synthetic feature matrix in the cost model's training regime: many
+/// distinct values per column (so the histogram path actually quantizes)
+/// with GBDT-friendly structure in the targets.
+fn synthetic(n_rows: usize) -> (FeatureMatrix, Vec<f32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(0xC057);
+    let mut m = FeatureMatrix::new(FEATURE_DIM);
+    let mut y = Vec::with_capacity(n_rows);
+    let mut row = vec![0.0f32; FEATURE_DIM];
+    for _ in 0..n_rows {
+        for v in row.iter_mut() {
+            *v = (rng.gen::<f32>() * 24.0).exp2().log2();
+        }
+        y.push(row[3] * 0.5 - row[17] * 0.25 + row[90] * 0.125 + rng.gen::<f32>());
+        m.push_packed_segment(&row);
+    }
+    let w = vec![1.0f32; n_rows];
+    (m, y, w)
+}
+
+fn matmul128() -> Arc<ComputeDag> {
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[128, 128]);
+    let w = b.constant("B", &[128, 128]);
+    b.compute_reduce("C", &[128, 128], &[128], Reducer::Sum, |ax| {
+        Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+            * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+    });
+    Arc::new(b.build().unwrap())
+}
+
+fn sample_states(task: &SearchTask, n: usize) -> Vec<State> {
+    let sketches = generate_sketches(task);
+    let cfg = AnnotationConfig::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut out = Vec::new();
+    while out.len() < n {
+        let sk = &sketches[rng.gen_range(0..sketches.len())];
+        if let Some(s) = sample_program(sk, task, &cfg, &mut rng) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn gbdt_params(split: SplitStrategy) -> GbdtParams {
+    // The learned cost model's production parameters, with the split
+    // strategy pinned instead of adaptive.
+    GbdtParams {
+        n_trees: 25,
+        learning_rate: 0.25,
+        colsample: 0.4,
+        split,
+        tree: TreeParams {
+            max_depth: 6,
+            min_child_weight: 1e-4,
+            min_gain: 1e-12,
+            feature_subset: vec![],
+        },
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let reps = args.pick(3, 5, 9);
+    let n_rows = args.pick(2000, 8000, 32000);
+    let n_states = args.pick(64, 256, 1024);
+
+    // Feature extraction: cold (every state lowered + featurized) vs
+    // through the signature cache (the predict→update reuse path).
+    let task = SearchTask::new("GMM:bench", matmul128(), HardwareTarget::intel_20core());
+    let states = sample_states(&task, n_states);
+    let extract_cold_ms = time_ms(reps, || {
+        states
+            .iter()
+            .map(|s| extract_state_matrix(s).map(|m| m.n_rows()).unwrap_or(0))
+            .sum::<usize>()
+    });
+    let cache: SigCache<Arc<Result<FeatureMatrix, String>>> = SigCache::new(1 << 14);
+    for s in &states {
+        cache.get_or_insert_with(s.signature(), || Arc::new(extract_state_matrix(s)));
+    }
+    let extract_cached_ms = time_ms(reps, || {
+        states
+            .iter()
+            .map(|s| {
+                cache
+                    .get_or_insert_with(s.signature(), || Arc::new(extract_state_matrix(s)))
+                    .as_ref()
+                    .as_ref()
+                    .map(|m| m.n_rows())
+                    .unwrap_or(0)
+            })
+            .sum::<usize>()
+    });
+
+    // Training + prediction over the synthetic set, exact vs histogram.
+    let (m, y, w) = synthetic(n_rows);
+    let x = Matrix::new(m.data(), m.n_cols());
+    let tel = telemetry::Telemetry::disabled();
+    let exact_params = gbdt_params(SplitStrategy::Exact);
+    let hist_params = gbdt_params(SplitStrategy::Histogram);
+    let train_exact_ms = time_ms(reps, || Gbdt::train_matrix(x, &y, &w, &exact_params, &tel));
+    let train_hist_ms = time_ms(reps, || Gbdt::train_matrix(x, &y, &w, &hist_params, &tel));
+    let exact_model = Gbdt::train_matrix(x, &y, &w, &exact_params, &tel);
+    let hist_model = Gbdt::train_matrix(x, &y, &w, &hist_params, &tel);
+    let predict_exact_ms = time_ms(reps, || exact_model.predict_matrix(x));
+    let predict_hist_ms = time_ms(reps, || hist_model.predict_matrix(x));
+
+    let report = BenchReport {
+        n_rows,
+        n_cols: FEATURE_DIM,
+        extract_cold_ms,
+        extract_cached_ms,
+        train_exact_ms,
+        train_hist_ms,
+        predict_exact_ms,
+        predict_hist_ms,
+        train_predict_speedup: (train_exact_ms + predict_exact_ms)
+            / (train_hist_ms + predict_hist_ms),
+    };
+
+    if args.tables_enabled() {
+        print_table(
+            &format!("Cost-model data path ({n_rows}x{} rows)", FEATURE_DIM),
+            &["stage", "exact/cold (ms)", "hist/cached (ms)", "speedup"],
+            &[
+                vec![
+                    "feature extraction".into(),
+                    format!("{extract_cold_ms:.2}"),
+                    format!("{extract_cached_ms:.2}"),
+                    format!("{:.1}x", extract_cold_ms / extract_cached_ms.max(1e-9)),
+                ],
+                vec![
+                    "gbdt train".into(),
+                    format!("{train_exact_ms:.2}"),
+                    format!("{train_hist_ms:.2}"),
+                    format!("{:.1}x", train_exact_ms / train_hist_ms.max(1e-9)),
+                ],
+                vec![
+                    "predict batch".into(),
+                    format!("{predict_exact_ms:.2}"),
+                    format!("{predict_hist_ms:.2}"),
+                    format!("{:.1}x", predict_exact_ms / predict_hist_ms.max(1e-9)),
+                ],
+                vec![
+                    "train+predict".into(),
+                    format!("{:.2}", train_exact_ms + predict_exact_ms),
+                    format!("{:.2}", train_hist_ms + predict_hist_ms),
+                    format!("{:.2}x", report.train_predict_speedup),
+                ],
+            ],
+        );
+    }
+    maybe_dump_json(&args, &report);
+
+    // Regression gate: the speedup *ratio* is machine-independent, so CI
+    // compares against the committed baseline with a 25% allowance.
+    if let Some(i) = args.flags.iter().position(|f| f == "--check") {
+        let path = args.flags.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--check requires a baseline path");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("--check: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: BenchReport = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("--check: cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        let floor = baseline.train_predict_speedup * 0.75;
+        println!(
+            "train+predict speedup {:.2}x vs baseline {:.2}x (floor {floor:.2}x)",
+            report.train_predict_speedup, baseline.train_predict_speedup
+        );
+        if report.train_predict_speedup < floor {
+            eprintln!("REGRESSION: histogram train+predict speedup fell >25% below baseline");
+            std::process::exit(1);
+        }
+    }
+}

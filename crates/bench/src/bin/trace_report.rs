@@ -146,6 +146,51 @@ fn main() {
         );
     }
 
+    let counters = report::final_counters(&lines);
+    if !counters.is_empty() {
+        // Signature-cache effectiveness: hit/miss counter pairs from the
+        // final snapshot (features/cache_*, model/score_cache_*).
+        let pairs: [(&str, &str, &str); 2] = [
+            (
+                "feature extraction",
+                "features/cache_hit",
+                "features/cache_miss",
+            ),
+            (
+                "model scoring",
+                "model/score_cache_hits",
+                "model/score_cache_misses",
+            ),
+        ];
+        let rows: Vec<Vec<String>> = pairs
+            .iter()
+            .filter_map(|(label, hk, mk)| {
+                let (h, m) = (
+                    *counters.get(*hk).unwrap_or(&0),
+                    *counters.get(*mk).unwrap_or(&0),
+                );
+                (h + m > 0).then(|| {
+                    vec![
+                        label.to_string(),
+                        h.to_string(),
+                        m.to_string(),
+                        format!("{:.1}%", 100.0 * h as f64 / (h + m) as f64),
+                    ]
+                })
+            })
+            .collect();
+        if !rows.is_empty() {
+            print_table(
+                "Signature-cache effectiveness",
+                &["cache", "hits", "misses", "hit rate"],
+                &rows,
+            );
+        }
+        if let Some(n) = counters.get("features/extract_failed") {
+            println!("feature extraction failures recorded: {n}");
+        }
+    }
+
     let kinds = report::error_kinds(&lines);
     if !kinds.is_empty() {
         print_table(

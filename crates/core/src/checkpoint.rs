@@ -74,6 +74,12 @@ pub struct ModelRecord {
     pub seconds: Option<f64>,
     /// Task the record came from (normalization group).
     pub task: String,
+    /// Why feature extraction failed, for records measured on states that
+    /// later failed to lower (their `features` are empty). `None` for
+    /// healthy records; defaulted on load so version-1 checkpoints written
+    /// before this field round-trip unchanged.
+    #[serde(default)]
+    pub error: Option<String>,
 }
 
 /// Serialized state of a `LearnedCostModel`: just its record list. The
@@ -218,6 +224,7 @@ mod tests {
                         features: vec![vec![0.5, 0.25]],
                         seconds: Some(2e-3),
                         task: "GMM:s0b1".into(),
+                        error: None,
                     }],
                     train_passes: 2,
                 },
@@ -269,10 +276,21 @@ mod tests {
             features: vec![],
             seconds: None,
             task: "t".into(),
+            error: Some("lowering: unbound iterator".into()),
         };
         let json = serde_json::to_string(&rec).unwrap();
         let back: ModelRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back.seconds, None);
+        assert_eq!(back.error.as_deref(), Some("lowering: unbound iterator"));
+    }
+
+    #[test]
+    fn records_without_error_field_still_load() {
+        // Version-1 checkpoints written before the `error` field existed.
+        let json = r#"{"features":[[1.0]],"seconds":1e-3,"task":"t"}"#;
+        let back: ModelRecord = serde_json::from_str(json).unwrap();
+        assert_eq!(back.error, None);
+        assert_eq!(back.seconds, Some(1e-3));
     }
 
     #[test]

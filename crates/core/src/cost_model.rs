@@ -9,14 +9,20 @@
 //! tasks/DAGs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use ansor_features::{extract_program_features, extract_states_features};
+use ansor_features::{extract_program_features, extract_state_matrix, FeatureMatrix, FEATURE_DIM};
 use ansor_runtime::SigCache;
-use gbdt::{Gbdt, GbdtParams, TreeParams};
+use gbdt::{Gbdt, GbdtParams, Matrix, SplitStrategy, TreeParams};
 use rand::prelude::*;
 use tensor_ir::{lower, State};
 
 use crate::search_task::SearchTask;
+
+/// Cached result of featurizing one state: the packed per-statement rows,
+/// or the lowering error. `Arc` so cache hits hand out a pointer instead of
+/// cloning a feature block.
+type FeatureBlock = Arc<Result<FeatureMatrix, String>>;
 
 /// Scores used to rank candidate programs; higher is better.
 pub trait CostModel {
@@ -45,20 +51,31 @@ pub trait CostModel {
     fn is_trained(&self) -> bool;
 }
 
-/// One stored training record.
+/// One stored training record: an index into the model's shared
+/// [`FeatureMatrix`] plus the measurement. Feature rows live packed in the
+/// matrix, so records are a few words each and a training pass never clones
+/// per-record feature vectors.
 #[derive(Debug, Clone)]
 struct Record {
-    /// Per-statement feature vectors.
-    features: Vec<Vec<f32>>,
-    /// Measured seconds.
+    /// Segment of the shared feature matrix holding this record's
+    /// per-statement rows (empty when extraction failed).
+    seg: usize,
+    /// Measured seconds (`INFINITY` encodes a failed measurement).
     seconds: f64,
     /// Task the record came from (normalization group).
     task: String,
+    /// Why feature extraction failed, if it did.
+    error: Option<String>,
 }
 
 /// GBDT-backed learned cost model.
 pub struct LearnedCostModel {
     records: Vec<Record>,
+    /// Packed per-statement feature rows of every record; record `i` owns
+    /// segment `i`. Append-only — `max_train_records` bounds the rows a
+    /// retrain reads (a contiguous suffix), not the resident store, whose
+    /// size is surfaced through the `model/feature_bytes` gauge.
+    features: FeatureMatrix,
     model: Option<Gbdt>,
     params: GbdtParams,
     /// Cap on the number of most recent records used per training pass.
@@ -70,6 +87,11 @@ pub struct LearnedCostModel {
     /// function of `(state, model)` — so duplicates are never re-lowered,
     /// re-featurized, or re-scored. Cleared on every retrain.
     score_cache: SigCache<f64>,
+    /// Signature-keyed featurization cache. Features depend only on the
+    /// state (not on the model), so entries survive retrains; measured
+    /// states were almost always just scored, so `update` usually reuses
+    /// the rows `predict` extracted.
+    feature_cache: SigCache<FeatureBlock>,
 }
 
 impl Default for LearnedCostModel {
@@ -83,6 +105,7 @@ impl LearnedCostModel {
     pub fn new() -> LearnedCostModel {
         LearnedCostModel {
             records: Vec::new(),
+            features: FeatureMatrix::new(FEATURE_DIM),
             model: None,
             params: GbdtParams {
                 n_trees: 25,
@@ -94,16 +117,34 @@ impl LearnedCostModel {
                     min_gain: 1e-12,
                     feature_subset: vec![],
                 },
+                ..Default::default()
             },
             max_train_records: 800,
             telemetry: telemetry::Telemetry::disabled(),
             score_cache: SigCache::new(1 << 16),
+            feature_cache: SigCache::new(1 << 14),
         }
     }
 
     /// Lifetime (hits, misses) of the signature-keyed score cache.
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.score_cache.hits(), self.score_cache.misses())
+    }
+
+    /// Lifetime (hits, misses) of the signature-keyed featurization cache.
+    pub fn feature_cache_stats(&self) -> (u64, u64) {
+        (self.feature_cache.hits(), self.feature_cache.misses())
+    }
+
+    /// Bytes resident in the packed feature store.
+    pub fn feature_bytes(&self) -> usize {
+        self.features.resident_bytes()
+    }
+
+    /// Selects the GBDT split-search strategy (exact sort-based scan,
+    /// histogram-binned, or the size-adaptive default) for later retrains.
+    pub fn set_split_strategy(&mut self, split: SplitStrategy) {
+        self.params.split = split;
     }
 
     /// Number of stored measurement records.
@@ -129,7 +170,7 @@ impl LearnedCostModel {
             .records
             .iter()
             .rev()
-            .filter(|r| r.seconds.is_finite() && !r.features.is_empty())
+            .filter(|r| r.seconds.is_finite() && self.features.segment_len(r.seg) > 0)
             .take(cap)
             .collect();
         if recent.len() < 2 {
@@ -137,7 +178,7 @@ impl LearnedCostModel {
         }
         let scores: Vec<f64> = recent
             .iter()
-            .map(|r| self.score_program(&r.features))
+            .map(|r| self.score_rows(self.features.segment_slice(r.seg)))
             .collect();
         let mut pairs = 0u64;
         let mut discordant = 0u64;
@@ -168,13 +209,19 @@ impl LearnedCostModel {
     /// events.
     pub fn restore(&mut self, ck: &crate::checkpoint::ModelCheckpoint) {
         let tel = std::mem::replace(&mut self.telemetry, telemetry::Telemetry::disabled());
+        self.features = FeatureMatrix::new(FEATURE_DIM);
         self.records = ck
             .records
             .iter()
             .map(|r| Record {
-                features: r.features.clone(),
+                seg: if r.features.is_empty() {
+                    self.features.push_empty_segment()
+                } else {
+                    self.features.push_segment(&r.features)
+                },
                 seconds: r.seconds.unwrap_or(f64::INFINITY),
                 task: r.task.clone(),
+                error: r.error.clone(),
             })
             .collect();
         self.model = None;
@@ -201,9 +248,10 @@ impl LearnedCostModel {
                 .records
                 .iter()
                 .map(|r| crate::checkpoint::ModelRecord {
-                    features: r.features.clone(),
+                    features: self.features.segment_nested(r.seg),
                     seconds: r.seconds.is_finite().then_some(r.seconds),
                     task: r.task.clone(),
+                    error: r.error.clone(),
                 })
                 .collect(),
             train_passes: self.telemetry.counter_value("gbdt/train_passes"),
@@ -221,33 +269,44 @@ impl LearnedCostModel {
             let m = min_per_task.entry(r.task.as_str()).or_insert(f64::INFINITY);
             *m = m.min(r.seconds);
         }
+        // Train on the packed rows of the most recent records in place: a
+        // matrix view over the contiguous row suffix starting at the
+        // window's first record, with full-length label/weight arrays.
+        // Records outside the training criteria (failed measurement, empty
+        // features) keep their rows at weight 0, which contributes exact
+        // +0.0 terms to every f64 accumulation — bit-identical to copying
+        // the eligible rows out, without the copies.
         let start = self.records.len().saturating_sub(self.max_train_records);
-        let mut x = Vec::new();
-        let mut y = Vec::new();
-        let mut w = Vec::new();
+        let row0 = match self.records.get(start) {
+            Some(r) => self.features.segment_range(r.seg).start,
+            None => return,
+        };
+        let n_cols = self.features.n_cols();
+        let x = Matrix::new(&self.features.data()[row0 * n_cols..], n_cols);
+        let mut y = vec![0.0f32; x.n_rows()];
+        let mut w = vec![0.0f32; x.n_rows()];
+        let mut any = false;
         for r in &self.records[start..] {
-            if !r.seconds.is_finite() || r.features.is_empty() {
+            if !r.seconds.is_finite() {
+                continue;
+            }
+            let rows = self.features.segment_range(r.seg);
+            if rows.is_empty() {
                 continue;
             }
             let label = (min_per_task[r.task.as_str()] / r.seconds) as f32;
-            let share = label / r.features.len() as f32;
-            for f in &r.features {
-                x.push(f.clone());
-                y.push(share);
+            let share = label / rows.len() as f32;
+            for row in rows {
+                y[row - row0] = share;
                 // The paper weighs samples by throughput y.
-                w.push(label.max(1e-3));
+                w[row - row0] = label.max(1e-3);
             }
+            any = true;
         }
-        if x.is_empty() {
+        if !any {
             return;
         }
-        self.model = Some(Gbdt::train_with_telemetry(
-            &x,
-            &y,
-            &w,
-            &self.params,
-            &self.telemetry,
-        ));
+        self.model = Some(Gbdt::train_matrix(x, &y, &w, &self.params, &self.telemetry));
         if self.telemetry.is_tracing() {
             if let Some((pairs, ranking_loss, rank_corr)) = self.ranking_quality(200) {
                 let task = task_name.to_string();
@@ -261,11 +320,30 @@ impl LearnedCostModel {
         }
     }
 
-    fn score_program(&self, features: &[Vec<f32>]) -> f64 {
+    /// Program score of one packed block of per-statement rows: per-row
+    /// predictions summed in row order (§5.2's `Σ_{s∈S(P)} f(s)`).
+    fn score_rows(&self, rows: &[f32]) -> f64 {
         match &self.model {
             None => 0.0,
-            Some(m) => features.iter().map(|f| m.predict(f) as f64).sum(),
+            Some(m) => m
+                .predict_matrix(Matrix::new(rows, self.features.n_cols()))
+                .iter()
+                .map(|&v| v as f64)
+                .sum(),
         }
+    }
+
+    /// Featurizes one state through the signature-keyed cache.
+    fn features_for(&self, state: &State) -> FeatureBlock {
+        self.feature_cache
+            .get_or_insert_with(state.signature(), || Arc::new(extract_state_matrix(state)))
+    }
+
+    /// Forwards featurization-cache deltas to telemetry counters.
+    fn emit_feature_cache_deltas(&self, before: (u64, u64)) {
+        let (h1, m1) = self.feature_cache_stats();
+        self.telemetry.incr("features/cache_hit", h1 - before.0);
+        self.telemetry.incr("features/cache_miss", m1 - before.1);
     }
 }
 
@@ -280,16 +358,19 @@ impl CostModel for LearnedCostModel {
         self.telemetry
             .incr("model/predictions", states.len() as u64);
         let (h0, m0) = self.cache_stats();
+        let f0 = self.feature_cache_stats();
         let scores = ansor_runtime::parallel_map(states, |s| {
-            self.score_cache
-                .get_or_insert_with(s.signature(), || match lower(s) {
-                    Ok(p) => self.score_program(&extract_program_features(&p)),
+            self.score_cache.get_or_insert_with(s.signature(), || {
+                match self.features_for(s).as_ref() {
+                    Ok(block) => self.score_rows(block.data()),
                     Err(_) => f64::NEG_INFINITY,
-                })
+                }
+            })
         });
         let (h1, m1) = self.cache_stats();
         self.telemetry.incr("model/score_cache_hits", h1 - h0);
         self.telemetry.incr("model/score_cache_misses", m1 - m0);
+        self.emit_feature_cache_deltas(f0);
         scores
     }
 
@@ -316,16 +397,43 @@ impl CostModel for LearnedCostModel {
         {
             let _phase = self.telemetry.span("feature_extraction");
             // Lowering + featurization of the measured batch runs on the
-            // parallel runtime; records are appended in input order.
-            let features = extract_states_features(states);
-            for (f, &sec) in features.into_iter().zip(seconds) {
-                let Some(features) = f else { continue };
-                self.records.push(Record {
-                    features,
-                    seconds: sec,
-                    task: task.name.clone(),
-                });
+            // parallel runtime through the featurization cache (the states
+            // were just scored, so their rows are usually already cached);
+            // records are appended in input order.
+            let f0 = self.feature_cache_stats();
+            let blocks = ansor_runtime::parallel_map(states, |s| self.features_for(s));
+            self.emit_feature_cache_deltas(f0);
+            for (block, &sec) in blocks.iter().zip(seconds) {
+                let record = match block.as_ref() {
+                    Ok(rows) => Record {
+                        seg: self.features.push_packed_segment(rows.data()),
+                        seconds: sec,
+                        task: task.name.clone(),
+                        error: None,
+                    },
+                    // A measured state that no longer lowers is a failure
+                    // record, not a silent drop: the error is kept on the
+                    // record (and in checkpoints) and traced.
+                    Err(e) => {
+                        self.telemetry.incr("features/extract_failed", 1);
+                        let (t, err) = (task.name.clone(), e.clone());
+                        self.telemetry
+                            .emit(|| telemetry::TraceEvent::FeatureExtractFailed {
+                                task: t,
+                                error: err,
+                            });
+                        Record {
+                            seg: self.features.push_empty_segment(),
+                            seconds: f64::INFINITY,
+                            task: task.name.clone(),
+                            error: Some(e.clone()),
+                        }
+                    }
+                };
+                self.records.push(record);
             }
+            self.telemetry
+                .gauge_set("model/feature_bytes", self.features.resident_bytes() as f64);
         }
         self.retrain(&task.name);
     }
@@ -453,6 +561,73 @@ mod tests {
         let per_node = model.predict_per_node(&t, &train[0]);
         // All statements fold back to base node "C" (cache stages included).
         assert!(per_node.contains_key("C"), "{per_node:?}");
+    }
+
+    #[test]
+    fn update_reuses_features_extracted_during_predict() {
+        let t = task();
+        let mut model = LearnedCostModel::new();
+        let mut measurer = Measurer::new(t.target.clone());
+        let states = sample_states(&t, 12, 5);
+        let secs: Vec<f64> = states.iter().map(|s| measurer.measure(s).seconds).collect();
+        // Scoring featurizes each state once (all misses)…
+        model.predict(&t, &states);
+        let (h0, m0) = model.feature_cache_stats();
+        assert_eq!(h0, 0);
+        assert_eq!(m0, states.len() as u64);
+        // …and feeding the measurements back hits the cache for every state.
+        model.update(&t, &states, &secs);
+        let (h1, m1) = model.feature_cache_stats();
+        assert_eq!(h1, states.len() as u64);
+        assert_eq!(m1, m0);
+        assert!(model.feature_bytes() > 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_reproduces_model_and_errors() {
+        let t = task();
+        let mut measurer = Measurer::new(t.target.clone());
+        let train = sample_states(&t, 30, 6);
+        let secs: Vec<f64> = train.iter().map(|s| measurer.measure(s).seconds).collect();
+        let mut model = LearnedCostModel::new();
+        model.update(&t, &train, &secs);
+        let mut ck = model.checkpoint();
+        // Simulate a failure record as written by the extraction-error path.
+        ck.records.push(crate::checkpoint::ModelRecord {
+            features: vec![],
+            seconds: None,
+            task: t.name.clone(),
+            error: Some("lowering failed".into()),
+        });
+        let mut restored = LearnedCostModel::new();
+        restored.restore(&ck);
+        assert_eq!(restored.num_records(), model.num_records() + 1);
+        // The failure record round-trips, error included.
+        let again = restored.checkpoint();
+        assert_eq!(
+            again.records.last().unwrap().error.as_deref(),
+            Some("lowering failed")
+        );
+        assert!(again.records.last().unwrap().features.is_empty());
+        // The retrained model scores held-out states identically: training
+        // is a pure function of the records, and the zero-weight failure
+        // record changes nothing.
+        let probe = sample_states(&t, 8, 7);
+        assert_eq!(model.predict(&t, &probe), restored.predict(&t, &probe));
+    }
+
+    #[test]
+    fn split_strategy_override_still_trains_a_usable_model() {
+        let t = task();
+        let mut measurer = Measurer::new(t.target.clone());
+        let train = sample_states(&t, 25, 8);
+        let secs: Vec<f64> = train.iter().map(|s| measurer.measure(s).seconds).collect();
+        let mut model = LearnedCostModel::new();
+        model.set_split_strategy(SplitStrategy::Histogram);
+        model.update(&t, &train, &secs);
+        assert!(model.is_trained());
+        let scores = model.predict(&t, &train);
+        assert!(scores.iter().all(|s| s.is_finite()));
     }
 
     #[test]

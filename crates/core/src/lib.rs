@@ -22,6 +22,7 @@ pub use checkpoint::{
 };
 pub use cost_model::{CostModel, LearnedCostModel, RandomModel};
 pub use evolution::{crossover, evolutionary_search, mutate, EvolutionConfig, Individual};
+pub use gbdt::SplitStrategy;
 pub use records::{best_record, load_records, save_records, TuningRecordLog};
 pub use search_policy::{
     auto_schedule, auto_schedule_with_model, PolicyVariant, SketchPolicy, TuningOptions,

@@ -17,6 +17,10 @@
 
 #![warn(missing_docs)]
 
+mod matrix;
+
+pub use matrix::FeatureMatrix;
+
 use tensor_ir::analysis::{AccessType, BufferAccess, LoopCtx, StoreAnalysis};
 use tensor_ir::{Annotation, IterKind, Program};
 
@@ -35,11 +39,35 @@ fn lg(x: f64) -> f32 {
 }
 
 /// Extracts feature vectors for every innermost statement of a program.
+///
+/// Compatibility view over [`extract_program_matrix`]; new code that feeds
+/// the cost model should prefer the packed matrix form.
 pub fn extract_program_features(program: &Program) -> Vec<Vec<f32>> {
     tensor_ir::analysis::analyze(program)
         .iter()
         .map(extract_store_features)
         .collect()
+}
+
+/// Extracts one program's per-statement features into a packed
+/// single-segment [`FeatureMatrix`] (the cost model's storage form).
+pub fn extract_program_matrix(program: &Program) -> FeatureMatrix {
+    let mut m = FeatureMatrix::new(FEATURE_DIM);
+    m.push_segment(
+        tensor_ir::analysis::analyze(program)
+            .iter()
+            .map(extract_store_features),
+    );
+    m
+}
+
+/// Lowers and featurizes one schedule state into a packed single-segment
+/// matrix; the error is the lowering failure's message.
+pub fn extract_state_matrix(state: &tensor_ir::State) -> Result<FeatureMatrix, String> {
+    match tensor_ir::lower(state) {
+        Ok(p) => Ok(extract_program_matrix(&p)),
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 /// Extracts features for a batch of programs on the parallel runtime's
@@ -49,14 +77,13 @@ pub fn extract_features_batch(programs: &[Program]) -> Vec<Vec<Vec<f32>>> {
     ansor_runtime::parallel_map(programs, extract_program_features)
 }
 
-/// Lowers and featurizes a batch of schedule states in parallel; `None`
-/// marks states that fail to lower. This is the cost model's training-side
-/// hot path: one call per measured batch.
-pub fn extract_states_features(states: &[tensor_ir::State]) -> Vec<Option<Vec<Vec<f32>>>> {
-    ansor_runtime::parallel_map(states, |s| {
-        tensor_ir::lower(s)
-            .ok()
-            .map(|p| extract_program_features(&p))
+/// Lowers and featurizes a batch of schedule states in parallel; `Err`
+/// carries the lowering failure's message so callers can record *why* a
+/// state produced no features instead of silently dropping it.
+pub fn extract_states_features(states: &[tensor_ir::State]) -> Vec<Result<Vec<Vec<f32>>, String>> {
+    ansor_runtime::parallel_map(states, |s| match tensor_ir::lower(s) {
+        Ok(p) => Ok(extract_program_features(&p)),
+        Err(e) => Err(e.to_string()),
     })
 }
 
@@ -514,6 +541,30 @@ mod tests {
             assert_eq!(batch[i], extract_program_features(p));
             assert_eq!(from_states[i].as_ref().unwrap(), &batch[i]);
         }
+    }
+
+    #[test]
+    fn matrix_extraction_matches_nested_extraction() {
+        // Oracle: the packed matrix is exactly the nested representation,
+        // row for row, for the same program.
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[64, 64]);
+        let w = b.placeholder("B", &[64, 64]);
+        b.compute_reduce("C", &[64, 64], &[64], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        let dag = Arc::new(b.build().unwrap());
+        let st = State::replay(dag, &[]).unwrap();
+        let program = lower(&st).unwrap();
+        let nested = extract_program_features(&program);
+        let m = extract_program_matrix(&program);
+        assert_eq!(m.n_cols(), FEATURE_DIM);
+        assert_eq!(m.n_segments(), 1);
+        assert_eq!(m.segment_nested(0), nested);
+        assert_eq!(m, FeatureMatrix::from_nested(&[nested], FEATURE_DIM));
+        let via_state = extract_state_matrix(&st).unwrap();
+        assert_eq!(via_state, m);
     }
 
     #[test]

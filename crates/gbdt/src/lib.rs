@@ -25,11 +25,98 @@
 
 #![warn(missing_docs)]
 
+pub mod binned;
 pub mod tree;
 
 use serde::{Deserialize, Serialize};
 
+pub use binned::{BinnedDataset, MAX_BINS};
 pub use tree::{RegressionTree, TreeNode, TreeParams};
+
+/// Borrowed row-major matrix view over packed training data: `n_rows`
+/// feature vectors of `n_cols` entries each in one contiguous slice. The
+/// zero-copy bridge between a packed feature store (e.g. the cost model's
+/// `FeatureMatrix`) and training/prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct Matrix<'a> {
+    data: &'a [f32],
+    n_cols: usize,
+}
+
+impl<'a> Matrix<'a> {
+    /// Wraps a packed row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `n_cols`.
+    pub fn new(data: &'a [f32], n_cols: usize) -> Matrix<'a> {
+        assert_eq!(
+            data.len() % n_cols.max(1),
+            0,
+            "packed buffer is not whole rows"
+        );
+        Matrix { data, n_cols }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.data.len().checked_div(self.n_cols).unwrap_or(0)
+    }
+
+    /// Row width.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// One entry.
+    #[inline]
+    pub fn get(&self, i: usize, f: usize) -> f32 {
+        self.data[i * self.n_cols + f]
+    }
+}
+
+/// Flattens nested rows into a packed buffer (the legacy-API shim).
+///
+/// # Panics
+///
+/// Panics if rows have differing lengths.
+pub(crate) fn flatten_rows(x: &[Vec<f32>]) -> (Vec<f32>, usize) {
+    let n_cols = x.first().map(|r| r.len()).unwrap_or(0);
+    let mut flat = Vec::with_capacity(x.len() * n_cols);
+    for row in x {
+        assert_eq!(row.len(), n_cols, "ragged feature rows");
+        flat.extend_from_slice(row);
+    }
+    (flat, n_cols)
+}
+
+/// How tree growth searches for splits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitStrategy {
+    /// Sort-based exact scan at every node.
+    Exact,
+    /// Histogram scan over pre-binned features at every node (equivalence
+    /// tests and benchmarks force this).
+    Histogram,
+    /// Histogram scan for large datasets/nodes, exact scan for small ones
+    /// where binning overhead would dominate. The default.
+    #[default]
+    Auto,
+}
+
+/// Under [`SplitStrategy::Auto`], datasets with fewer rows than this skip
+/// binning entirely: the quantization pass would cost more than the exact
+/// scans it replaces.
+const AUTO_BINNED_MIN_ROWS: usize = 256;
+
+/// Under [`SplitStrategy::Auto`], nodes with fewer samples than this fall
+/// back to the exact scan: a ≤256-bin histogram is mostly empty there.
+const AUTO_EXACT_NODE_ROWS: usize = 64;
 
 /// Hyper-parameters of the boosted ensemble.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +128,13 @@ pub struct GbdtParams {
     /// Fraction of features each tree may split on (1.0 = all). Subsets are
     /// drawn deterministically per tree.
     pub colsample: f64,
+    /// Split-search strategy (see [`SplitStrategy`]).
+    #[serde(default)]
+    pub split: SplitStrategy,
+    /// Maximum bins per feature on the histogram path (clamped to
+    /// [`MAX_BINS`]).
+    #[serde(default)]
+    pub max_bins: usize,
     /// Per-tree growth parameters.
     pub tree: TreeParams,
 }
@@ -51,6 +145,8 @@ impl Default for GbdtParams {
             n_trees: 50,
             learning_rate: 0.3,
             colsample: 1.0,
+            split: SplitStrategy::Auto,
+            max_bins: MAX_BINS,
             tree: TreeParams::default(),
         }
     }
@@ -60,19 +156,57 @@ impl Default for GbdtParams {
 /// serial — thread spawn overhead would dwarf the per-sample tree walks.
 const PARALLEL_BATCH: usize = 1024;
 
-/// Subtracts `lr · tree(x[i])` from every residual. Predictions for large
-/// training sets run on the parallel runtime; the subtraction itself is
-/// per-sample, so results match the serial loop bit for bit.
-fn apply_tree(residual: &mut [f32], x: &[Vec<f32>], tree: &RegressionTree, lr: f32) {
-    if x.len() < PARALLEL_BATCH {
-        for (r, xi) in residual.iter_mut().zip(x) {
-            *r -= lr * tree.predict(xi);
+/// Subtracts `lr · tree(x.row(i))` from every residual. Predictions for
+/// large training sets run on the parallel runtime; the subtraction itself
+/// is per-sample, so results match the serial loop bit for bit.
+fn apply_tree(residual: &mut [f32], x: Matrix<'_>, tree: &RegressionTree, lr: f32) {
+    if x.n_rows() < PARALLEL_BATCH {
+        for (i, r) in residual.iter_mut().enumerate() {
+            *r -= lr * tree.predict(x.row(i));
         }
         return;
     }
-    let preds = ansor_runtime::parallel_map(x, |xi| tree.predict(xi));
+    let rows: Vec<usize> = (0..x.n_rows()).collect();
+    let preds = ansor_runtime::parallel_map(&rows, |&i| tree.predict(x.row(i)));
     for (r, p) in residual.iter_mut().zip(preds) {
         *r -= lr * p;
+    }
+}
+
+/// The deterministic per-round feature subset for column subsampling: an
+/// LCG keyed on the round index, identical across thread counts and runs.
+fn colsample_subset(round: usize, n_features: usize, colsample: f64) -> Vec<usize> {
+    let keep = ((n_features as f64 * colsample).ceil() as usize).max(1);
+    let mut s = 0x2545_F491_4F6C_DD1Du64.wrapping_mul(round as u64 + 1);
+    let mut subset: Vec<usize> = Vec::with_capacity(keep);
+    while subset.len() < keep {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let f = (s >> 33) as usize % n_features;
+        if !subset.contains(&f) {
+            subset.push(f);
+        }
+    }
+    subset
+}
+
+/// Resolves the split strategy for one training pass: the binned dataset
+/// to use (if any) and the node-size floor below which nodes fall back to
+/// the exact scan.
+fn binned_for(x: Matrix<'_>, w: &[f32], params: &GbdtParams) -> Option<(BinnedDataset, usize)> {
+    let max_bins = if params.max_bins == 0 {
+        MAX_BINS
+    } else {
+        params.max_bins
+    };
+    match params.split {
+        SplitStrategy::Exact => None,
+        SplitStrategy::Histogram => Some((BinnedDataset::build(x, w, max_bins), 0)),
+        SplitStrategy::Auto if x.n_rows() >= AUTO_BINNED_MIN_ROWS => {
+            Some((BinnedDataset::build(x, w, max_bins), AUTO_EXACT_NODE_ROWS))
+        }
+        SplitStrategy::Auto => None,
     }
 }
 
@@ -106,16 +240,30 @@ impl Gbdt {
         params: &GbdtParams,
         tel: &telemetry::Telemetry,
     ) -> Gbdt {
-        assert_eq!(x.len(), y.len());
-        assert_eq!(x.len(), w.len());
+        let (flat, n_cols) = flatten_rows(x);
+        Self::train_matrix(Matrix::new(&flat, n_cols), y, w, params, tel)
+    }
+
+    /// Trains directly on a packed row-major matrix view — the zero-copy
+    /// entry point for callers that keep features packed (the learned cost
+    /// model). Telemetry as in [`Gbdt::train_with_telemetry`].
+    pub fn train_matrix(
+        x: Matrix<'_>,
+        y: &[f32],
+        w: &[f32],
+        params: &GbdtParams,
+        tel: &telemetry::Telemetry,
+    ) -> Gbdt {
+        assert_eq!(x.n_rows(), y.len());
+        assert_eq!(x.n_rows(), w.len());
         let _phase = tel.span("gbdt_train");
         tel.incr("gbdt/train_passes", 1);
-        tel.incr("gbdt/train_samples", x.len() as u64);
+        tel.incr("gbdt/train_samples", x.n_rows() as u64);
         let model = Self::train_impl(x, y, w, params);
         tel.incr("gbdt/trees_fit", model.trees.len() as u64);
         if tel.is_tracing() {
             let round = tel.counter_value("gbdt/train_passes");
-            let train_loss = model.weighted_mse(x, y, w);
+            let train_loss = model.weighted_mse_matrix(x, y, w);
             tel.emit(|| telemetry::TraceEvent::GbdtRound {
                 round,
                 trees: model.trees.len() as u64,
@@ -125,7 +273,7 @@ impl Gbdt {
         model
     }
 
-    fn train_impl(x: &[Vec<f32>], y: &[f32], w: &[f32], params: &GbdtParams) -> Gbdt {
+    fn train_impl(x: Matrix<'_>, y: &[f32], w: &[f32], params: &GbdtParams) -> Gbdt {
         let wsum: f64 = w.iter().map(|&v| v as f64).sum();
         let base = if wsum > 0.0 {
             (y.iter()
@@ -138,26 +286,17 @@ impl Gbdt {
         };
         let mut residual: Vec<f32> = y.iter().map(|&yi| yi - base).collect();
         let mut trees = Vec::with_capacity(params.n_trees);
-        let n_features = x.first().map(|r| r.len()).unwrap_or(0);
+        let n_features = x.n_cols();
+        // Bins depend only on (x, row mask), so one quantization pass is
+        // shared by every boosting round.
+        let binned = binned_for(x, w, params);
+        let binned = binned.as_ref().map(|(b, cutoff)| (b, *cutoff));
         for round in 0..params.n_trees {
             let mut tp = params.tree.clone();
             if params.colsample < 1.0 && n_features > 0 {
-                // Deterministic per-round feature subset via an LCG.
-                let keep = ((n_features as f64 * params.colsample).ceil() as usize).max(1);
-                let mut s = 0x2545_F491_4F6C_DD1Du64.wrapping_mul(round as u64 + 1);
-                let mut subset: Vec<usize> = Vec::with_capacity(keep);
-                while subset.len() < keep {
-                    s = s
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    let f = (s >> 33) as usize % n_features;
-                    if !subset.contains(&f) {
-                        subset.push(f);
-                    }
-                }
-                tp.feature_subset = subset;
+                tp.feature_subset = colsample_subset(round, n_features, params.colsample);
             }
-            let tree = RegressionTree::fit(x, &residual, w, &tp);
+            let tree = RegressionTree::fit_view(x, &residual, w, &tp, binned);
             if tree.num_nodes() <= 1 {
                 // No useful split left; residuals are (weighted-)constant.
                 let leaf = tree.predict(&[]);
@@ -190,8 +329,12 @@ impl Gbdt {
         params: &GbdtParams,
         patience: usize,
     ) -> Gbdt {
-        let mut model = Gbdt::train(
-            x,
+        let (flat, n_cols) = flatten_rows(x);
+        let xm = Matrix::new(&flat, n_cols);
+        let (val_flat, val_cols) = flatten_rows(val_x);
+        let vm = Matrix::new(&val_flat, val_cols);
+        let mut model = Self::train_impl(
+            xm,
             y,
             w,
             &GbdtParams {
@@ -200,30 +343,20 @@ impl Gbdt {
             },
         );
         let mut residual: Vec<f32> = y.iter().map(|&yi| yi - model.base).collect();
-        let n_features = x.first().map(|r| r.len()).unwrap_or(0);
-        let mut best_mse = model.weighted_mse(val_x, val_y, val_w);
+        let n_features = xm.n_cols();
+        let binned = binned_for(xm, w, params);
+        let binned = binned.as_ref().map(|(b, cutoff)| (b, *cutoff));
+        let mut best_mse = model.weighted_mse_matrix(vm, val_y, val_w);
         let mut best_len = 0usize;
         for round in 0..params.n_trees {
             let mut tp = params.tree.clone();
             if params.colsample < 1.0 && n_features > 0 {
-                let keep = ((n_features as f64 * params.colsample).ceil() as usize).max(1);
-                let mut s = 0x2545_F491_4F6C_DD1Du64.wrapping_mul(round as u64 + 1);
-                let mut subset: Vec<usize> = Vec::with_capacity(keep);
-                while subset.len() < keep {
-                    s = s
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    let f = (s >> 33) as usize % n_features;
-                    if !subset.contains(&f) {
-                        subset.push(f);
-                    }
-                }
-                tp.feature_subset = subset;
+                tp.feature_subset = colsample_subset(round, n_features, params.colsample);
             }
-            let tree = RegressionTree::fit(x, &residual, w, &tp);
-            apply_tree(&mut residual, x, &tree, params.learning_rate);
+            let tree = RegressionTree::fit_view(xm, &residual, w, &tp, binned);
+            apply_tree(&mut residual, xm, &tree, params.learning_rate);
             model.trees.push(tree);
-            let mse = model.weighted_mse(val_x, val_y, val_w);
+            let mse = model.weighted_mse_matrix(vm, val_y, val_w);
             if mse < best_mse - 1e-12 {
                 best_mse = mse;
                 best_len = model.trees.len();
@@ -254,12 +387,39 @@ impl Gbdt {
         ansor_runtime::parallel_map(xs, |x| self.predict(x))
     }
 
+    /// Predicts every row of a packed matrix view, in row order — the
+    /// batch-inference path over a packed feature store. Parallel above the
+    /// batch threshold, bit-identical across thread counts.
+    pub fn predict_matrix(&self, x: Matrix<'_>) -> Vec<f32> {
+        if x.n_rows() < PARALLEL_BATCH {
+            return (0..x.n_rows()).map(|i| self.predict(x.row(i))).collect();
+        }
+        let rows: Vec<usize> = (0..x.n_rows()).collect();
+        ansor_runtime::parallel_map(&rows, |&i| self.predict(x.row(i)))
+    }
+
     /// Weighted mean squared error on a dataset.
     pub fn weighted_mse(&self, x: &[Vec<f32>], y: &[f32], w: &[f32]) -> f64 {
         let mut num = 0.0f64;
         let mut den = 0.0f64;
         for i in 0..x.len() {
             let d = (self.predict(&x[i]) - y[i]) as f64;
+            num += w[i] as f64 * d * d;
+            den += w[i] as f64;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// [`Gbdt::weighted_mse`] over a packed matrix view.
+    pub fn weighted_mse_matrix(&self, x: Matrix<'_>, y: &[f32], w: &[f32]) -> f64 {
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for i in 0..x.n_rows() {
+            let d = (self.predict(x.row(i)) - y[i]) as f64;
             num += w[i] as f64 * d * d;
             den += w[i] as f64;
         }

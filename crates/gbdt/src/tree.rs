@@ -1,6 +1,24 @@
 //! Weighted regression trees: the weak learner of the boosting ensemble.
+//!
+//! Two split-search paths grow structurally identical trees:
+//!
+//! - **exact**: per feature, sort the node's samples by value and scan the
+//!   boundaries between distinct values;
+//! - **histogram** (see [`crate::binned`]): per feature, accumulate per-bin
+//!   `(Σw, Σw·y)` gradient histograms over pre-quantized codes and scan the
+//!   ≤255 bin boundaries. A node's histograms are either accumulated fresh
+//!   or derived from its parent via the subtraction trick: the smaller
+//!   child is accumulated, the larger child is `parent − smaller`.
+//!
+//! Both paths fold per-feature results in candidate order with a
+//! strict-greater comparison and accumulate per-feature sums serially in
+//! row order, so the chosen split — gain ties included — is identical on
+//! every thread count.
 
 use serde::{Deserialize, Serialize};
+
+use crate::binned::BinnedDataset;
+use crate::Matrix;
 
 /// One node of a regression tree, stored in a flat arena.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,60 +75,49 @@ impl Default for TreeParams {
 }
 
 impl RegressionTree {
-    /// Fits a tree on `(x, y, w)` triples. `x` is row-major: one feature
-    /// vector per sample. Rows with non-positive weight are ignored.
+    /// Fits a tree on `(x, y, w)` triples with exact split search. `x` is
+    /// row-major: one feature vector per sample (all rows the same length).
+    /// Rows with non-positive weight are ignored.
     pub fn fit(x: &[Vec<f32>], y: &[f32], w: &[f32], params: &TreeParams) -> RegressionTree {
-        assert_eq!(x.len(), y.len());
-        assert_eq!(x.len(), w.len());
-        let idx: Vec<usize> = (0..x.len()).filter(|&i| w[i] > 0.0).collect();
+        let (flat, n_cols) = crate::flatten_rows(x);
+        Self::fit_view(Matrix::new(&flat, n_cols), y, w, params, None)
+    }
+
+    /// Fits a tree on a packed row-major matrix view. When
+    /// `binned = Some((dataset, exact_below))`, nodes with at least
+    /// `exact_below` samples use histogram split search over `dataset`;
+    /// smaller nodes (and `binned = None`) use the exact sort-based scan.
+    pub fn fit_view(
+        x: Matrix<'_>,
+        y: &[f32],
+        w: &[f32],
+        params: &TreeParams,
+        binned: Option<(&BinnedDataset, usize)>,
+    ) -> RegressionTree {
+        assert_eq!(x.n_rows(), y.len());
+        assert_eq!(x.n_rows(), w.len());
+        let idx: Vec<usize> = (0..x.n_rows()).filter(|&i| w[i] > 0.0).collect();
         let mut tree = RegressionTree { nodes: Vec::new() };
         if idx.is_empty() {
             tree.nodes.push(TreeNode::Leaf { value: 0.0 });
             return tree;
         }
-        tree.grow(x, y, w, idx, 0, params);
+        let all_features: Vec<usize> = (0..x.n_cols()).collect();
+        let candidates = if params.feature_subset.is_empty() {
+            all_features
+        } else {
+            params.feature_subset.clone()
+        };
+        let grower = Grower {
+            x,
+            y,
+            w,
+            params,
+            binned,
+            candidates,
+        };
+        grower.grow(&mut tree, idx, 0, None);
         tree
-    }
-
-    fn grow(
-        &mut self,
-        x: &[Vec<f32>],
-        y: &[f32],
-        w: &[f32],
-        idx: Vec<usize>,
-        depth: usize,
-        params: &TreeParams,
-    ) -> usize {
-        let (wsum, mean) = weighted_mean(&idx, y, w);
-        let node_id = self.nodes.len();
-        if depth >= params.max_depth || idx.len() < 2 || wsum < 2.0 * params.min_child_weight {
-            self.nodes.push(TreeNode::Leaf { value: mean });
-            return node_id;
-        }
-        let Some(best) = best_split(x, y, w, &idx, params) else {
-            self.nodes.push(TreeNode::Leaf { value: mean });
-            return node_id;
-        };
-        // Reserve a slot, then grow children.
-        self.nodes.push(TreeNode::Leaf { value: mean });
-        let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
-        for &i in &idx {
-            if x[i][best.feature] < best.threshold {
-                left_idx.push(i);
-            } else {
-                right_idx.push(i);
-            }
-        }
-        let left = self.grow(x, y, w, left_idx, depth + 1, params);
-        let right = self.grow(x, y, w, right_idx, depth + 1, params);
-        self.nodes[node_id] = TreeNode::Split {
-            feature: best.feature,
-            threshold: best.threshold,
-            left,
-            right,
-            gain: best.gain,
-        };
-        node_id
     }
 
     /// Predicts one sample.
@@ -159,118 +166,293 @@ struct Split {
     gain: f64,
 }
 
-fn weighted_mean(idx: &[usize], y: &[f32], w: &[f32]) -> (f64, f32) {
-    let mut wsum = 0.0f64;
-    let mut ysum = 0.0f64;
-    for &i in idx {
-        wsum += w[i] as f64;
-        ysum += (w[i] * y[i]) as f64;
-    }
-    if wsum <= 0.0 {
-        (0.0, 0.0)
-    } else {
-        (wsum, (ysum / wsum) as f32)
-    }
+/// Per-bin gradient sums of one candidate feature at one node.
+struct Hist {
+    w: Vec<f64>,
+    wy: Vec<f64>,
 }
+
+/// Histograms of every candidate feature at one node, aligned with the
+/// grower's candidate list.
+type NodeHists = Vec<Hist>;
 
 /// Below this many (sample × feature) scan steps the split search stays
 /// serial: thread spawn overhead would dwarf the work.
-const PARALLEL_SPLIT_WORK: usize = 32 * 1024;
+pub(crate) const PARALLEL_SPLIT_WORK: usize = 32 * 1024;
 
-/// Exact greedy split search: for every feature, sort the node's samples by
-/// value and scan boundaries between distinct values, maximizing the
-/// weighted-variance reduction.
-///
-/// Large nodes search candidate features on the parallel runtime's worker
-/// threads; per-feature results are folded in candidate order with a
-/// strict-greater comparison, so the chosen split — gain ties included —
-/// is identical to the serial scan on every thread count.
-fn best_split(
-    x: &[Vec<f32>],
-    y: &[f32],
-    w: &[f32],
-    idx: &[usize],
-    params: &TreeParams,
-) -> Option<Split> {
-    let n_features = x[idx[0]].len();
-    let mut total_w = 0.0f64;
-    let mut total_wy = 0.0f64;
-    for &i in idx {
-        total_w += w[i] as f64;
-        total_wy += (w[i] * y[i]) as f64;
-    }
-    let all_features: Vec<usize> = (0..n_features).collect();
-    let candidates: &[usize] = if params.feature_subset.is_empty() {
-        &all_features
-    } else {
-        &params.feature_subset
-    };
-    let per_feature = |&f: &usize| -> Option<Split> {
-        best_split_on_feature(x, y, w, idx, f, params, total_w, total_wy)
-    };
-    let found: Vec<Option<Split>> = if idx.len() * candidates.len() >= PARALLEL_SPLIT_WORK {
-        ansor_runtime::parallel_map(candidates, per_feature)
-    } else {
-        candidates.iter().map(per_feature).collect()
-    };
-    let mut best: Option<Split> = None;
-    for s in found.into_iter().flatten() {
-        if best.as_ref().map(|b| s.gain > b.gain).unwrap_or(true) {
-            best = Some(s);
-        }
-    }
-    best
+/// Shared context of one tree's growth.
+struct Grower<'a> {
+    x: Matrix<'a>,
+    y: &'a [f32],
+    w: &'a [f32],
+    params: &'a TreeParams,
+    binned: Option<(&'a BinnedDataset, usize)>,
+    /// Candidate features, in the order gain ties are broken.
+    candidates: Vec<usize>,
 }
 
-/// The boundary scan of [`best_split`] for one candidate feature.
-#[allow(clippy::too_many_arguments)]
-fn best_split_on_feature(
-    x: &[Vec<f32>],
-    y: &[f32],
-    w: &[f32],
-    idx: &[usize],
-    f: usize,
-    params: &TreeParams,
-    total_w: f64,
-    total_wy: f64,
-) -> Option<Split> {
-    if f >= x[idx[0]].len() {
-        return None;
+impl Grower<'_> {
+    /// Grows the subtree over `idx` (ascending row indices) and returns its
+    /// arena slot. `hists` carries this node's histograms when the parent
+    /// derived them via the subtraction trick.
+    fn grow(
+        &self,
+        tree: &mut RegressionTree,
+        idx: Vec<usize>,
+        depth: usize,
+        hists: Option<NodeHists>,
+    ) -> usize {
+        let (total_w, total_wy) = weighted_sums(&idx, self.y, self.w);
+        let mean = if total_w > 0.0 {
+            (total_wy / total_w) as f32
+        } else {
+            0.0
+        };
+        let node_id = tree.nodes.len();
+        tree.nodes.push(TreeNode::Leaf { value: mean });
+        if depth >= self.params.max_depth
+            || idx.len() < 2
+            || total_w < 2.0 * self.params.min_child_weight
+        {
+            return node_id;
+        }
+        let binned_node = self
+            .binned
+            .is_some_and(|(_, exact_below)| idx.len() >= exact_below);
+        let (best, own_hists) = if binned_node {
+            let h = hists.unwrap_or_else(|| self.compute_hists(&idx));
+            let best = self.scan_hists(&h, total_w, total_wy);
+            (best, Some(h))
+        } else {
+            (self.best_split_exact(&idx, total_w, total_wy), None)
+        };
+        let Some(best) = best else {
+            return node_id;
+        };
+        // Order-preserving partition: both children stay ascending, so
+        // their histogram accumulation order is deterministic.
+        let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+        for &i in &idx {
+            if self.x.get(i, best.feature) < best.threshold {
+                left_idx.push(i);
+            } else {
+                right_idx.push(i);
+            }
+        }
+        let (left_hists, right_hists) = self.child_hists(own_hists, depth, &left_idx, &right_idx);
+        let left = self.grow(tree, left_idx, depth + 1, left_hists);
+        let right = self.grow(tree, right_idx, depth + 1, right_hists);
+        tree.nodes[node_id] = TreeNode::Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            left,
+            right,
+            gain: best.gain,
+        };
+        node_id
     }
-    let mut order: Vec<usize> = idx.to_vec();
-    order.sort_unstable_by(|&a, &b| {
-        x[a][f]
-            .partial_cmp(&x[b][f])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let mut best: Option<Split> = None;
-    let mut lw = 0.0f64;
-    let mut lwy = 0.0f64;
-    for k in 0..order.len() - 1 {
-        let i = order[k];
-        lw += w[i] as f64;
-        lwy += (w[i] * y[i]) as f64;
-        let xv = x[i][f];
-        let xn = x[order[k + 1]][f];
-        if xn <= xv {
-            continue; // no boundary between equal values
+
+    /// The subtraction trick: accumulate the smaller child's histograms
+    /// fresh and derive the larger child's as `parent − smaller` (ties go
+    /// to the left child, deterministically). Skipped when the children
+    /// are leaves-to-be or too small to take the histogram path.
+    fn child_hists(
+        &self,
+        parent: Option<NodeHists>,
+        depth: usize,
+        left_idx: &[usize],
+        right_idx: &[usize],
+    ) -> (Option<NodeHists>, Option<NodeHists>) {
+        let (Some(parent), Some((_, exact_below))) = (parent, self.binned) else {
+            return (None, None);
+        };
+        if depth + 1 >= self.params.max_depth {
+            return (None, None);
         }
-        let rw = total_w - lw;
-        let rwy = total_wy - lwy;
-        if lw < params.min_child_weight || rw < params.min_child_weight {
-            continue;
+        let larger_is_left = left_idx.len() >= right_idx.len();
+        let (small, large) = if larger_is_left {
+            (right_idx, left_idx)
+        } else {
+            (left_idx, right_idx)
+        };
+        if large.len() < exact_below.max(2) {
+            return (None, None);
         }
-        // Variance reduction ∝ (Σwy)²/Σw for each side.
-        let gain = lwy * lwy / lw + rwy * rwy / rw - total_wy * total_wy / total_w;
-        if gain > params.min_gain && best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
-            best = Some(Split {
-                feature: f,
-                threshold: (xv + xn) * 0.5,
-                gain,
-            });
+        let small_hists = self.compute_hists(small);
+        let large_hists = subtract_hists(parent, &small_hists);
+        let small_hists = (small.len() >= exact_below.max(2)).then_some(small_hists);
+        if larger_is_left {
+            (Some(large_hists), small_hists)
+        } else {
+            (small_hists, Some(large_hists))
         }
     }
-    best
+
+    /// Builds per-candidate-feature gradient histograms for one node.
+    /// Features run on the parallel runtime above the work threshold; each
+    /// feature's accumulation is serial in ascending row order.
+    fn compute_hists(&self, idx: &[usize]) -> NodeHists {
+        let (binned, _) = self.binned.expect("histogram path without binned data");
+        let build = |&f: &usize| -> Hist {
+            if f >= self.x.n_cols() {
+                return Hist {
+                    w: Vec::new(),
+                    wy: Vec::new(),
+                };
+            }
+            let nb = binned.n_bins(f);
+            let mut hw = vec![0.0f64; nb];
+            let mut hwy = vec![0.0f64; nb];
+            for &i in idx {
+                let b = binned.code(i, f);
+                hw[b] += self.w[i] as f64;
+                hwy[b] += (self.w[i] * self.y[i]) as f64;
+            }
+            Hist { w: hw, wy: hwy }
+        };
+        if idx.len() * self.candidates.len() >= PARALLEL_SPLIT_WORK {
+            ansor_runtime::parallel_map_indexed(&self.candidates, |_, f| build(f))
+        } else {
+            self.candidates.iter().map(build).collect()
+        }
+    }
+
+    /// Scans bin boundaries of every candidate feature's histogram, folding
+    /// in candidate order with a strict-greater comparison (first best
+    /// wins), like the exact path.
+    fn scan_hists(&self, hists: &NodeHists, total_w: f64, total_wy: f64) -> Option<Split> {
+        let (binned, _) = self.binned.expect("histogram path without binned data");
+        let mut best: Option<Split> = None;
+        for (ci, &f) in self.candidates.iter().enumerate() {
+            let h = &hists[ci];
+            if h.w.is_empty() {
+                continue;
+            }
+            let mut lw = 0.0f64;
+            let mut lwy = 0.0f64;
+            for (b, &cut) in binned.cuts(f).iter().enumerate() {
+                lw += h.w[b];
+                lwy += h.wy[b];
+                let rw = total_w - lw;
+                let rwy = total_wy - lwy;
+                if lw < self.params.min_child_weight || rw < self.params.min_child_weight {
+                    continue;
+                }
+                let gain = lwy * lwy / lw + rwy * rwy / rw - total_wy * total_wy / total_w;
+                if gain > self.params.min_gain
+                    && best.as_ref().map(|b| gain > b.gain).unwrap_or(true)
+                {
+                    best = Some(Split {
+                        feature: f,
+                        threshold: cut,
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Exact greedy split search: for every candidate feature, sort the
+    /// node's samples by value and scan boundaries between distinct values,
+    /// maximizing the weighted-variance reduction.
+    ///
+    /// Large nodes search candidate features on the parallel runtime's
+    /// worker threads; per-feature results are folded in candidate order
+    /// with a strict-greater comparison, so the chosen split — gain ties
+    /// included — is identical to the serial scan on every thread count.
+    fn best_split_exact(&self, idx: &[usize], total_w: f64, total_wy: f64) -> Option<Split> {
+        let per_feature =
+            |&f: &usize| -> Option<Split> { self.best_split_on_feature(idx, f, total_w, total_wy) };
+        let found: Vec<Option<Split>> = if idx.len() * self.candidates.len() >= PARALLEL_SPLIT_WORK
+        {
+            ansor_runtime::parallel_map(&self.candidates, per_feature)
+        } else {
+            self.candidates.iter().map(per_feature).collect()
+        };
+        let mut best: Option<Split> = None;
+        for s in found.into_iter().flatten() {
+            if best.as_ref().map(|b| s.gain > b.gain).unwrap_or(true) {
+                best = Some(s);
+            }
+        }
+        best
+    }
+
+    /// The boundary scan of [`Grower::best_split_exact`] for one candidate
+    /// feature.
+    fn best_split_on_feature(
+        &self,
+        idx: &[usize],
+        f: usize,
+        total_w: f64,
+        total_wy: f64,
+    ) -> Option<Split> {
+        if f >= self.x.n_cols() {
+            return None;
+        }
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_unstable_by(|&a, &b| {
+            self.x
+                .get(a, f)
+                .partial_cmp(&self.x.get(b, f))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut best: Option<Split> = None;
+        let mut lw = 0.0f64;
+        let mut lwy = 0.0f64;
+        for k in 0..order.len() - 1 {
+            let i = order[k];
+            lw += self.w[i] as f64;
+            lwy += (self.w[i] * self.y[i]) as f64;
+            let xv = self.x.get(i, f);
+            let xn = self.x.get(order[k + 1], f);
+            if xn <= xv {
+                continue; // no boundary between equal values
+            }
+            let rw = total_w - lw;
+            let rwy = total_wy - lwy;
+            if lw < self.params.min_child_weight || rw < self.params.min_child_weight {
+                continue;
+            }
+            // Variance reduction ∝ (Σwy)²/Σw for each side.
+            let gain = lwy * lwy / lw + rwy * rwy / rw - total_wy * total_wy / total_w;
+            if gain > self.params.min_gain && best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
+                best = Some(Split {
+                    feature: f,
+                    threshold: (xv + xn) * 0.5,
+                    gain,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// `(Σw, Σw·y)` over `idx`, accumulated in index order — the same
+/// association on every thread count and on both split paths.
+fn weighted_sums(idx: &[usize], y: &[f32], w: &[f32]) -> (f64, f64) {
+    let mut wsum = 0.0f64;
+    let mut wysum = 0.0f64;
+    for &i in idx {
+        wsum += w[i] as f64;
+        wysum += (w[i] * y[i]) as f64;
+    }
+    (wsum, wysum)
+}
+
+/// Derives the larger child's histograms as `parent − smaller`, consuming
+/// the parent's buffers.
+fn subtract_hists(mut parent: NodeHists, small: &NodeHists) -> NodeHists {
+    for (p, s) in parent.iter_mut().zip(small) {
+        for (pv, sv) in p.w.iter_mut().zip(&s.w) {
+            *pv -= sv;
+        }
+        for (pv, sv) in p.wy.iter_mut().zip(&s.wy) {
+            *pv -= sv;
+        }
+    }
+    parent
 }
 
 #[cfg(test)]
@@ -285,6 +467,27 @@ mod tests {
         let tree = RegressionTree::fit(&x, &y, &w, &TreeParams::default());
         assert!((tree.predict(&[10.0]) - 1.0).abs() < 1e-5);
         assert!((tree.predict(&[90.0]) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn histogram_fit_matches_exact_fit_on_a_step_function() {
+        let n = 100;
+        let x: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32]).collect();
+        let y: Vec<f32> = (0..n).map(|i| if i < 50 { 1.0 } else { 3.0 }).collect();
+        let w = vec![1.0; n];
+        let (flat, n_cols) = crate::flatten_rows(&x);
+        let xm = Matrix::new(&flat, n_cols);
+        let binned = BinnedDataset::build(xm, &w, 256);
+        let exact = RegressionTree::fit_view(xm, &y, &w, &TreeParams::default(), None);
+        let hist = RegressionTree::fit_view(xm, &y, &w, &TreeParams::default(), Some((&binned, 0)));
+        for row in &x {
+            assert_eq!(
+                exact.predict(row).to_bits(),
+                hist.predict(row).to_bits(),
+                "at {row:?}"
+            );
+        }
+        assert_eq!(exact.num_nodes(), hist.num_nodes());
     }
 
     #[test]

@@ -113,6 +113,20 @@ pub fn error_kinds(lines: &[TraceLine]) -> BTreeMap<String, u64> {
     kinds
 }
 
+/// Final counter values from the last `PhaseProfile` snapshot in the trace
+/// (counters are monotone, so the last snapshot holds the run totals).
+/// Empty when the trace carries no snapshot.
+pub fn final_counters(lines: &[TraceLine]) -> BTreeMap<String, u64> {
+    lines
+        .iter()
+        .rev()
+        .find_map(|l| match &l.event {
+            TraceEvent::PhaseProfile { snapshot } => Some(snapshot.counters.clone()),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
 /// Count of events per variant name — the trace's table of contents.
 pub fn event_counts(lines: &[TraceLine]) -> BTreeMap<&'static str, u64> {
     let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
@@ -125,6 +139,7 @@ pub fn event_counts(lines: &[TraceLine]) -> BTreeMap<&'static str, u64> {
             TraceEvent::ModelRetrain { .. } => "ModelRetrain",
             TraceEvent::GbdtRound { .. } => "GbdtRound",
             TraceEvent::SchedulerStep { .. } => "SchedulerStep",
+            TraceEvent::FeatureExtractFailed { .. } => "FeatureExtractFailed",
             TraceEvent::PhaseProfile { .. } => "PhaseProfile",
             TraceEvent::TuningFinished { .. } => "TuningFinished",
         };

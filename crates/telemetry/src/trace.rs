@@ -64,6 +64,10 @@ pub enum TraceEvent {
         gradient_terms: GradientTerms,
         objective: Option<f64>,
     },
+    /// Feature extraction failed for a measured state (lowering error), so
+    /// its measurement enters the training set as a failure record instead
+    /// of being silently dropped.
+    FeatureExtractFailed { task: String, error: String },
     /// Point-in-time dump of the metrics registry (counters, gauges, phase
     /// timers). Emitted by `Telemetry::flush`. Contains wall-clock data.
     PhaseProfile { snapshot: MetricsSnapshot },

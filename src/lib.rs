@@ -62,7 +62,7 @@ pub mod prelude {
     pub use ansor_core::{
         auto_schedule, auto_schedule_with_model, generate_sketches, sample_program,
         AnnotationConfig, CostModel, EvolutionConfig, Individual, LearnedCostModel, Objective,
-        PolicyVariant, SearchTask, Sketch, SketchPolicy, SketchRule, TaskScheduler,
+        PolicyVariant, SearchTask, Sketch, SketchPolicy, SketchRule, SplitStrategy, TaskScheduler,
         TaskSchedulerConfig, TuneTask, TuningOptions, TuningResult,
     };
     pub use hwsim::{HardwareTarget, MeasureResult, Measurer, TargetKind};

@@ -38,6 +38,10 @@ struct Run {
 }
 
 fn tuned_run(threads: usize, seed: u64) -> Run {
+    tuned_run_with(threads, seed, SplitStrategy::Auto)
+}
+
+fn tuned_run_with(threads: usize, seed: u64, split: SplitStrategy) -> Run {
     runtime::set_threads(threads);
     let buf = SharedBuf::new();
     let tel = Telemetry::to_writer(Box::new(buf.clone()));
@@ -54,6 +58,7 @@ fn tuned_run(threads: usize, seed: u64) -> Run {
     let mut measurer = Measurer::new(task.target.clone());
     measurer.set_telemetry(tel.clone());
     let mut model = LearnedCostModel::new();
+    model.set_split_strategy(split);
     model.set_telemetry(tel.clone());
     while policy.tune_round(&mut model, &mut measurer) > 0 {}
     policy.emit_finished();
@@ -107,4 +112,28 @@ fn thread_count_does_not_change_search_results() {
     // The comparison is not vacuous: a different seed searches differently.
     let other = tuned_run(4, 6);
     assert_ne!(serial.events, other.events, "seeds must matter");
+
+    // The contract also covers the histogram-binned GBDT path, whose
+    // per-feature histograms run on the worker threads: force it on (the
+    // adaptive default stays exact at this run's training-set size) and
+    // repeat the 1-vs-4-thread comparison.
+    let hist_serial = tuned_run_with(1, 5, SplitStrategy::Histogram);
+    let hist_parallel = tuned_run_with(4, 5, SplitStrategy::Histogram);
+    assert_eq!(
+        hist_serial.best_steps, hist_parallel.best_steps,
+        "best state (histogram)"
+    );
+    assert_eq!(
+        hist_serial.best_seconds.to_bits(),
+        hist_parallel.best_seconds.to_bits(),
+        "best seconds must be bit-identical (histogram)"
+    );
+    assert_eq!(
+        hist_serial.log, hist_parallel.log,
+        "tuning-record logs (histogram)"
+    );
+    assert_eq!(
+        hist_serial.events, hist_parallel.events,
+        "trace event sequences (histogram)"
+    );
 }
