@@ -67,13 +67,7 @@ pub fn vendor_best(task: &SearchTask) -> (Option<Individual>, f64) {
         };
         let res = measurer.measure(&state);
         if res.is_valid() && res.seconds < best.1 {
-            best = (
-                Some(Individual {
-                    state,
-                    sketch: sk.id,
-                }),
-                res.seconds,
-            );
+            best = (Some(Individual::new(state, sk.id)), res.seconds);
         }
     }
     best

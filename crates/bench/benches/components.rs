@@ -31,7 +31,7 @@ fn sampled_states(task: &SearchTask, n: usize) -> Vec<Individual> {
     while out.len() < n {
         let id = rng.gen_range(0..sketches.len());
         if let Some(state) = sample_program(&sketches[id], task, &cfg, &mut rng) {
-            out.push(Individual { state, sketch: id });
+            out.push(Individual::new(state, id));
         }
     }
     out

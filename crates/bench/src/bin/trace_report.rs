@@ -10,47 +10,167 @@
 //! - the task scheduler's per-task allocation table (`SchedulerStep`);
 //! - aggregate measurement-failure kinds.
 //!
-//! Run: `trace-report <trace.jsonl>`
+//! With `--explain`, additionally attributes the search outcome (see
+//! docs/EXPLAIN.md):
+//!
+//! - sketch-rule efficacy (proposed → survived → measured → new-best);
+//! - evolution-operator efficacy (same funnel, per operator);
+//! - the lineage of each task's best state (`ImprovementAttributed`);
+//! - held-out cost-model calibration over time (`ModelCalibration`).
+//!
+//! Run: `trace-report <trace.jsonl> [--explain] [--json <path>] [--strict]`
+//!
+//! `--json <path>` writes every table (including the explain sections) as
+//! one JSON document; `--strict` exits nonzero when the trace contains
+//! corrupt (unparseable) lines.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
 
 use ansor_bench::{fmt_seconds, print_table};
-use telemetry::report;
+use serde::Serialize;
+use telemetry::report::{self, CalibrationPoint, Efficacy, ImprovementPoint, ModelPoint};
+use telemetry::{HistogramSummary, TraceLine};
+
+/// Everything `trace-report` can print, as one serializable document
+/// (the `--json` output).
+#[derive(Serialize)]
+struct Report {
+    trace: String,
+    events: usize,
+    corrupt_lines_skipped: usize,
+    event_counts: BTreeMap<String, u64>,
+    best_curves: BTreeMap<String, Vec<(u64, f64)>>,
+    phase_breakdown: Vec<(String, HistogramSummary)>,
+    model_drift: Vec<ModelPoint>,
+    allocations: BTreeMap<String, u64>,
+    final_counters: BTreeMap<String, u64>,
+    error_kinds: BTreeMap<String, u64>,
+    rule_efficacy: BTreeMap<String, Efficacy>,
+    operator_efficacy: BTreeMap<String, Efficacy>,
+    improvements: BTreeMap<String, Vec<ImprovementPoint>>,
+    calibration: Vec<CalibrationPoint>,
+}
+
+impl Report {
+    fn build(path: &str, lines: &[TraceLine], skipped: usize) -> Report {
+        Report {
+            trace: path.to_string(),
+            events: lines.len(),
+            corrupt_lines_skipped: skipped,
+            event_counts: report::event_counts(lines)
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            best_curves: report::best_curves(lines),
+            phase_breakdown: report::phase_breakdown(lines),
+            model_drift: report::model_drift(lines),
+            allocations: report::allocations(lines),
+            final_counters: report::final_counters(lines),
+            error_kinds: report::error_kinds(lines),
+            rule_efficacy: report::rule_efficacy(lines),
+            operator_efficacy: report::operator_efficacy(lines),
+            improvements: report::improvements(lines),
+            calibration: report::calibration(lines),
+        }
+    }
+}
+
+struct Options {
+    path: String,
+    explain: bool,
+    json: Option<String>,
+    strict: bool,
+}
+
+fn parse_args() -> Options {
+    let mut path = None;
+    let mut explain = false;
+    let mut json = None;
+    let mut strict = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--explain" => explain = true,
+            "--json" => json = it.next(),
+            "--strict" => strict = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                eprintln!("trace-report: unrecognized argument {other}");
+                usage_exit();
+            }
+        }
+    }
+    let Some(path) = path else {
+        usage_exit();
+    };
+    Options {
+        path,
+        explain,
+        json,
+        strict,
+    }
+}
+
+fn usage_exit() -> ! {
+    eprintln!("usage: trace-report <trace.jsonl> [--explain] [--json <path>] [--strict]");
+    std::process::exit(2);
+}
 
 fn main() {
-    let path = match std::env::args().nth(1) {
-        Some(p) => p,
-        None => {
-            eprintln!("usage: trace-report <trace.jsonl>");
-            std::process::exit(2);
-        }
-    };
-    let (lines, skipped) = match telemetry::read_trace_file(std::path::Path::new(&path)) {
+    let opts = parse_args();
+    let (lines, skipped) = match telemetry::read_trace_file(std::path::Path::new(&opts.path)) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("trace-report: cannot read {path}: {e}");
+            eprintln!("trace-report: cannot read {}: {e}", opts.path);
             std::process::exit(1);
         }
     };
     println!(
-        "trace: {path} ({} events, {skipped} corrupt lines skipped)",
+        "trace: {} ({} events, {skipped} corrupt lines skipped)",
+        opts.path,
         lines.len()
     );
-    if lines.is_empty() {
-        return;
+    let rep = Report::build(&opts.path, &lines, skipped);
+    if !lines.is_empty() {
+        print_summary(&rep);
+        if opts.explain {
+            print_explain(&rep);
+        }
     }
+    if let Some(json_path) = &opts.json {
+        let json = serde_json::to_string_pretty(&rep).expect("serializable report");
+        let mut f = std::fs::File::create(json_path).unwrap_or_else(|e| {
+            eprintln!("trace-report: cannot create {json_path}: {e}");
+            std::process::exit(1);
+        });
+        f.write_all(json.as_bytes()).expect("write json report");
+        println!("(wrote {json_path})");
+    }
+    if opts.strict && skipped > 0 {
+        eprintln!(
+            "trace-report: --strict: {skipped} corrupt lines in {}",
+            opts.path
+        );
+        std::process::exit(1);
+    }
+}
 
-    let counts = report::event_counts(&lines);
+/// The default tables: event counts, convergence curves, phase times,
+/// model drift, scheduler allocations, cache counters, failure kinds.
+fn print_summary(rep: &Report) {
     print_table(
         "Event counts",
         &["event", "count"],
-        &counts
+        &rep.event_counts
             .iter()
             .map(|(k, v)| vec![k.to_string(), v.to_string()])
             .collect::<Vec<_>>(),
     );
 
-    let curves = report::best_curves(&lines);
-    if !curves.is_empty() {
-        let rows: Vec<Vec<String>> = curves
+    if !rep.best_curves.is_empty() {
+        let rows: Vec<Vec<String>> = rep
+            .best_curves
             .iter()
             .map(|(task, pts)| {
                 let (_, first_b) = pts.first().expect("non-empty curve");
@@ -79,10 +199,10 @@ fn main() {
         );
     }
 
-    let phases = report::phase_breakdown(&lines);
-    if !phases.is_empty() {
-        let total: f64 = phases.iter().map(|(_, h)| h.sum).sum();
-        let rows: Vec<Vec<String>> = phases
+    if !rep.phase_breakdown.is_empty() {
+        let total: f64 = rep.phase_breakdown.iter().map(|(_, h)| h.sum).sum();
+        let rows: Vec<Vec<String>> = rep
+            .phase_breakdown
             .iter()
             .map(|(name, h)| {
                 vec![
@@ -102,13 +222,8 @@ fn main() {
         );
     }
 
-    let drift = report::model_drift(&lines);
-    if !drift.is_empty() {
-        // At most 12 evenly spaced retrain points to keep the table short.
-        let step = drift.len().div_ceil(12);
-        let rows: Vec<Vec<String>> = drift
-            .iter()
-            .step_by(step)
+    if !rep.model_drift.is_empty() {
+        let rows: Vec<Vec<String>> = sample_rows(&rep.model_drift, 12)
             .map(|p| {
                 vec![
                     p.seq.to_string(),
@@ -126,10 +241,10 @@ fn main() {
         );
     }
 
-    let alloc = report::allocations(&lines);
-    if !alloc.is_empty() {
-        let total: u64 = alloc.values().sum();
-        let rows: Vec<Vec<String>> = alloc
+    if !rep.allocations.is_empty() {
+        let total: u64 = rep.allocations.values().sum();
+        let rows: Vec<Vec<String>> = rep
+            .allocations
             .iter()
             .map(|(task, n)| {
                 vec![
@@ -146,15 +261,14 @@ fn main() {
         );
     }
 
-    let counters = report::final_counters(&lines);
-    if !counters.is_empty() {
+    if !rep.final_counters.is_empty() {
         // Signature-cache effectiveness: hit/miss counter pairs from the
         // final snapshot (features/cache_*, model/score_cache_*).
         let pairs: [(&str, &str, &str); 2] = [
             (
                 "feature extraction",
-                "features/cache_hit",
-                "features/cache_miss",
+                "features/cache_hits",
+                "features/cache_misses",
             ),
             (
                 "model scoring",
@@ -166,8 +280,8 @@ fn main() {
             .iter()
             .filter_map(|(label, hk, mk)| {
                 let (h, m) = (
-                    *counters.get(*hk).unwrap_or(&0),
-                    *counters.get(*mk).unwrap_or(&0),
+                    *rep.final_counters.get(*hk).unwrap_or(&0),
+                    *rep.final_counters.get(*mk).unwrap_or(&0),
                 );
                 (h + m > 0).then(|| {
                     vec![
@@ -186,22 +300,125 @@ fn main() {
                 &rows,
             );
         }
-        if let Some(n) = counters.get("features/extract_failed") {
+        if let Some(n) = rep.final_counters.get("features/extract_failed") {
             println!("feature extraction failures recorded: {n}");
         }
     }
 
-    let kinds = report::error_kinds(&lines);
-    if !kinds.is_empty() {
+    if !rep.error_kinds.is_empty() {
         print_table(
             "Measurement failures by kind",
             &["kind", "count"],
-            &kinds
+            &rep.error_kinds
                 .iter()
                 .map(|(k, v)| vec![k.clone(), v.to_string()])
                 .collect::<Vec<_>>(),
         );
     }
+}
+
+/// The `--explain` attribution tables (see docs/EXPLAIN.md).
+fn print_explain(rep: &Report) {
+    if !rep.rule_efficacy.is_empty() {
+        print_table(
+            "Sketch-rule efficacy (whole run)",
+            &[
+                "rule", "proposed", "survived", "measured", "new best", "hit rate",
+            ],
+            &efficacy_rows(&rep.rule_efficacy),
+        );
+    }
+    if !rep.operator_efficacy.is_empty() {
+        print_table(
+            "Evolution-operator efficacy (whole run)",
+            &[
+                "operator", "proposed", "survived", "measured", "new best", "hit rate",
+            ],
+            &efficacy_rows(&rep.operator_efficacy),
+        );
+    }
+    if !rep.improvements.is_empty() {
+        let rows: Vec<Vec<String>> = rep
+            .improvements
+            .iter()
+            .map(|(task, pts)| {
+                let last = pts.last().expect("non-empty improvement list");
+                vec![
+                    task.clone(),
+                    fmt_seconds(last.seconds),
+                    last.trial.to_string(),
+                    last.op.clone(),
+                    last.generation.to_string(),
+                    pts.len().to_string(),
+                    last.rules.join(" → "),
+                ]
+            })
+            .collect();
+        print_table(
+            "Lineage of best (per task)",
+            &[
+                "task",
+                "best",
+                "trial",
+                "operator",
+                "gen",
+                "improvements",
+                "sketch-rule chain",
+            ],
+            &rows,
+        );
+    }
+    if !rep.calibration.is_empty() {
+        let rows: Vec<Vec<String>> = sample_rows(&rep.calibration, 12)
+            .map(|p| {
+                vec![
+                    p.seq.to_string(),
+                    p.task.clone(),
+                    p.batch.to_string(),
+                    p.pairs.to_string(),
+                    format!("{:.3}", p.rank_acc),
+                    format!("{:.2}", p.top1_recall),
+                    format!("{:.2}", p.top8_recall),
+                    format!("{:.3}", p.err_p50),
+                    format!("{:.3}", p.err_p90),
+                ]
+            })
+            .collect();
+        print_table(
+            "Held-out model calibration over time",
+            &[
+                "seq", "task", "batch", "pairs", "rank acc", "top-1", "top-8", "err p50", "err p90",
+            ],
+            &rows,
+        );
+    }
+}
+
+/// Table rows for a rule/operator efficacy map: funnel counts plus the
+/// new-best hit rate among measured candidates.
+fn efficacy_rows(map: &BTreeMap<String, Efficacy>) -> Vec<Vec<String>> {
+    map.iter()
+        .map(|(name, e)| {
+            vec![
+                name.clone(),
+                e.proposed.to_string(),
+                e.survived.to_string(),
+                e.measured.to_string(),
+                e.new_best.to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * e.new_best as f64 / e.measured.max(1) as f64
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// At most `cap` evenly spaced items, keeping trace order (long runs
+/// produce hundreds of retrain/calibration points; the table shows a
+/// sample, the `--json` document carries them all).
+fn sample_rows<T>(items: &[T], cap: usize) -> impl Iterator<Item = &T> {
+    items.iter().step_by(items.len().div_ceil(cap))
 }
 
 /// A coarse text sparkline of the best-latency curve: lower is better, so

@@ -20,6 +20,7 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 use tensor_ir::Step;
 
+use crate::lineage::Lineage;
 use crate::records::TuningRecordLog;
 use crate::search_policy::TuningRecord;
 use crate::task_scheduler::SchedulerRecord;
@@ -38,6 +39,11 @@ pub struct BestEntry {
     pub sketch: usize,
     /// The program's transform-step history.
     pub steps: Vec<Step>,
+    /// Provenance record. Defaulted (Seed lineage) when loading
+    /// checkpoints written before lineage existed — same compatibility
+    /// pattern as `ModelRecord::error`, so no version bump.
+    #[serde(default)]
+    pub lineage: Lineage,
 }
 
 /// Serialized state of one `SketchPolicy`.
@@ -211,6 +217,12 @@ mod tests {
                             iter: "i".into(),
                             lengths: vec![8],
                         }],
+                        lineage: crate::lineage::Lineage {
+                            rules: vec!["multi-level-tiling".into()],
+                            op: crate::lineage::Operator::MutateTileSize,
+                            generation: 2,
+                            parents: vec![5],
+                        },
                     }],
                     history: vec![TuningRecord {
                         trial: 1,
@@ -291,6 +303,15 @@ mod tests {
         let back: ModelRecord = serde_json::from_str(json).unwrap();
         assert_eq!(back.error, None);
         assert_eq!(back.seconds, Some(1e-3));
+    }
+
+    #[test]
+    fn best_entries_without_lineage_field_still_load() {
+        // Version-1 checkpoints written before lineage existed.
+        let json = r#"{"seconds":1e-3,"sketch":2,"steps":[]}"#;
+        let back: BestEntry = serde_json::from_str(json).unwrap();
+        assert_eq!(back.lineage, Lineage::default());
+        assert_eq!(back.sketch, 2);
     }
 
     #[test]

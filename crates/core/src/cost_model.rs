@@ -342,8 +342,110 @@ impl LearnedCostModel {
     /// Forwards featurization-cache deltas to telemetry counters.
     fn emit_feature_cache_deltas(&self, before: (u64, u64)) {
         let (h1, m1) = self.feature_cache_stats();
-        self.telemetry.incr("features/cache_hit", h1 - before.0);
-        self.telemetry.incr("features/cache_miss", m1 - before.1);
+        self.telemetry.incr("features/cache_hits", h1 - before.0);
+        self.telemetry.incr("features/cache_misses", m1 - before.1);
+    }
+
+    /// Held-out calibration (the online analogue of the paper's Fig. 15):
+    /// scores the just-measured batch with the *pre-retrain* model and
+    /// emits a `ModelCalibration` event — pairwise rank accuracy over
+    /// comparable pairs (≥5% measured gap, mirroring `ranking_quality`'s
+    /// ln-ratio threshold), top-k recall for k = 1 and 8, and quantiles of
+    /// |normalized score − normalized throughput|. Reuses the feature
+    /// blocks already extracted for the batch, so it adds no cache
+    /// traffic. Skipped (no event) when fewer than two candidates are
+    /// scoreable or no pair is comparable. Only called while tracing with
+    /// a trained model, so the fresh-model and disabled paths pay nothing.
+    fn emit_calibration(&self, task_name: &str, blocks: &[FeatureBlock], seconds: &[f64]) {
+        let scores: Vec<f64> = blocks
+            .iter()
+            .map(|b| match b.as_ref() {
+                Ok(rows) => self.score_rows(rows.data()),
+                Err(_) => f64::NEG_INFINITY,
+            })
+            .collect();
+        let idx: Vec<usize> = (0..seconds.len())
+            .filter(|&i| seconds[i].is_finite() && scores[i].is_finite())
+            .collect();
+        let n = idx.len();
+        if n < 2 {
+            return;
+        }
+        let mut pairs = 0u64;
+        let mut correct = 0u64;
+        for (a, &i) in idx.iter().enumerate() {
+            for &j in &idx[a + 1..] {
+                if (seconds[i] / seconds[j]).ln().abs() < 0.05 {
+                    continue; // measured times too close to rank meaningfully
+                }
+                pairs += 1;
+                let faster_i = seconds[i] < seconds[j];
+                let scored_higher_i = scores[i] > scores[j];
+                if faster_i == scored_higher_i {
+                    correct += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            return;
+        }
+        let recall = |k: usize| -> f64 {
+            let k = k.min(n);
+            let mut by_time = idx.clone();
+            by_time.sort_by(|&a, &b| {
+                seconds[a]
+                    .partial_cmp(&seconds[b])
+                    .expect("finite seconds")
+                    .then(a.cmp(&b))
+            });
+            let mut by_score = idx.clone();
+            by_score.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .expect("finite scores")
+                    .then(a.cmp(&b))
+            });
+            let truth: std::collections::HashSet<usize> = by_time[..k].iter().copied().collect();
+            let hit = by_score[..k].iter().filter(|i| truth.contains(i)).count();
+            hit as f64 / k as f64
+        };
+        // Errors compare min-max-normalized scores against the training
+        // target y = min_seconds / seconds ∈ (0, 1].
+        let min_sec = idx
+            .iter()
+            .map(|&i| seconds[i])
+            .fold(f64::INFINITY, f64::min);
+        let (smin, smax) = idx
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &i| {
+                (lo.min(scores[i]), hi.max(scores[i]))
+            });
+        let mut errs: Vec<f64> = idx
+            .iter()
+            .map(|&i| {
+                let yhat = if smax > smin {
+                    (scores[i] - smin) / (smax - smin)
+                } else {
+                    1.0 // all scores tied: the model claims all are best
+                };
+                (yhat - min_sec / seconds[i]).abs()
+            })
+            .collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        let q = |p: f64| errs[((errs.len() - 1) as f64 * p).round() as usize];
+        self.telemetry.incr("model/calibrations", 1);
+        self.telemetry
+            .emit(|| telemetry::TraceEvent::ModelCalibration {
+                task: task_name.to_string(),
+                batch: seconds.len() as u64,
+                pairs,
+                rank_acc: correct as f64 / pairs as f64,
+                top1_recall: recall(1),
+                top8_recall: recall(8),
+                err_p10: q(0.10),
+                err_p50: q(0.50),
+                err_p90: q(0.90),
+            });
     }
 }
 
@@ -394,7 +496,7 @@ impl CostModel for LearnedCostModel {
     }
 
     fn update(&mut self, task: &SearchTask, states: &[State], seconds: &[f64]) {
-        {
+        let blocks = {
             let _phase = self.telemetry.span("feature_extraction");
             // Lowering + featurization of the measured batch runs on the
             // parallel runtime through the featurization cache (the states
@@ -434,6 +536,12 @@ impl CostModel for LearnedCostModel {
             }
             self.telemetry
                 .gauge_set("model/feature_bytes", self.features.resident_bytes() as f64);
+            blocks
+        };
+        // Held-out calibration against the pre-retrain model, before the
+        // new batch can influence it.
+        if self.telemetry.is_tracing() && self.model.is_some() {
+            self.emit_calibration(&task.name, &blocks, seconds);
         }
         self.retrain(&task.name);
     }

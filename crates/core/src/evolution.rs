@@ -18,27 +18,42 @@
 //!   replaying the steps (out-of-order rewrites that break dependencies are
 //!   rejected).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use rand::prelude::*;
 use tensor_ir::{State, Step};
 
 use crate::annotate::{annotate_state, follow_lengths, AnnotationConfig};
 use crate::cost_model::CostModel;
+use crate::lineage::{Lineage, Operator};
 use crate::search_task::SearchTask;
 use crate::sketch::Sketch;
 
 /// A candidate program: a fully annotated state plus the sketch it came
-/// from (needed to locate tunable splits).
+/// from (needed to locate tunable splits) and the provenance record of how
+/// it was derived.
 #[derive(Debug, Clone)]
 pub struct Individual {
     /// Complete program state.
     pub state: State,
     /// Index into the task's sketch list.
     pub sketch: usize,
+    /// Provenance: generating operator, sketch-rule chain, generation,
+    /// parent signature(s). Plain data, carried unconditionally.
+    pub lineage: Lineage,
 }
 
 impl Individual {
+    /// Builds an individual with an unknown ([`Operator::Seed`]) lineage —
+    /// for callers outside the search loop (tests, benches, baselines).
+    pub fn new(state: State, sketch: usize) -> Individual {
+        Individual {
+            state,
+            sketch,
+            lineage: Lineage::default(),
+        }
+    }
+
     /// Stable content signature for deduplication — the key of the
     /// measurement and cost-model score caches (see `ansor-runtime`).
     pub fn signature(&self) -> u64 {
@@ -71,8 +86,8 @@ impl Default for EvolutionConfig {
 }
 
 /// Counters describing one [`evolutionary_search`] invocation (for the
-/// tuning trace's `EvolutionStats` events).
-#[derive(Debug, Clone, Copy, Default)]
+/// tuning trace's `EvolutionStats` and `OperatorStats` events).
+#[derive(Debug, Clone, Default)]
 pub struct EvolutionStats {
     /// Generations actually run.
     pub generations: u64,
@@ -82,6 +97,11 @@ pub struct EvolutionStats {
     pub crossovers_applied: u64,
     /// Best (highest) cost-model score seen across all generations.
     pub best_predicted: f64,
+    /// Offspring successfully proposed, per operator name.
+    pub proposed_by_op: BTreeMap<&'static str, u64>,
+    /// Offspring successfully proposed, per sketch-rule name (each
+    /// offspring counts once for every rule in its derivation chain).
+    pub proposed_by_rule: BTreeMap<String, u64>,
 }
 
 /// Runs evolutionary search and returns the `top_k` best individuals found
@@ -172,7 +192,7 @@ pub fn evolutionary_search_with_stats(
         let mut next = Vec::with_capacity(cfg.population);
         while next.len() < cfg.population {
             let a = pick(rng);
-            let child = if rng.gen_bool(cfg.crossover_prob) {
+            let mut child = if rng.gen_bool(cfg.crossover_prob) {
                 let b = pick(rng);
                 let child = crossover(task, &population[a], &population[b], model);
                 stats.crossovers_applied += child.is_some() as u64;
@@ -182,6 +202,15 @@ pub fn evolutionary_search_with_stats(
                 stats.mutations_applied += child.is_some() as u64;
                 child
             };
+            if let Some(c) = &mut child {
+                c.lineage.generation = stats.generations;
+                *stats.proposed_by_op.entry(c.lineage.op.name()).or_insert(0) += 1;
+                for rule in &c.lineage.rules {
+                    *stats.proposed_by_rule.entry(rule.clone()).or_insert(0) += 1;
+                }
+            }
+            // A failed operator falls back to cloning the parent, keeping
+            // the parent's lineage (the clone is genetically identical).
             next.push(child.unwrap_or_else(|| population[a].clone()));
         }
         population = next;
@@ -311,6 +340,7 @@ fn mutate_tile_size(
     Some(Individual {
         state,
         sketch: parent.sketch,
+        lineage: child_lineage(Operator::MutateTileSize, sketch, parent),
     })
 }
 
@@ -336,6 +366,7 @@ fn reannotate(
     Some(Individual {
         state,
         sketch: parent.sketch,
+        lineage: child_lineage(Operator::MutateAnnotation, sketch, parent),
     })
 }
 
@@ -375,6 +406,7 @@ fn mutate_location(
     Some(Individual {
         state,
         sketch: parent.sketch,
+        lineage: child_lineage(Operator::MutateLocation, sketch, parent),
     })
 }
 
@@ -419,6 +451,7 @@ fn mutate_rfactor_or_tile(
     Some(Individual {
         state,
         sketch: parent.sketch,
+        lineage: child_lineage(Operator::MutateRfactorOrTile, sketch, parent),
     })
 }
 
@@ -503,7 +536,26 @@ pub fn crossover(
     Some(Individual {
         state,
         sketch: a.sketch,
+        lineage: Lineage {
+            // Parents share a sketch, so A's chain is the offspring's too.
+            rules: a.lineage.rules.clone(),
+            op: Operator::Crossover,
+            generation: 0, // overwritten by the evolution loop
+            parents: vec![a.signature(), b.signature()],
+        },
     })
+}
+
+/// Lineage of a mutation offspring: the operator, the generating sketch's
+/// rule chain, and the parent's signature. The generation number is filled
+/// in by the evolution loop (0 for direct `mutate` callers).
+fn child_lineage(op: Operator, sketch: &Sketch, parent: &Individual) -> Lineage {
+    Lineage {
+        rules: sketch.rule_chain.clone(),
+        op,
+        generation: 0,
+        parents: vec![parent.signature()],
+    }
 }
 
 #[cfg(test)]
@@ -544,10 +596,70 @@ mod tests {
         while out.len() < n {
             let id = rng.gen_range(0..sketches.len());
             if let Some(state) = sample_program(&sketches[id], task, &cfg, &mut rng) {
-                out.push(Individual { state, sketch: id });
+                out.push(Individual::new(state, id));
             }
         }
         out
+    }
+
+    #[test]
+    fn mutation_offspring_carry_lineage() {
+        let t = task();
+        let sketches = generate_sketches(&t);
+        let pop = init_pop(&t, &sketches, 4, 3);
+        let cfg = AnnotationConfig::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen_ops = std::collections::BTreeSet::new();
+        for p in &pop {
+            for _ in 0..20 {
+                if let Some(child) = mutate(&t, &sketches, p, &cfg, &mut rng) {
+                    assert_eq!(child.lineage.parents, vec![p.signature()]);
+                    assert_eq!(child.lineage.rules, sketches[child.sketch].rule_chain);
+                    assert_ne!(child.lineage.op, Operator::Seed);
+                    assert_ne!(child.lineage.op, Operator::Crossover);
+                    seen_ops.insert(child.lineage.op.name());
+                }
+            }
+        }
+        assert!(
+            seen_ops.len() >= 2,
+            "expected several operators to fire, saw {seen_ops:?}"
+        );
+    }
+
+    #[test]
+    fn evolution_children_get_generation_numbers_and_proposal_counts() {
+        let t = task();
+        let sketches = generate_sketches(&t);
+        let pop = init_pop(&t, &sketches, 16, 9);
+        let model = RandomModel::new(0);
+        let cfg = EvolutionConfig {
+            population: 16,
+            generations: 3,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(10);
+        let banned = HashSet::new();
+        let (best, stats) =
+            evolutionary_search_with_stats(&t, &sketches, pop, &model, &cfg, 8, &banned, &mut rng);
+        let applied = stats.mutations_applied + stats.crossovers_applied;
+        let proposed: u64 = stats.proposed_by_op.values().sum();
+        assert_eq!(proposed, applied, "every applied operator is tallied");
+        assert!(!stats.proposed_by_rule.is_empty());
+        // Any non-seed survivor must have a generation within the run and
+        // consistent parent counts for its operator.
+        for ind in &best {
+            assert!(ind.lineage.generation <= stats.generations);
+            match ind.lineage.op {
+                // init_pop members enter via Individual::new (Seed).
+                Operator::Seed | Operator::InitPopulation => {
+                    assert!(ind.lineage.parents.is_empty());
+                    assert_eq!(ind.lineage.generation, 0);
+                }
+                Operator::Crossover => assert_eq!(ind.lineage.parents.len(), 2),
+                _ => assert_eq!(ind.lineage.parents.len(), 1),
+            }
+        }
     }
 
     #[test]

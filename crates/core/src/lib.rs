@@ -9,6 +9,7 @@ pub mod annotate;
 pub mod checkpoint;
 pub mod cost_model;
 pub mod evolution;
+pub mod lineage;
 pub mod records;
 pub mod search_policy;
 pub mod search_task;
@@ -23,6 +24,7 @@ pub use checkpoint::{
 pub use cost_model::{CostModel, LearnedCostModel, RandomModel};
 pub use evolution::{crossover, evolutionary_search, mutate, EvolutionConfig, Individual};
 pub use gbdt::SplitStrategy;
+pub use lineage::{Lineage, Operator};
 pub use records::{best_record, load_records, save_records, TuningRecordLog};
 pub use search_policy::{
     auto_schedule, auto_schedule_with_model, PolicyVariant, SketchPolicy, TuningOptions,

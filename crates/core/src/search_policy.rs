@@ -13,22 +13,60 @@
 //! to roughly what manual templates cover (no cache stages, no rfactor, no
 //! computation-location changes, fixed unroll policy).
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use hwsim::Measurer;
 
-use telemetry::TraceEvent;
+use telemetry::{EfficacyRow, TraceEvent};
 
 use crate::annotate::{sample_program, AnnotationConfig};
 use crate::checkpoint::{rng_state_from, BestEntry, PolicyCheckpoint};
 use crate::cost_model::{CostModel, LearnedCostModel};
 use crate::evolution::{evolutionary_search_with_stats, EvolutionConfig, Individual};
+use crate::lineage::{Lineage, Operator};
 use crate::records::TuningRecordLog;
 use crate::search_task::SearchTask;
 use crate::sketch::{generate_sketches, Sketch};
+
+/// Per-round efficacy tallies (proposed / survived / measured / new-best)
+/// keyed by operator and by sketch rule. Only maintained while telemetry is
+/// enabled — search behaviour never depends on it.
+#[derive(Default)]
+struct EfficacyTally {
+    ops: BTreeMap<&'static str, [u64; 4]>,
+    rules: BTreeMap<String, [u64; 4]>,
+}
+
+impl EfficacyTally {
+    /// Stage indices into the per-name count arrays.
+    const PROPOSED: usize = 0;
+    const SURVIVED: usize = 1;
+    const MEASURED: usize = 2;
+    const NEW_BEST: usize = 3;
+
+    fn add(&mut self, lineage: &Lineage, stage: usize) {
+        self.ops.entry(lineage.op.name()).or_default()[stage] += 1;
+        for rule in &lineage.rules {
+            self.rules.entry(rule.clone()).or_default()[stage] += 1;
+        }
+    }
+
+    fn rows(counts: &BTreeMap<impl AsRef<str> + Ord, [u64; 4]>) -> Vec<EfficacyRow> {
+        counts
+            .iter()
+            .map(|(name, t)| EfficacyRow {
+                name: name.as_ref().to_string(),
+                proposed: t[Self::PROPOSED],
+                survived: t[Self::SURVIVED],
+                measured: t[Self::MEASURED],
+                new_best: t[Self::NEW_BEST],
+            })
+            .collect()
+    }
+}
 
 /// Search-space / algorithm variant (for the paper's ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -248,7 +286,8 @@ impl SketchPolicy {
             let Ok(state) = r.replay(self.task.dag.clone()) else {
                 continue;
             };
-            let ind = Individual { state, sketch: 0 };
+            // Replayed records carry no provenance: Seed lineage.
+            let ind = Individual::new(state, 0);
             if !self.measured_signatures.insert(ind.signature()) {
                 continue;
             }
@@ -301,7 +340,14 @@ impl SketchPolicy {
                 &self.annotation,
                 &mut self.rng,
             ) {
-                out.push(Individual { state, sketch: id });
+                out.push(Individual {
+                    state,
+                    sketch: id,
+                    lineage: Lineage::sampled(
+                        Operator::InitPopulation,
+                        self.sketches[id].rule_chain.clone(),
+                    ),
+                });
             }
         }
         out
@@ -333,10 +379,19 @@ impl SketchPolicy {
             trials_so_far: self.trials,
         });
         let batch = self.options.measures_per_round.min(remaining);
+        // Efficacy tallies only accumulate while telemetry is enabled; the
+        // search path itself is identical either way.
+        let observe = tel.is_enabled();
+        let mut tally = EfficacyTally::default();
         let mut population = {
             let _phase = tel.span("annotation_sampling");
             self.sample_random(self.options.init_population)
         };
+        if observe {
+            for ind in &population {
+                tally.add(&ind.lineage, EfficacyTally::PROPOSED);
+            }
+        }
         for (_, ind) in self.best_measured.iter().take(self.options.retained_best) {
             population.push(ind.clone());
         }
@@ -381,9 +436,22 @@ impl SketchPolicy {
                         },
                     }
                 });
+                if observe {
+                    for (op, n) in &stats.proposed_by_op {
+                        tally.ops.entry(op).or_default()[EfficacyTally::PROPOSED] += n;
+                    }
+                    for (rule, n) in &stats.proposed_by_rule {
+                        tally.rules.entry(rule.clone()).or_default()[EfficacyTally::PROPOSED] += n;
+                    }
+                }
                 candidates
             }
         };
+        if observe {
+            for c in &candidates {
+                tally.add(&c.lineage, EfficacyTally::SURVIVED);
+            }
+        }
         // Pick unmeasured candidates, reserving an ε share for random
         // exploration.
         let n_random = ((batch as f64) * self.options.eps_random).round() as usize;
@@ -397,11 +465,20 @@ impl SketchPolicy {
             }
         }
         let extra = self.sample_random(batch - to_measure.len());
+        if observe {
+            // ε-greedy extras skip selection: proposed and survived at once.
+            for c in &extra {
+                tally.add(&c.lineage, EfficacyTally::PROPOSED);
+            }
+        }
         for c in extra {
             if to_measure.len() >= batch {
                 break;
             }
             if self.measured_signatures.insert(c.signature()) {
+                if observe {
+                    tally.add(&c.lineage, EfficacyTally::SURVIVED);
+                }
                 to_measure.push(c);
             }
         }
@@ -437,6 +514,19 @@ impl SketchPolicy {
         for (ind, res) in to_measure.into_iter().zip(results) {
             self.trials += 1;
             let seconds = res.seconds;
+            if observe {
+                tally.add(&ind.lineage, EfficacyTally::MEASURED);
+            }
+            tel.emit(|| TraceEvent::CandidateOrigin {
+                task: self.task.name.clone(),
+                trial: self.trials,
+                sig: ind.signature(),
+                sketch: ind.sketch as u64,
+                op: ind.lineage.op.name().to_string(),
+                generation: ind.lineage.generation,
+                parents: ind.lineage.parents.clone(),
+                rules: ind.lineage.rules.clone(),
+            });
             if let Some(e) = &res.error {
                 // Terminal injected faults (cursed hardware, retry
                 // exhaustion) are sticky: quarantine the signature so
@@ -444,6 +534,24 @@ impl SketchPolicy {
                 if hwsim::is_terminal_fault(e) && self.quarantined.insert(ind.signature()) {
                     tel.incr("search/quarantined", 1);
                 }
+            }
+            let prev_best = self.best_seconds();
+            if res.is_valid() && seconds < prev_best {
+                if observe {
+                    tally.add(&ind.lineage, EfficacyTally::NEW_BEST);
+                }
+                tel.emit(|| TraceEvent::ImprovementAttributed {
+                    task: self.task.name.clone(),
+                    trial: self.trials,
+                    seconds,
+                    prev_best: prev_best.is_finite().then_some(prev_best),
+                    sig: ind.signature(),
+                    sketch: ind.sketch as u64,
+                    op: ind.lineage.op.name().to_string(),
+                    generation: ind.lineage.generation,
+                    parents: ind.lineage.parents.clone(),
+                    rules: ind.lineage.rules.clone(),
+                });
             }
             self.log.push(TuningRecordLog {
                 task: self.task.name.clone(),
@@ -464,6 +572,34 @@ impl SketchPolicy {
                 trial: self.trials,
                 seconds,
                 best_seconds: self.best_seconds().min(seconds),
+            });
+        }
+        if observe {
+            for (name, t) in &tally.ops {
+                for (stage, label) in ["proposed", "survived", "measured", "new_best"]
+                    .iter()
+                    .enumerate()
+                {
+                    if t[stage] > 0 {
+                        tel.incr(&format!("evolution/op/{name}/{label}"), t[stage]);
+                    }
+                }
+            }
+            for (name, t) in &tally.rules {
+                for (stage, label) in ["proposed", "survived", "measured", "new_best"]
+                    .iter()
+                    .enumerate()
+                {
+                    if t[stage] > 0 {
+                        tel.incr(&format!("search/rule/{name}/{label}"), t[stage]);
+                    }
+                }
+            }
+            tel.emit(|| TraceEvent::OperatorStats {
+                task: self.task.name.clone(),
+                round,
+                operators: EfficacyTally::rows(&tally.ops),
+                rules: EfficacyTally::rows(&tally.rules),
             });
         }
         if self.options.variant != PolicyVariant::NoFineTuning {
@@ -505,6 +641,7 @@ impl SketchPolicy {
                     seconds: *s,
                     sketch: ind.sketch,
                     steps: ind.state.steps.clone(),
+                    lineage: ind.lineage.clone(),
                 })
                 .collect(),
             history: self.history.clone(),
@@ -531,6 +668,7 @@ impl SketchPolicy {
                 Individual {
                     state,
                     sketch: e.sketch,
+                    lineage: e.lineage.clone(),
                 },
             ));
         }

@@ -75,6 +75,11 @@ pub struct Sketch {
     /// Indices (into `steps`) of `ComputeAt` steps whose `prefix_len` is a
     /// tunable computation location.
     pub compute_ats: Vec<usize>,
+    /// Names of the derivation rules that built this sketch, in application
+    /// order — the provenance chain carried into `Lineage` records.
+    /// (Rule 1 "skip" applications are implicit and not recorded.)
+    #[serde(default)]
+    pub rule_chain: Vec<String>,
 }
 
 impl Sketch {
@@ -108,6 +113,9 @@ pub struct Working {
     pub compute_ats: Vec<usize>,
     /// Index of the current working node in `state.dag`.
     pub i: i64,
+    /// Derivation-rule names applied so far (appended by the generation
+    /// loop, so rule implementations never touch it).
+    pub rule_chain: Vec<&'static str>,
 }
 
 /// A sketch-derivation rule. Users can implement this trait and pass extra
@@ -179,6 +187,7 @@ pub fn generate_sketches_full(
         rfactors: Vec::new(),
         compute_ats: Vec::new(),
         i: task.dag.nodes.len() as i64 - 1,
+        rule_chain: Vec::new(),
     };
     let mut queue = vec![init];
     let mut done = Vec::new();
@@ -196,13 +205,19 @@ pub fn generate_sketches_full(
         {
             match rule.apply(&ws, task) {
                 RuleResult::Pass => {}
-                RuleResult::Apply(succ) => {
+                RuleResult::Apply(mut succ) => {
                     applied = true;
+                    for s in &mut succ {
+                        s.rule_chain.push(rule.name());
+                    }
                     queue.extend(succ);
                 }
-                RuleResult::ApplyAndSkipRest(succ) => {
+                RuleResult::ApplyAndSkipRest(mut succ) => {
                     applied = true;
                     stop = true;
+                    for s in &mut succ {
+                        s.rule_chain.push(rule.name());
+                    }
                     queue.extend(succ);
                 }
             }
@@ -223,6 +238,7 @@ pub fn generate_sketches_full(
             splits: ws.splits,
             rfactors: ws.rfactors,
             compute_ats: ws.compute_ats,
+            rule_chain: ws.rule_chain.iter().map(|r| r.to_string()).collect(),
         })
         .collect()
 }
@@ -820,5 +836,38 @@ mod tests {
                 .iter()
                 .any(|st| matches!(st, Step::Pragma { max_unroll: 7, .. })));
         }
+        // The provenance chain records the user rule under its own name.
+        for s in &sketches {
+            assert!(s.rule_chain.iter().any(|r| r == "marker"));
+        }
+    }
+
+    #[test]
+    fn sketches_record_their_derivation_chain() {
+        let task = matmul_relu_task(HardwareTarget::intel_20core());
+        let known = [
+            "always-inline",
+            "add-rfactor",
+            "multi-level-tiling-with-fusion",
+            "add-cache-write",
+            "multi-level-tiling",
+        ];
+        let sketches = generate_sketches(&task);
+        assert!(!sketches.is_empty());
+        for s in &sketches {
+            assert!(
+                !s.rule_chain.is_empty(),
+                "sketch {} has an empty rule chain",
+                s.id
+            );
+            for r in &s.rule_chain {
+                assert!(known.contains(&r.as_str()), "unknown rule name {r}");
+            }
+        }
+        // matmul+relu always admits the fused multi-level tiling sketch.
+        assert!(sketches.iter().any(|s| s
+            .rule_chain
+            .iter()
+            .any(|r| r == "multi-level-tiling-with-fusion")));
     }
 }

@@ -47,7 +47,7 @@ fn crossover_offspring_compute_correct_results() {
     while pop.len() < 10 {
         let id = rng.gen_range(0..sketches.len());
         if let Some(state) = sample_program(&sketches[id], &task, &cfg, &mut rng) {
-            pop.push(Individual { state, sketch: id });
+            pop.push(Individual::new(state, id));
         }
     }
     let mut model = LearnedCostModel::new();

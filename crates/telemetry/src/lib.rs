@@ -23,7 +23,7 @@ mod trace;
 
 pub use histogram::{Histogram, HistogramSummary};
 pub use metrics::MetricsSnapshot;
-pub use trace::{read_trace, read_trace_file, GradientTerms, TraceEvent, TraceLine};
+pub use trace::{read_trace, read_trace_file, EfficacyRow, GradientTerms, TraceEvent, TraceLine};
 
 use metrics::Registry;
 use std::cell::RefCell;

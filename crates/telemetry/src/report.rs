@@ -3,6 +3,7 @@
 
 use crate::histogram::HistogramSummary;
 use crate::trace::{TraceEvent, TraceLine};
+use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Best-measured-latency-vs-cumulative-trials curve per task, reconstructed
@@ -57,7 +58,7 @@ pub fn phase_breakdown(lines: &[TraceLine]) -> Vec<(String, HistogramSummary)> {
 }
 
 /// One `ModelRetrain` observation, in trace order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ModelPoint {
     pub seq: u64,
     pub task: String,
@@ -140,12 +141,156 @@ pub fn event_counts(lines: &[TraceLine]) -> BTreeMap<&'static str, u64> {
             TraceEvent::GbdtRound { .. } => "GbdtRound",
             TraceEvent::SchedulerStep { .. } => "SchedulerStep",
             TraceEvent::FeatureExtractFailed { .. } => "FeatureExtractFailed",
+            TraceEvent::CandidateOrigin { .. } => "CandidateOrigin",
+            TraceEvent::ImprovementAttributed { .. } => "ImprovementAttributed",
+            TraceEvent::OperatorStats { .. } => "OperatorStats",
+            TraceEvent::ModelCalibration { .. } => "ModelCalibration",
             TraceEvent::PhaseProfile { .. } => "PhaseProfile",
             TraceEvent::TuningFinished { .. } => "TuningFinished",
         };
         *counts.entry(name).or_insert(0) += 1;
     }
     counts
+}
+
+/// Run-total funnel counts for one operator or rule, summed over every
+/// `OperatorStats` event in the trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Efficacy {
+    pub proposed: u64,
+    pub survived: u64,
+    pub measured: u64,
+    pub new_best: u64,
+}
+
+fn sum_efficacy<'a>(
+    rows: impl Iterator<Item = &'a crate::trace::EfficacyRow>,
+) -> BTreeMap<String, Efficacy> {
+    let mut out: BTreeMap<String, Efficacy> = BTreeMap::new();
+    for row in rows {
+        let e = out.entry(row.name.clone()).or_default();
+        e.proposed += row.proposed;
+        e.survived += row.survived;
+        e.measured += row.measured;
+        e.new_best += row.new_best;
+    }
+    out
+}
+
+/// Sketch-rule efficacy over the whole trace: proposed / survived /
+/// measured / new-best totals per rule name.
+pub fn rule_efficacy(lines: &[TraceLine]) -> BTreeMap<String, Efficacy> {
+    sum_efficacy(lines.iter().flat_map(|l| match &l.event {
+        TraceEvent::OperatorStats { rules, .. } => rules.iter(),
+        _ => [].iter(),
+    }))
+}
+
+/// Evolutionary-operator efficacy over the whole trace: proposed /
+/// survived / measured / new-best totals per operator name.
+pub fn operator_efficacy(lines: &[TraceLine]) -> BTreeMap<String, Efficacy> {
+    sum_efficacy(lines.iter().flat_map(|l| match &l.event {
+        TraceEvent::OperatorStats { operators, .. } => operators.iter(),
+        _ => [].iter(),
+    }))
+}
+
+/// One `ImprovementAttributed` observation, in trace order. The last entry
+/// for a task is the lineage of that task's final best state.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ImprovementPoint {
+    pub seq: u64,
+    pub trial: u64,
+    pub seconds: f64,
+    pub prev_best: Option<f64>,
+    pub sig: u64,
+    pub sketch: u64,
+    pub op: String,
+    pub generation: u64,
+    pub parents: Vec<u64>,
+    pub rules: Vec<String>,
+}
+
+/// Every best-latency improvement per task, in the order it happened.
+pub fn improvements(lines: &[TraceLine]) -> BTreeMap<String, Vec<ImprovementPoint>> {
+    let mut out: BTreeMap<String, Vec<ImprovementPoint>> = BTreeMap::new();
+    for line in lines {
+        if let TraceEvent::ImprovementAttributed {
+            task,
+            trial,
+            seconds,
+            prev_best,
+            sig,
+            sketch,
+            op,
+            generation,
+            parents,
+            rules,
+        } = &line.event
+        {
+            out.entry(task.clone()).or_default().push(ImprovementPoint {
+                seq: line.seq,
+                trial: *trial,
+                seconds: *seconds,
+                prev_best: *prev_best,
+                sig: *sig,
+                sketch: *sketch,
+                op: op.clone(),
+                generation: *generation,
+                parents: parents.clone(),
+                rules: rules.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// One `ModelCalibration` observation, in trace order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CalibrationPoint {
+    pub seq: u64,
+    pub task: String,
+    pub batch: u64,
+    pub pairs: u64,
+    pub rank_acc: f64,
+    pub top1_recall: f64,
+    pub top8_recall: f64,
+    pub err_p10: f64,
+    pub err_p50: f64,
+    pub err_p90: f64,
+}
+
+/// Held-out model calibration over the run: every calibration event in
+/// order (the online analogue of the paper's Fig. 15).
+pub fn calibration(lines: &[TraceLine]) -> Vec<CalibrationPoint> {
+    lines
+        .iter()
+        .filter_map(|l| match &l.event {
+            TraceEvent::ModelCalibration {
+                task,
+                batch,
+                pairs,
+                rank_acc,
+                top1_recall,
+                top8_recall,
+                err_p10,
+                err_p50,
+                err_p90,
+            } => Some(CalibrationPoint {
+                seq: l.seq,
+                task: task.clone(),
+                batch: *batch,
+                pairs: *pairs,
+                rank_acc: *rank_acc,
+                top1_recall: *top1_recall,
+                top8_recall: *top8_recall,
+                err_p10: *err_p10,
+                err_p50: *err_p50,
+                err_p90: *err_p90,
+            }),
+            _ => None,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -246,5 +391,104 @@ mod tests {
         let counts = event_counts(&lines);
         assert_eq!(counts["ModelRetrain"], 1);
         assert_eq!(counts["PhaseProfile"], 1);
+    }
+
+    fn row(name: &str, proposed: u64, new_best: u64) -> crate::trace::EfficacyRow {
+        crate::trace::EfficacyRow {
+            name: name.into(),
+            proposed,
+            survived: proposed / 2,
+            measured: proposed / 4,
+            new_best,
+        }
+    }
+
+    #[test]
+    fn efficacy_sums_across_rounds() {
+        let lines = vec![
+            line(
+                0,
+                TraceEvent::OperatorStats {
+                    task: "a".into(),
+                    round: 0,
+                    operators: vec![row("crossover", 8, 1), row("mutate-tile-size", 4, 0)],
+                    rules: vec![row("multi-level-tiling", 12, 1)],
+                },
+            ),
+            line(
+                1,
+                TraceEvent::OperatorStats {
+                    task: "a".into(),
+                    round: 1,
+                    operators: vec![row("crossover", 2, 0)],
+                    rules: vec![row("multi-level-tiling", 2, 0), row("always-inline", 6, 2)],
+                },
+            ),
+        ];
+        let ops = operator_efficacy(&lines);
+        assert_eq!(ops["crossover"].proposed, 10);
+        assert_eq!(ops["crossover"].new_best, 1);
+        assert_eq!(ops["mutate-tile-size"].proposed, 4);
+        let rules = rule_efficacy(&lines);
+        assert_eq!(rules["multi-level-tiling"].proposed, 14);
+        assert_eq!(rules["always-inline"].new_best, 2);
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn improvements_keep_order_and_last_is_best() {
+        let imp = |seq, trial, seconds, op: &str| {
+            line(
+                seq,
+                TraceEvent::ImprovementAttributed {
+                    task: "a".into(),
+                    trial,
+                    seconds,
+                    prev_best: None,
+                    sig: trial,
+                    sketch: 0,
+                    op: op.into(),
+                    generation: 1,
+                    parents: vec![7],
+                    rules: vec!["multi-level-tiling".into()],
+                },
+            )
+        };
+        let lines = vec![
+            imp(0, 1, 4.0, "init-population"),
+            imp(1, 9, 2.0, "crossover"),
+            imp(2, 20, 1.5, "mutate-tile-size"),
+        ];
+        let by_task = improvements(&lines);
+        let a = &by_task["a"];
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.last().unwrap().op, "mutate-tile-size");
+        assert_eq!(a.last().unwrap().trial, 20);
+        assert!(a.windows(2).all(|w| w[1].seconds < w[0].seconds));
+    }
+
+    #[test]
+    fn calibration_points_in_trace_order() {
+        let cal = |seq, batch| {
+            line(
+                seq,
+                TraceEvent::ModelCalibration {
+                    task: "a".into(),
+                    batch,
+                    pairs: batch * 3,
+                    rank_acc: 0.5,
+                    top1_recall: 1.0,
+                    top8_recall: 0.75,
+                    err_p10: 0.01,
+                    err_p50: 0.1,
+                    err_p90: 0.4,
+                },
+            )
+        };
+        let lines = vec![cal(0, 8), cal(1, 16)];
+        let points = calibration(&lines);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].batch, 8);
+        assert_eq!(points[1].pairs, 48);
     }
 }

@@ -68,6 +68,63 @@ pub enum TraceEvent {
     /// its measurement enters the training set as a failure record instead
     /// of being silently dropped.
     FeatureExtractFailed { task: String, error: String },
+    /// Provenance of one candidate sent to hardware measurement: the sketch
+    /// it was annotated from, the sketch-rule derivation chain, the
+    /// evolutionary operator that produced it, its generation and parent
+    /// state signature(s). `sig` is the candidate's own `State::signature()`.
+    CandidateOrigin {
+        task: String,
+        trial: u64,
+        sig: u64,
+        sketch: u64,
+        op: String,
+        generation: u64,
+        parents: Vec<u64>,
+        rules: Vec<String>,
+    },
+    /// A measured candidate improved the task's best latency; the
+    /// improvement is credited to the candidate's full lineage. `prev_best`
+    /// is `None` for the first valid measurement.
+    ImprovementAttributed {
+        task: String,
+        trial: u64,
+        seconds: f64,
+        prev_best: Option<f64>,
+        sig: u64,
+        sketch: u64,
+        op: String,
+        generation: u64,
+        parents: Vec<u64>,
+        rules: Vec<String>,
+    },
+    /// Per-round efficacy tally: how many candidates each evolutionary
+    /// operator / sketch rule proposed, how many survived selection into the
+    /// measured batch, how many were measured, and how many set a new task
+    /// best. Rows are sorted by name for deterministic output.
+    OperatorStats {
+        task: String,
+        round: u64,
+        operators: Vec<EfficacyRow>,
+        rules: Vec<EfficacyRow>,
+    },
+    /// Held-out calibration of the learned cost model: the just-measured
+    /// batch scored with the *pre-retrain* model. `rank_acc` is pairwise
+    /// rank accuracy over pairs whose measured times differ by ≥5% (the
+    /// model's own comparability threshold); `topk_recall` is how many of
+    /// the truly fastest k candidates land in the predicted top k, for
+    /// k = 1 and 8 (capped at batch size); `err_p*` are quantiles of
+    /// |normalized predicted score − normalized throughput|.
+    ModelCalibration {
+        task: String,
+        batch: u64,
+        pairs: u64,
+        rank_acc: f64,
+        top1_recall: f64,
+        top8_recall: f64,
+        err_p10: f64,
+        err_p50: f64,
+        err_p90: f64,
+    },
     /// Point-in-time dump of the metrics registry (counters, gauges, phase
     /// timers). Emitted by `Telemetry::flush`. Contains wall-clock data.
     PhaseProfile { snapshot: MetricsSnapshot },
@@ -77,6 +134,22 @@ pub enum TraceEvent {
         trials: u64,
         best_seconds: Option<f64>,
     },
+}
+
+/// One row of an [`TraceEvent::OperatorStats`] table: the funnel counts for
+/// a single evolutionary operator or sketch rule within one search round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficacyRow {
+    /// Operator or rule name (e.g. `crossover`, `multi-level-tiling`).
+    pub name: String,
+    /// Candidates this operator/rule generated this round.
+    pub proposed: u64,
+    /// Of those, how many survived selection into the measured batch.
+    pub survived: u64,
+    /// Of those, how many were actually measured (batch cap, dedup).
+    pub measured: u64,
+    /// Of those, how many set a new task best.
+    pub new_best: u64,
 }
 
 /// The per-task-scheduler-step gradient decomposition (paper §6): the
@@ -187,6 +260,57 @@ mod tests {
                 gradient_terms: GradientTerms::from_raw(-0.5, -1.25, f64::INFINITY, -0.875),
                 objective: Some(4.2e-3),
             },
+            TraceEvent::CandidateOrigin {
+                task: "conv2d".into(),
+                trial: 17,
+                sig: u64::MAX - 3,
+                sketch: 2,
+                op: "mutate-tile-size".into(),
+                generation: 4,
+                parents: vec![u64::MAX, 12345],
+                rules: vec!["multi-level-tiling".into(), "always-inline".into()],
+            },
+            TraceEvent::ImprovementAttributed {
+                task: "conv2d".into(),
+                trial: 17,
+                seconds: 2.9e-4,
+                prev_best: Some(3.2e-4),
+                sig: u64::MAX - 3,
+                sketch: 2,
+                op: "crossover".into(),
+                generation: 4,
+                parents: vec![1, 2],
+                rules: vec!["multi-level-tiling".into()],
+            },
+            TraceEvent::OperatorStats {
+                task: "conv2d".into(),
+                round: 1,
+                operators: vec![EfficacyRow {
+                    name: "crossover".into(),
+                    proposed: 40,
+                    survived: 12,
+                    measured: 5,
+                    new_best: 1,
+                }],
+                rules: vec![EfficacyRow {
+                    name: "multi-level-tiling".into(),
+                    proposed: 64,
+                    survived: 20,
+                    measured: 8,
+                    new_best: 1,
+                }],
+            },
+            TraceEvent::ModelCalibration {
+                task: "conv2d".into(),
+                batch: 16,
+                pairs: 98,
+                rank_acc: 0.77,
+                top1_recall: 1.0,
+                top8_recall: 0.625,
+                err_p10: 0.01,
+                err_p50: 0.08,
+                err_p90: 0.33,
+            },
         ]
     }
 
@@ -204,7 +328,7 @@ mod tests {
         }
         let (lines, skipped) = read_trace(text.as_bytes()).unwrap();
         assert_eq!(skipped, 0);
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 10);
         assert_eq!(lines[0].seq, 0);
         match &lines[3].event {
             TraceEvent::MeasureBatch {

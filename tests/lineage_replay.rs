@@ -1,0 +1,111 @@
+//! Lineage replayability: every `CandidateOrigin` event a traced tuning
+//! run emits must be reconstructible from the run's own records —
+//! replaying the tuning log's steps for that trial yields a state with
+//! the event's signature, and the event's sketch-rule chain matches the
+//! derivation chain the sketch generator recorded for that sketch.
+//!
+//! This pins the provenance contract end to end: what `trace-report
+//! --explain` attributes is exactly what the search measured.
+
+use std::sync::Arc;
+
+use ansor::prelude::*;
+use telemetry::{read_trace, SharedBuf, Telemetry, TraceEvent};
+
+fn matmul_relu_task(name: &str) -> SearchTask {
+    let mut b = DagBuilder::new();
+    let a = b.placeholder("A", &[64, 64]);
+    let w = b.constant("B", &[64, 64]);
+    let c = b.compute_reduce("C", &[64, 64], &[64], Reducer::Sum, |ax| {
+        Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+            * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+    });
+    b.compute("D", &[64, 64], |ax| {
+        Expr::max(
+            Expr::load(c, vec![ax[0].clone(), ax[1].clone()]),
+            Expr::float(0.0),
+        )
+    });
+    SearchTask::new(
+        name,
+        Arc::new(b.build().unwrap()),
+        HardwareTarget::intel_20core(),
+    )
+}
+
+fn traced_run(seed: u64) -> (SketchPolicy, Vec<TraceEvent>) {
+    let buf = SharedBuf::new();
+    let tel = Telemetry::to_writer(Box::new(buf.clone()));
+    let task = matmul_relu_task("lineage:mm_relu_64");
+    let options = TuningOptions {
+        num_measure_trials: 32,
+        measures_per_round: 16,
+        init_population: 16,
+        seed,
+        telemetry: tel.clone(),
+        ..Default::default()
+    };
+    let mut policy = SketchPolicy::new(task.clone(), options);
+    let mut measurer = Measurer::new(task.target.clone());
+    measurer.set_telemetry(tel.clone());
+    let mut model = LearnedCostModel::new();
+    model.set_telemetry(tel.clone());
+    while policy.tune_round(&mut model, &mut measurer) > 0 {}
+    tel.flush();
+    let (lines, skipped) = read_trace(buf.contents().as_slice()).expect("readable trace");
+    assert_eq!(skipped, 0, "trace must be fully parseable");
+    (policy, lines.into_iter().map(|l| l.event).collect())
+}
+
+#[test]
+fn every_candidate_origin_replays_to_the_recorded_program() {
+    for seed in [3u64, 17, 91] {
+        let (policy, events) = traced_run(seed);
+        let dag = policy.task.dag.clone();
+        let mut checked = 0;
+        for e in &events {
+            let TraceEvent::CandidateOrigin {
+                trial,
+                sig,
+                sketch,
+                rules,
+                generation,
+                op,
+                parents,
+                ..
+            } = e
+            else {
+                continue;
+            };
+            // The tuning log's entry for this trial replays to a state
+            // with exactly the signature the event attributed.
+            let rec = policy
+                .log
+                .iter()
+                .find(|r| r.trial == *trial)
+                .expect("every origin event has a tuning-log record");
+            let replayed = State::replay(dag.clone(), &rec.steps).expect("steps replay");
+            assert_eq!(
+                replayed.signature(),
+                *sig,
+                "seed {seed} trial {trial}: replayed signature must match"
+            );
+            // The recorded rule chain is the generating sketch's chain.
+            let chain = &policy.sketches()[*sketch as usize].rule_chain;
+            assert_eq!(
+                rules, chain,
+                "seed {seed} trial {trial}: rule chain must match sketch {sketch}"
+            );
+            // Generation-zero candidates come from sampling (no parents);
+            // evolved candidates record at least one parent signature.
+            if *generation == 0 {
+                assert!(parents.is_empty(), "sampled candidates have no parents");
+                assert!(op == "seed" || op == "init-population", "got {op}");
+            } else {
+                assert!(!parents.is_empty(), "evolved candidates record parents");
+            }
+            checked += 1;
+        }
+        assert!(checked >= 32, "seed {seed}: only {checked} origins checked");
+    }
+}

@@ -121,7 +121,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let idx = (seed as usize) % sketches.len();
         if let Some(state) = sample_program(&sketches[idx], &task, &cfg, &mut rng) {
-            let parent = Individual { state, sketch: idx };
+            let parent = Individual::new(state, idx);
             for _ in 0..4 {
                 if let Some(child) =
                     ansor::core::evolution::mutate(&task, &sketches, &parent, &cfg, &mut rng)

@@ -100,6 +100,46 @@ fn thread_count_does_not_change_search_results() {
         "trace must contain measurement batches"
     );
 
+    // The attribution events ride the same determinism contract: they must
+    // be present (so the equality assertions below are not vacuous for
+    // them) and internally consistent.
+    let count = |run: &Run, name: &str| {
+        run.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    (name, e),
+                    ("origin", TraceEvent::CandidateOrigin { .. })
+                        | ("improve", TraceEvent::ImprovementAttributed { .. })
+                        | ("opstats", TraceEvent::OperatorStats { .. })
+                        | ("calibration", TraceEvent::ModelCalibration { .. })
+                )
+            })
+            .count()
+    };
+    assert!(count(&serial, "origin") >= 32, "one origin per measurement");
+    assert!(count(&serial, "improve") >= 1, "some trial must improve");
+    assert!(count(&serial, "opstats") >= 2, "one stats event per round");
+    assert!(
+        count(&serial, "calibration") >= 1,
+        "rounds after the first retrain must calibrate the model"
+    );
+    // Every attributed improvement refers to a candidate whose origin was
+    // recorded in the same trace.
+    let origin_sigs: std::collections::HashSet<u64> = serial
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::CandidateOrigin { sig, .. } => Some(*sig),
+            _ => None,
+        })
+        .collect();
+    for e in &serial.events {
+        if let TraceEvent::ImprovementAttributed { sig, .. } = e {
+            assert!(origin_sigs.contains(sig), "improvement without an origin");
+        }
+    }
+
     assert_eq!(serial.best_steps, parallel.best_steps, "best state");
     assert_eq!(
         serial.best_seconds.to_bits(),
