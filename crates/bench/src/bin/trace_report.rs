@@ -18,14 +18,20 @@
 //! - the lineage of each task's best state (`ImprovementAttributed`);
 //! - held-out cost-model calibration over time (`ModelCalibration`).
 //!
-//! Run: `trace-report <trace.jsonl> [--explain] [--json <path>] [--strict]`
+//! Run: `trace-report <trace.jsonl> [--explain] [--json <path>] [--strict]
+//! [--follow] [--events <path>]`
 //!
 //! `--json <path>` writes every table (including the explain sections) as
 //! one JSON document; `--strict` exits nonzero when the trace contains
-//! corrupt (unparseable) lines.
+//! corrupt (unparseable) lines; `--follow` tails a live trace (poll +
+//! seek, tolerating a partial last line) printing progress as it lands and
+//! emitting the full report once the run's final `PhaseProfile` arrives;
+//! `--events <path>` writes the canonical event stream (event JSON per
+//! line, wall-clock fields and `PhaseProfile` stripped — the
+//! determinism-comparable form, see docs/TELEMETRY.md).
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
+use std::io::{Seek as _, SeekFrom, Write as _};
 
 use ansor_bench::{fmt_seconds, print_table};
 use serde::Serialize;
@@ -81,6 +87,8 @@ struct Options {
     explain: bool,
     json: Option<String>,
     strict: bool,
+    follow: bool,
+    events: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -88,12 +96,16 @@ fn parse_args() -> Options {
     let mut explain = false;
     let mut json = None;
     let mut strict = false;
+    let mut follow = false;
+    let mut events = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--explain" => explain = true,
             "--json" => json = it.next(),
             "--strict" => strict = true,
+            "--follow" => follow = true,
+            "--events" => events = it.next(),
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => {
                 eprintln!("trace-report: unrecognized argument {other}");
@@ -109,21 +121,104 @@ fn parse_args() -> Options {
         explain,
         json,
         strict,
+        follow,
+        events,
     }
 }
 
 fn usage_exit() -> ! {
-    eprintln!("usage: trace-report <trace.jsonl> [--explain] [--json <path>] [--strict]");
+    eprintln!(
+        "usage: trace-report <trace.jsonl> [--explain] [--json <path>] [--strict] \
+         [--follow] [--events <path>]"
+    );
     std::process::exit(2);
+}
+
+/// Tail a live trace file: poll + seek from the last offset, parse only
+/// complete lines (a partially written last line stays buffered until its
+/// newline arrives), print progress events as they land, and return the
+/// accumulated `(lines, skipped)` once the run's final `PhaseProfile`
+/// (emitted by `Telemetry::flush`) marks the trace complete.
+fn follow_trace(path: &std::path::Path) -> (Vec<TraceLine>, usize) {
+    let mut offset = 0u64;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut lines: Vec<TraceLine> = Vec::new();
+    let mut skipped = 0usize;
+    let mut announced = false;
+    loop {
+        if let Ok(mut f) = std::fs::File::open(path) {
+            if !announced {
+                println!("following {} (waiting for PhaseProfile)…", path.display());
+                announced = true;
+            }
+            let mut chunk = Vec::new();
+            if f.seek(SeekFrom::Start(offset)).is_ok() {
+                use std::io::Read as _;
+                if f.read_to_end(&mut chunk).is_ok() {
+                    offset += chunk.len() as u64;
+                    pending.extend_from_slice(&chunk);
+                }
+            }
+            while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = pending.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&raw);
+                let text = text.trim();
+                if text.is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<TraceLine>(text) {
+                    Ok(line) => {
+                        let done = matches!(line.event, telemetry::TraceEvent::PhaseProfile { .. });
+                        print_live(&line);
+                        lines.push(line);
+                        if done {
+                            return (lines, skipped);
+                        }
+                    }
+                    Err(_) => skipped += 1,
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+/// One-line live view of the events worth narrating while following.
+fn print_live(line: &TraceLine) {
+    use telemetry::TraceEvent::*;
+    match &line.event {
+        RoundStart {
+            task,
+            round,
+            trials_so_far,
+        } => println!("[{task}] round {round} ({trials_so_far} trials so far)"),
+        ImprovementAttributed {
+            task, seconds, op, ..
+        } => println!("[{task}] new best {} via {op}", fmt_seconds(*seconds)),
+        TuningFinished {
+            task,
+            trials,
+            best_seconds,
+        } => {
+            let best = best_seconds.map(fmt_seconds).unwrap_or_else(|| "-".into());
+            println!("[{task}] finished: {trials} trials, best {best}");
+        }
+        PhaseProfile { .. } => println!("— run complete —"),
+        _ => {}
+    }
 }
 
 fn main() {
     let opts = parse_args();
-    let (lines, skipped) = match telemetry::read_trace_file(std::path::Path::new(&opts.path)) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("trace-report: cannot read {}: {e}", opts.path);
-            std::process::exit(1);
+    let (lines, skipped) = if opts.follow {
+        follow_trace(std::path::Path::new(&opts.path))
+    } else {
+        match telemetry::read_trace_file(std::path::Path::new(&opts.path)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("trace-report: cannot read {}: {e}", opts.path);
+                std::process::exit(1);
+            }
         }
     };
     println!(
@@ -146,6 +241,25 @@ fn main() {
         });
         f.write_all(json.as_bytes()).expect("write json report");
         println!("(wrote {json_path})");
+    }
+    if let Some(events_path) = &opts.events {
+        // The canonical, determinism-comparable event stream: event JSON
+        // per line, wall-clock envelope (`seq`/`t_ms`) and `PhaseProfile`
+        // dropped. Two same-seed runs must produce byte-identical files
+        // here (the CI live-smoke job diffs exporter-on vs exporter-off).
+        let mut out = String::new();
+        for line in &lines {
+            if matches!(line.event, telemetry::TraceEvent::PhaseProfile { .. }) {
+                continue;
+            }
+            out.push_str(&serde_json::to_string(&line.event).expect("event serializes"));
+            out.push('\n');
+        }
+        std::fs::write(events_path, out).unwrap_or_else(|e| {
+            eprintln!("trace-report: cannot write {events_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("(wrote canonical events to {events_path})");
     }
     if opts.strict && skipped > 0 {
         eprintln!(

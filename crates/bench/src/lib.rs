@@ -13,7 +13,10 @@
 //! - `--threads <n>` — worker threads for the parallel runtime (see
 //!   docs/PARALLELISM.md; results are bit-identical at every `n`);
 //! - `--faults <spec>` — deterministic measurement-fault injection
-//!   (`none`, `default`, or `key=value,…`; see docs/ROBUSTNESS.md).
+//!   (`none`, `default`, or `key=value,…`; see docs/ROBUSTNESS.md);
+//! - `--metrics-addr <addr>` — serve live `/metrics`, `/status`, and
+//!   `/healthz` endpoints on `addr` for the duration of the run (see
+//!   docs/OPERATIONS.md; watch with `ansor-top <addr>`).
 //!
 //! Default budgets are scaled down from the paper's (documented per
 //! binary and in EXPERIMENTS.md); the *comparative shapes* are stable
@@ -24,6 +27,13 @@
 use std::io::Write as _;
 
 use serde::Serialize;
+
+/// Count allocations in every bench binary so the live exporter (and
+/// `docs/OPERATIONS.md` walkthroughs) can report `alloc/*` gauges. The
+/// bookkeeping is three relaxed atomics per alloc/free — noise next to
+/// the system allocator itself (the `model-bench` CI gate pins this).
+#[global_allocator]
+static ALLOC: telemetry::CountingAlloc = telemetry::CountingAlloc;
 
 /// Budget scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +61,9 @@ pub struct Args {
     pub threads: Option<usize>,
     /// Fault-injection spec (`--faults <spec>`; `None` = fault-free).
     pub faults: Option<hwsim::FaultPlan>,
+    /// Live metrics endpoint address (`--metrics-addr <addr>`; `None` =
+    /// no exporter, zero extra threads).
+    pub metrics_addr: Option<String>,
     /// Extra free-form flags.
     pub flags: Vec<String>,
 }
@@ -80,6 +93,7 @@ impl Args {
         let mut quiet = false;
         let mut threads = None;
         let mut faults = None;
+        let mut metrics_addr = None;
         let mut flags = Vec::new();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -102,6 +116,7 @@ impl Args {
                         }
                     }
                 }
+                "--metrics-addr" => metrics_addr = it.next(),
                 other => flags.push(other.to_string()),
             }
         }
@@ -112,6 +127,7 @@ impl Args {
             quiet,
             threads,
             faults,
+            metrics_addr,
             flags,
         }
     }
@@ -131,13 +147,37 @@ impl Args {
     }
 
     /// Builds the telemetry handle for this run: a JSONL trace sink when
-    /// `--trace <path>` was given, else a disabled handle (zero overhead).
+    /// `--trace <path>` was given; metrics-only when just `--metrics-addr`
+    /// asks for a live endpoint; else a disabled handle (zero overhead).
+    /// When `--metrics-addr` is set this also starts the background
+    /// exporter, detached so it serves until the process exits.
     pub fn telemetry(&self) -> telemetry::Telemetry {
-        match &self.trace {
+        let tel = match &self.trace {
             Some(path) => telemetry::Telemetry::to_file(std::path::Path::new(path))
                 .expect("create trace output"),
+            None if self.metrics_addr.is_some() => telemetry::Telemetry::with_metrics(),
             None => telemetry::Telemetry::disabled(),
+        };
+        if let Some(addr) = &self.metrics_addr {
+            let mut opts = telemetry::export::ExportOptions::from_env();
+            opts.samplers.push(runtime_gauges);
+            match telemetry::export::serve(&tel, addr, opts) {
+                Ok(exporter) => {
+                    eprintln!(
+                        "(live metrics on http://{}/ — /metrics /status /healthz; \
+                         watch with `ansor-top {}`)",
+                        exporter.local_addr(),
+                        exporter.local_addr()
+                    );
+                    exporter.detach();
+                }
+                Err(e) => {
+                    eprintln!("--metrics-addr {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
         }
+        tel
     }
 
     /// Flushes the trace sink (emits the final `PhaseProfile` snapshot) and
@@ -154,6 +194,14 @@ impl Args {
     pub fn tables_enabled(&self) -> bool {
         !(self.quiet && (self.json.is_some() || self.trace.is_some()))
     }
+}
+
+/// Scrape-time sampler wiring the parallel runtime's pool utilization
+/// into the live exporter (`runtime/busy_workers`, `runtime/items_queued`).
+pub fn runtime_gauges(out: &mut std::collections::BTreeMap<String, f64>) {
+    let (busy, queued) = ansor_runtime::pool_stats();
+    out.insert("runtime/busy_workers".into(), busy as f64);
+    out.insert("runtime/items_queued".into(), queued as f64);
 }
 
 /// Geometric mean.
@@ -295,5 +343,23 @@ mod tests {
         let tel = args(&[]).telemetry();
         assert!(!tel.is_enabled());
         assert!(!tel.is_tracing());
+    }
+
+    #[test]
+    fn metrics_addr_flag_parses_and_enables_metrics() {
+        let a = args(&["--metrics-addr", "127.0.0.1:0"]);
+        assert_eq!(a.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        // Port 0 binds an ephemeral port, so telemetry() is safe to call.
+        let tel = a.telemetry();
+        assert!(tel.is_enabled(), "metrics-only handle");
+        assert!(!tel.is_tracing(), "no trace sink without --trace");
+    }
+
+    #[test]
+    fn runtime_gauges_sampler_reports_idle_pool() {
+        let mut out = std::collections::BTreeMap::new();
+        runtime_gauges(&mut out);
+        assert_eq!(out["runtime/busy_workers"], 0.0);
+        assert_eq!(out["runtime/items_queued"], 0.0);
     }
 }

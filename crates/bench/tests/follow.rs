@@ -1,0 +1,158 @@
+//! Integration test for `trace-report --follow`: tail a trace file that is
+//! still being written, tolerate a partially flushed last line, narrate
+//! progress, and finish (with the normal report) once the run's final
+//! `PhaseProfile` lands.
+
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use telemetry::{MetricsSnapshot, TraceEvent, TraceLine};
+
+fn line(seq: u64, event: TraceEvent) -> String {
+    serde_json::to_string(&TraceLine {
+        seq,
+        t_ms: seq as f64,
+        event,
+    })
+    .expect("trace line serializes")
+}
+
+fn wait_with_timeout(child: &mut Child, limit: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            return status;
+        }
+        if start.elapsed() > limit {
+            let _ = child.kill();
+            panic!("trace-report --follow did not finish within {limit:?}");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn collect_output(child: Child) -> (std::process::ExitStatus, String) {
+    let out = child.wait_with_output().expect("collect output");
+    (
+        out.status,
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn follow_tails_partial_writes_until_phase_profile() {
+    let dir = std::env::temp_dir().join(format!("ansor-follow-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("live_trace.jsonl");
+    let events = dir.join("events.jsonl");
+
+    let l0 = line(
+        0,
+        TraceEvent::RoundStart {
+            task: "demo:mm".into(),
+            round: 0,
+            trials_so_far: 0,
+        },
+    );
+    let l1 = line(
+        1,
+        TraceEvent::TuningFinished {
+            task: "demo:mm".into(),
+            trials: 64,
+            best_seconds: Some(1.25e-3),
+        },
+    );
+    let l2 = line(
+        2,
+        TraceEvent::PhaseProfile {
+            snapshot: MetricsSnapshot::default(),
+        },
+    );
+
+    // Start with line 0 complete and line 1 half-flushed, the way a live
+    // writer's buffered output looks mid-run.
+    let split = l1.len() / 2;
+    std::fs::write(&trace, format!("{l0}\n{}", &l1[..split])).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_trace-report"))
+        .arg(&trace)
+        .arg("--follow")
+        .arg("--events")
+        .arg(&events)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn trace-report");
+
+    // Let the follower ingest the partial state, then finish the write.
+    std::thread::sleep(Duration::from_millis(600));
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&trace)
+        .unwrap();
+    write!(f, "{}\n{l2}\n", &l1[split..]).unwrap();
+    drop(f);
+
+    let status = wait_with_timeout(&mut child, Duration::from_secs(20));
+    assert!(status.success(), "follower exits cleanly: {status:?}");
+    let (_, stdout) = collect_output(child);
+
+    // Live narration: the round, the finish line, and the completion mark.
+    assert!(stdout.contains("[demo:mm] round 0"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("[demo:mm] finished: 64 trials"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("run complete"), "stdout: {stdout}");
+    // The split line was reassembled, not skipped: 3 events, 0 corrupt.
+    assert!(
+        stdout.contains("(3 events, 0 corrupt lines skipped)"),
+        "stdout: {stdout}"
+    );
+
+    // The canonical event stream strips the envelope and the PhaseProfile.
+    let canonical = std::fs::read_to_string(&events).unwrap();
+    let got: Vec<&str> = canonical.lines().collect();
+    assert_eq!(got.len(), 2, "events file: {canonical}");
+    assert!(got[0].starts_with("{\"RoundStart\""));
+    assert!(got[1].starts_with("{\"TuningFinished\""));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn follow_with_strict_flags_corrupt_lines() {
+    let dir = std::env::temp_dir().join(format!("ansor-follow-strict-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("corrupt_trace.jsonl");
+
+    let l0 = line(
+        0,
+        TraceEvent::RoundStart {
+            task: "demo:mm".into(),
+            round: 0,
+            trials_so_far: 0,
+        },
+    );
+    let l1 = line(
+        1,
+        TraceEvent::PhaseProfile {
+            snapshot: MetricsSnapshot::default(),
+        },
+    );
+    std::fs::write(&trace, format!("{l0}\n{{not json}}\n{l1}\n")).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_trace-report"))
+        .arg(&trace)
+        .arg("--follow")
+        .arg("--strict")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn trace-report");
+    let status = wait_with_timeout(&mut child, Duration::from_secs(20));
+    assert_eq!(status.code(), Some(1), "--strict exits 1 on corrupt lines");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use hwsim::Measurer;
 
-use telemetry::{EfficacyRow, TraceEvent};
+use telemetry::{EfficacyRow, Telemetry, TraceEvent};
 
 use crate::annotate::{sample_program, AnnotationConfig};
 use crate::checkpoint::{rng_state_from, BestEntry, PolicyCheckpoint};
@@ -605,7 +605,47 @@ impl SketchPolicy {
         if self.options.variant != PolicyVariant::NoFineTuning {
             model.update(&self.task, &measured_states, &measured_secs);
         }
+        if observe {
+            self.publish_progress(&tel);
+        }
         measured_states.len()
+    }
+
+    /// Publish the live `progress/task/<task>/…` gauges: round, trials
+    /// used/budgeted, best latency and throughput, and a wall-clock ETA
+    /// extrapolated from the overall trial rate. Gauges live only in the
+    /// metrics registry (and the final `PhaseProfile` snapshot, which
+    /// every determinism comparison strips), so the wall-clock-derived
+    /// values here cannot perturb the golden trace.
+    fn publish_progress(&self, tel: &Telemetry) {
+        let prefix = format!("progress/task/{}", self.task.name);
+        tel.gauge_set(&format!("{prefix}/round"), self.rounds as f64);
+        tel.gauge_set(&format!("{prefix}/trials_used"), self.trials as f64);
+        let best = self.best_seconds();
+        if best.is_finite() {
+            tel.gauge_set(&format!("{prefix}/best_seconds"), best);
+            tel.gauge_set(
+                &format!("{prefix}/best_gflops"),
+                self.task.dag.flop_count() / best / 1e9,
+            );
+        }
+        // Budget and ETA are published only for a real budget; under the
+        // task scheduler the per-policy budget is an effectively-unbounded
+        // sentinel and the scheduler publishes its own progress instead.
+        let budget = self.options.num_measure_trials;
+        if budget < usize::MAX / 4 {
+            tel.gauge_set(&format!("{prefix}/trials_budget"), budget as f64);
+            let elapsed = tel.uptime_seconds();
+            if self.trials > 0 && elapsed > 0.0 {
+                let rate = self.trials as f64 / elapsed;
+                let remaining = budget.saturating_sub(self.trials as usize);
+                tel.gauge_set(&format!("{prefix}/eta_seconds"), remaining as f64 / rate);
+            }
+        }
+        // Monotone liveness tick: one beat per completed round, so
+        // `/healthz` sees movement even in rounds where every counter
+        // stands still.
+        tel.gauge_add("progress/heartbeat", 1.0);
     }
 
     /// Tuning rounds run so far.

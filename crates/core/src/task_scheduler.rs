@@ -200,6 +200,9 @@ pub struct TaskScheduler {
     rng: StdRng,
     n_dnns: usize,
     telemetry: telemetry::Telemetry,
+    /// Total units this run plans to allocate (set by [`Self::tune`] or
+    /// [`Self::set_planned_units`]); powers the live ETA gauge only.
+    planned_units: Option<usize>,
 }
 
 impl TaskScheduler {
@@ -238,7 +241,16 @@ impl TaskScheduler {
             history: Vec::new(),
             n_dnns,
             telemetry: options.telemetry.clone(),
+            planned_units: None,
         }
+    }
+
+    /// Declares how many units the whole run intends to allocate, so the
+    /// live `progress/scheduler/eta_seconds` gauge can extrapolate. Called
+    /// automatically by [`Self::tune`]; drivers that loop over
+    /// [`Self::step`] themselves can set it explicitly.
+    pub fn set_planned_units(&mut self, total_units: usize) {
+        self.planned_units = Some(total_units);
     }
 
     /// Per-task best latencies `gᵢ` — the recorded history when available
@@ -429,12 +441,48 @@ impl TaskScheduler {
                         objective: obj.is_finite().then_some(obj),
                     });
             }
+            if self.telemetry.is_enabled() {
+                self.publish_progress();
+            }
             return Some(i);
+        }
+    }
+
+    /// Publish the live `progress/scheduler/…` gauges: units allocated,
+    /// total trials, current objective, and (when the planned unit count
+    /// is known) a wall-clock ETA from the unit rate. Gauges never enter
+    /// the trace event stream, so they cannot perturb determinism.
+    fn publish_progress(&self) {
+        let tel = &self.telemetry;
+        let done = self.history.len();
+        tel.gauge_set("progress/scheduler/units_done", done as f64);
+        tel.gauge_set(
+            "progress/scheduler/total_trials",
+            self.total_trials() as f64,
+        );
+        if let Some(r) = self.history.last() {
+            if r.objective.is_finite() {
+                tel.gauge_set("progress/scheduler/objective", r.objective);
+            }
+        }
+        if let Some(budget) = self.planned_units {
+            tel.gauge_set("progress/scheduler/units_budget", budget as f64);
+            let elapsed = tel.uptime_seconds();
+            if done > 0 && elapsed > 0.0 {
+                let rate = done as f64 / elapsed;
+                tel.gauge_set(
+                    "progress/scheduler/eta_seconds",
+                    budget.saturating_sub(done) as f64 / rate,
+                );
+            }
         }
     }
 
     /// Runs until `total_units` units have been allocated.
     pub fn tune(&mut self, total_units: usize, measurer: &mut Measurer) {
+        // Budget for the ETA gauge: what's already done plus this call's
+        // allotment (resumed runs pass the remaining units).
+        self.planned_units = Some(self.history.len() + total_units);
         for _ in 0..total_units {
             if self.step(measurer).is_none() {
                 break;

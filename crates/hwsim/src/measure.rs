@@ -294,6 +294,11 @@ impl Measurer {
     fn measure_with_faults(&self, plan: &FaultPlan, signature: u64, base: f64) -> MeasureResult {
         let mut last_kind = "transient";
         for attempt in 0..=plan.max_retries {
+            // Liveness tick for /healthz: a measurer stuck in retry/backoff
+            // moves no result counters, but this gauge keeps beating, so the
+            // exporter can tell "slow" from "wedged". Deterministic — fault
+            // draws are pure in (plan, signature, attempt).
+            self.telemetry.gauge_add("measure/heartbeat", 1.0);
             if attempt > 0 {
                 self.telemetry.incr("measure/retries", 1);
                 self.add_sim_seconds(plan.backoff_seconds(attempt));

@@ -84,6 +84,51 @@ pub fn derive_seed(seed: u64, index: u64) -> u64 {
 /// to keep cursor contention negligible.
 const CHUNK: usize = 8;
 
+/// Workers currently inside a [`parallel_map`] batch, across all
+/// concurrent batches.
+static BUSY_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Items submitted to in-flight batches and not yet claimed by a worker.
+static QUEUED_ITEMS: AtomicUsize = AtomicUsize::new(0);
+
+/// Instantaneous pool utilization `(busy_workers, items_queued)` — busy
+/// worker threads and yet-unclaimed items across every in-flight
+/// [`parallel_map`] batch. Read by the live metrics exporter; both values
+/// are 0 whenever nothing is running (the serial fast path is never
+/// "busy").
+pub fn pool_stats() -> (usize, usize) {
+    (
+        BUSY_WORKERS.load(Ordering::Relaxed),
+        QUEUED_ITEMS.load(Ordering::Relaxed),
+    )
+}
+
+/// RAII add/sub on a utilization counter, so early returns and panics in
+/// worker closures cannot leak a stuck gauge.
+struct CounterGuard {
+    counter: &'static AtomicUsize,
+    amount: usize,
+}
+
+impl CounterGuard {
+    fn add(counter: &'static AtomicUsize, amount: usize) -> Self {
+        counter.fetch_add(amount, Ordering::Relaxed);
+        CounterGuard { counter, amount }
+    }
+
+    fn sub(&mut self, by: usize) {
+        let by = by.min(self.amount);
+        self.counter.fetch_sub(by, Ordering::Relaxed);
+        self.amount -= by;
+    }
+}
+
+impl Drop for CounterGuard {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(self.amount, Ordering::Relaxed);
+    }
+}
+
 /// Maps `f` over `items` on the runtime's worker threads and returns the
 /// results **in input order**. Falls back to a plain serial map when one
 /// worker suffices or the batch is tiny.
@@ -125,24 +170,31 @@ where
         .chunks_mut(CHUNK)
         .map(|c| std::sync::Mutex::new(Some(c)))
         .collect();
+    let queued = std::sync::Mutex::new(CounterGuard::add(&QUEUED_ITEMS, n));
     std::thread::scope(|scope| {
         let slots = &slots;
         let cursor = &cursor;
+        let queued = &queued;
         for _ in 0..workers {
-            scope.spawn(move || loop {
-                let c = cursor.fetch_add(1, Ordering::SeqCst);
-                if c >= n_chunks {
-                    break;
-                }
-                let mut slot = slots[c].lock().expect("chunk slot poisoned");
-                let out = slot.take().expect("each chunk is claimed once");
-                for (j, r) in out.iter_mut().enumerate() {
-                    let idx = c * CHUNK + j;
-                    *r = Some(f(idx, &items[idx]));
+            scope.spawn(move || {
+                let _busy = CounterGuard::add(&BUSY_WORKERS, 1);
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::SeqCst);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let mut slot = slots[c].lock().expect("chunk slot poisoned");
+                    let out = slot.take().expect("each chunk is claimed once");
+                    queued.lock().expect("queue gauge poisoned").sub(out.len());
+                    for (j, r) in out.iter_mut().enumerate() {
+                        let idx = c * CHUNK + j;
+                        *r = Some(f(idx, &items[idx]));
+                    }
                 }
             });
         }
     });
+    drop(queued);
     drop(slots);
     results
         .into_iter()
@@ -229,6 +281,26 @@ mod tests {
         assert_eq!(threads(), 3);
         set_threads(0);
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn pool_stats_report_busy_then_settle_to_zero() {
+        let items: Vec<u64> = (0..64).collect();
+        set_threads(4);
+        let seen_busy = std::sync::atomic::AtomicUsize::new(0);
+        parallel_map(&items, |&x| {
+            let (busy, _) = pool_stats();
+            seen_busy.fetch_max(busy, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        });
+        set_threads(0);
+        assert!(
+            seen_busy.load(Ordering::Relaxed) >= 1,
+            "workers must be visible mid-batch"
+        );
+        let (busy, queued) = pool_stats();
+        assert_eq!((busy, queued), (0, 0), "counters must settle after batch");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Opt-in process resource tracking: a counting global allocator and an
+//! RSS probe.
+//!
+//! [`CountingAlloc`] wraps the system allocator with three relaxed atomics
+//! (live bytes, peak live bytes, total allocation count). It is *opt-in*:
+//! a binary that wants `alloc/*` gauges declares
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: telemetry::CountingAlloc = telemetry::CountingAlloc;
+//! ```
+//!
+//! and every other binary pays nothing. [`stats`] returns `None` until the
+//! first allocation is counted, which is how the exporter detects whether
+//! the allocator is installed. [`rss_bytes`] reads resident-set size from
+//! `/proc/self/statm` (Linux only; `None` elsewhere).
+//!
+//! None of these values ever enter the run's metrics registry — the live
+//! exporter samples them at scrape time and merges them into its HTTP
+//! responses only, so resource tracking cannot perturb trace determinism.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed global allocator that keeps live/peak/total
+/// counters. All bookkeeping is `Relaxed` — counters may lag a few
+/// allocations behind under contention, which is fine for gauges.
+pub struct CountingAlloc;
+
+fn on_alloc(size: usize) {
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    LIVE_BYTES.fetch_sub(size as u64, Ordering::Relaxed);
+}
+
+// SAFETY: delegates all allocation to `System`; the atomic bookkeeping
+// neither allocates nor panics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Point-in-time allocator counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently allocated and not yet freed.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`.
+    pub peak_bytes: u64,
+    /// Allocations performed since process start.
+    pub total_allocs: u64,
+}
+
+/// Current allocator counters, or `None` if [`CountingAlloc`] is not the
+/// process's global allocator (nothing was ever counted).
+pub fn stats() -> Option<AllocStats> {
+    let total = TOTAL_ALLOCS.load(Ordering::Relaxed);
+    if total == 0 {
+        return None;
+    }
+    Some(AllocStats {
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+        total_allocs: total,
+    })
+}
+
+/// Resident-set size in bytes from `/proc/self/statm`, or `None` when the
+/// proc filesystem is unavailable (non-Linux).
+pub fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    // Second field is resident pages. Page size on every Linux target we
+    // build for is 4 KiB; an exact sysconf call would need libc.
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096)
+}

@@ -88,6 +88,22 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Fold another histogram into this one (bucket-wise add). The merged
+    /// quantiles are exactly what a single histogram fed both observation
+    /// streams would report, since buckets are fixed.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
     pub fn summary(&self) -> Option<HistogramSummary> {
         if self.count == 0 {
             return None;
@@ -173,6 +189,40 @@ mod tests {
         h.observe(1e-15);
         assert_eq!(h.count(), 2);
         assert!(h.quantile(0.5).unwrap() <= 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for i in 1..=500 {
+            a.observe(i as f64 * 1e-3);
+            whole.observe(i as f64 * 1e-3);
+        }
+        for i in 500..=1000 {
+            b.observe(i as f64 * 1e-3);
+            whole.observe(i as f64 * 1e-3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        // Summation order differs, so sums agree only to rounding.
+        assert!((a.sum() - whole.sum()).abs() < 1e-9);
+        let (sa, sw) = (a.summary().unwrap(), whole.summary().unwrap());
+        assert_eq!((sa.min, sa.max), (sw.min, sw.max));
+        assert_eq!((sa.p50, sa.p90, sa.p99), (sw.p50, sw.p90, sw.p99));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::default();
+        a.observe(0.5);
+        let before = a.summary();
+        a.merge(&Histogram::default());
+        assert_eq!(a.summary(), before);
+        let mut empty = Histogram::default();
+        empty.merge(&a);
+        assert_eq!(empty.summary(), before);
     }
 
     #[test]

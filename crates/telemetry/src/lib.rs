@@ -16,13 +16,18 @@
 //!
 //! See `docs/TELEMETRY.md` for the event schema and the `trace-report` tool.
 
+pub mod alloc;
+pub mod export;
 mod histogram;
 pub mod metrics;
 pub mod report;
+mod snapshot;
 mod trace;
 
+pub use alloc::CountingAlloc;
 pub use histogram::{Histogram, HistogramSummary};
 pub use metrics::MetricsSnapshot;
+pub use snapshot::{HistogramDelta, Snapshot, SnapshotDelta};
 pub use trace::{read_trace, read_trace_file, EfficacyRow, GradientTerms, TraceEvent, TraceLine};
 
 use metrics::Registry;
@@ -123,6 +128,21 @@ impl Telemetry {
         }
     }
 
+    /// Add `by` to the gauge `name` (starting from 0 if unset). Used for
+    /// monotone tick gauges like `measure/heartbeat`.
+    pub fn gauge_add(&self, name: &str, by: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge_add(name, by);
+        }
+    }
+
+    /// Current value of gauge `name` (`None` when disabled or never set).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.registry.gauge_value(name))
+    }
+
     /// Record `value` into the histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
@@ -174,6 +194,24 @@ impl Telemetry {
     /// Snapshot the metrics registry. `None` when disabled.
     pub fn snapshot(&self) -> Option<MetricsSnapshot> {
         self.inner.as_ref().map(|i| i.registry.snapshot())
+    }
+
+    /// Seconds since this handle (or the clone family's root) was created.
+    /// Zero when disabled.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.start.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Snapshot the registry together with the capture-time uptime, for
+    /// [`Snapshot::delta`]-based rate computation. `None` when disabled.
+    pub fn live_snapshot(&self) -> Option<Snapshot> {
+        self.inner.as_ref().map(|i| Snapshot {
+            uptime_seconds: i.start.elapsed().as_secs_f64(),
+            metrics: i.registry.snapshot(),
+        })
     }
 
     /// Emit a final `PhaseProfile` event carrying the metrics snapshot and

@@ -35,6 +35,24 @@ impl Registry {
         }
     }
 
+    pub(crate) fn gauge_add(&self, name: &str, by: f64) {
+        let mut gauges = self.gauges.lock().expect("gauge registry poisoned");
+        match gauges.get_mut(name) {
+            Some(v) => *v += by,
+            None => {
+                gauges.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    pub(crate) fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .get(name)
+            .copied()
+    }
+
     pub(crate) fn observe(&self, name: &str, value: f64) {
         let mut histograms = self.histograms.lock().expect("histogram registry poisoned");
         match histograms.get_mut(name) {
@@ -104,6 +122,18 @@ mod tests {
         r.gauge_set("model/loss", 0.4);
         let snap = r.snapshot();
         assert_eq!(snap.gauges["model/loss"], 0.4);
+    }
+
+    #[test]
+    fn gauge_add_accumulates_from_zero() {
+        let r = Registry::default();
+        r.gauge_add("measure/heartbeat", 1.0);
+        r.gauge_add("measure/heartbeat", 1.0);
+        r.gauge_set("base", 10.0);
+        r.gauge_add("base", 2.5);
+        assert_eq!(r.gauge_value("measure/heartbeat"), Some(2.0));
+        assert_eq!(r.gauge_value("base"), Some(12.5));
+        assert_eq!(r.gauge_value("missing"), None);
     }
 
     #[test]

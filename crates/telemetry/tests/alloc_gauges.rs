@@ -1,0 +1,69 @@
+//! Sanity checks for the opt-in counting allocator. This integration test
+//! binary installs [`telemetry::CountingAlloc`] as its global allocator —
+//! exactly how `ansor-tune` and the bench binaries opt in — and checks the
+//! gauge arithmetic that `/metrics` exposes as `alloc/*`.
+
+use std::sync::Mutex;
+
+use telemetry::alloc::{rss_bytes, stats};
+use telemetry::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The counters are process-global, so tests that assert on deltas must
+/// not allocate concurrently with each other.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn counting_allocator_tracks_live_peak_and_total() {
+    let _guard = SERIAL.lock().unwrap();
+    // The test harness itself allocates, so counters are live already.
+    let before = stats().expect("allocator installed → stats available");
+    assert!(before.total_allocs > 0);
+    assert!(before.peak_bytes >= before.live_bytes);
+
+    let block = vec![0u8; 1 << 20];
+    let during = stats().unwrap();
+    assert!(
+        during.live_bytes >= before.live_bytes + (1 << 20),
+        "live bytes must grow by at least the allocation: {} -> {}",
+        before.live_bytes,
+        during.live_bytes
+    );
+    assert!(during.peak_bytes >= during.live_bytes);
+    assert!(during.total_allocs > before.total_allocs);
+
+    drop(block);
+    let after = stats().unwrap();
+    assert!(
+        after.live_bytes < during.live_bytes,
+        "freeing must shrink live bytes: {} -> {}",
+        during.live_bytes,
+        after.live_bytes
+    );
+    // Peak is monotone: it never drops after the free.
+    assert!(after.peak_bytes >= during.peak_bytes);
+}
+
+#[test]
+fn realloc_keeps_the_books_balanced() {
+    let _guard = SERIAL.lock().unwrap();
+    let before = stats().unwrap();
+    let mut v: Vec<u8> = Vec::with_capacity(1024);
+    v.resize(512 * 1024, 7); // forces realloc growth
+    let during = stats().unwrap();
+    assert!(during.live_bytes > before.live_bytes);
+    drop(v);
+    let after = stats().unwrap();
+    assert!(after.live_bytes < during.live_bytes);
+}
+
+#[test]
+fn rss_is_reported_on_linux() {
+    if let Some(rss) = rss_bytes() {
+        // A test process is at least a page and under a terabyte.
+        assert!(rss >= 4096, "rss too small: {rss}");
+        assert!(rss < (1 << 40), "rss implausibly large: {rss}");
+    }
+}

@@ -25,6 +25,11 @@ use ansor::prelude::*;
 use ansor::workloads;
 use hwsim::FaultPlan;
 
+/// Count allocations so `--metrics-addr` runs report live `alloc/*`
+/// gauges (see docs/OPERATIONS.md).
+#[global_allocator]
+static ALLOC: telemetry::CountingAlloc = telemetry::CountingAlloc;
+
 struct Cli {
     op: Option<String>,
     shape: usize,
@@ -41,6 +46,39 @@ struct Cli {
     checkpoint_every: usize,
     resume: Option<String>,
     bless: bool,
+    metrics_addr: Option<String>,
+}
+
+impl Cli {
+    /// Builds the run's telemetry handle. With `--metrics-addr` it is
+    /// metrics-only (so the endpoints have something to scrape) and the
+    /// live exporter is started, detached for the life of the process;
+    /// without it the handle is disabled and costs nothing.
+    fn telemetry(&self) -> telemetry::Telemetry {
+        let Some(addr) = &self.metrics_addr else {
+            return telemetry::Telemetry::disabled();
+        };
+        let tel = telemetry::Telemetry::with_metrics();
+        let mut opts = telemetry::export::ExportOptions::from_env();
+        opts.samplers.push(|out| {
+            let (busy, queued) = ansor::runtime::pool_stats();
+            out.insert("runtime/busy_workers".into(), busy as f64);
+            out.insert("runtime/items_queued".into(), queued as f64);
+        });
+        match telemetry::export::serve(&tel, addr, opts) {
+            Ok(exporter) => {
+                eprintln!(
+                    "(live metrics on http://{}/ — /metrics /status /healthz; \
+                     watch with `ansor-top {}`)",
+                    exporter.local_addr(),
+                    exporter.local_addr()
+                );
+                exporter.detach();
+            }
+            Err(e) => die(&format!("--metrics-addr {addr}: {e}")),
+        }
+        tel
+    }
 }
 
 fn parse() -> Cli {
@@ -60,6 +98,7 @@ fn parse() -> Cli {
         checkpoint_every: 1,
         resume: None,
         bless: false,
+        metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -78,6 +117,7 @@ fn parse() -> Cli {
             "--checkpoint-every" => cli.checkpoint_every = val().parse().unwrap_or(1).max(1),
             "--resume" => cli.resume = Some(val()),
             "--bless" => cli.bless = true,
+            "--metrics-addr" => cli.metrics_addr = Some(val()),
             "--threads" => {
                 if let Ok(n) = val().parse() {
                     ansor::runtime::set_threads(n);
@@ -115,6 +155,8 @@ fn print_help() {
          \x20  --checkpoint PATH                      persist search state\n\
          \x20  --checkpoint-every N                   rounds between saves (default 1)\n\
          \x20  --resume PATH                          continue a killed run\n\
+         \x20  --metrics-addr ADDR                    live /metrics /status /healthz\n\
+         \x20                                         (watch with ansor-top ADDR)\n\
          \x20  --bless                                regenerate tests/golden/\n\
          \x20  --list                                 list available workloads"
     );
@@ -212,13 +254,17 @@ fn main() {
         dag.clone(),
         target.clone(),
     );
+    let tel = cli.telemetry();
     let options = TuningOptions {
         num_measure_trials: cli.trials,
+        telemetry: tel.clone(),
         ..Default::default()
     };
     let mut policy = SketchPolicy::new(task.clone(), options);
     let mut model = LearnedCostModel::new();
+    model.set_telemetry(tel.clone());
     let mut measurer = Measurer::new(target);
+    measurer.set_telemetry(tel.clone());
     // Records already appended to --log (resume skips re-writing them).
     let mut flushed = 0usize;
 
@@ -334,13 +380,19 @@ fn tune_network(cli: &Cli, net: &str, target: HardwareTarget) {
             dnn: 0,
         })
         .collect();
+    let tel = cli.telemetry();
     let mut sched = TaskScheduler::new(
         tune_tasks,
         Objective::WeightedSum,
-        TuningOptions::default(),
+        TuningOptions {
+            telemetry: tel.clone(),
+            ..Default::default()
+        },
         TaskSchedulerConfig::default(),
     );
+    sched.set_planned_units(cli.units);
     let mut measurer = Measurer::new(target);
+    measurer.set_telemetry(tel.clone());
     let mut done_units = 0usize;
     if let Some(path) = &cli.resume {
         let ck = TuneCheckpoint::load(path).unwrap_or_else(|e| die(&e));
