@@ -17,9 +17,7 @@
 //! (`results/BENCH_trajectory.json`), so the history of the gated number is
 //! visible in one place instead of only the latest baseline.
 
-use std::time::Instant;
-
-use ansor_bench::{maybe_dump_json, print_table, Args};
+use ansor_bench::{maybe_dump_json, maybe_record_trajectory, print_table, time_ms, Args};
 use ansor_core::{generate_sketches, sample_program, AnnotationConfig, SearchTask};
 use ansor_features::{extract_state_matrix, FeatureMatrix, FEATURE_DIM};
 use ansor_runtime::SigCache;
@@ -46,71 +44,6 @@ struct BenchReport {
     predict_hist_ms: f64,
     /// (train+predict) exact / (train+predict) histogram — the gated ratio.
     train_predict_speedup: f64,
-}
-
-/// One point in the cross-PR benchmark trajectory: the gated ratio as it
-/// stood when `key` (a PR tag such as `pr6`) was committed.
-#[derive(Serialize, Deserialize, Clone)]
-struct TrajectoryEntry {
-    key: String,
-    bench: String,
-    metric: String,
-    value: f64,
-}
-
-#[derive(Serialize, Deserialize)]
-struct Trajectory {
-    schema: String,
-    entries: Vec<TrajectoryEntry>,
-}
-
-/// Insert-or-replace this run's ratio in the trajectory file. Entries are
-/// keyed by `(key, bench, metric)`; re-running under the same key refreshes
-/// the value in place so CI stays idempotent.
-fn upsert_trajectory(path: &str, key: &str, value: f64) {
-    let mut traj = match std::fs::read_to_string(path) {
-        Ok(text) => serde_json::from_str::<Trajectory>(&text).unwrap_or_else(|e| {
-            eprintln!("--trajectory: cannot parse {path}: {e}");
-            std::process::exit(2);
-        }),
-        Err(_) => Trajectory {
-            schema: "ansor-bench-trajectory/v1".to_string(),
-            entries: Vec::new(),
-        },
-    };
-    let entry = TrajectoryEntry {
-        key: key.to_string(),
-        bench: "model-bench".to_string(),
-        metric: "train_predict_speedup".to_string(),
-        value,
-    };
-    match traj
-        .entries
-        .iter_mut()
-        .find(|e| e.key == entry.key && e.bench == entry.bench && e.metric == entry.metric)
-    {
-        Some(existing) => *existing = entry,
-        None => traj.entries.push(entry),
-    }
-    let text = serde_json::to_string_pretty(&traj).expect("trajectory serializes");
-    if let Err(e) = std::fs::write(path, text + "\n") {
-        eprintln!("--trajectory: cannot write {path}: {e}");
-        std::process::exit(2);
-    }
-    println!("trajectory: recorded {key} train_predict_speedup={value:.3} in {path}");
-}
-
-/// Median wall-clock milliseconds of `reps` runs of `f`.
-fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            t0.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
 }
 
 /// Synthetic feature matrix in the cost model's training regime: many
@@ -270,19 +203,12 @@ fn main() {
     maybe_dump_json(&args, &report);
 
     // Cross-PR trajectory: append/refresh this run's gated ratio.
-    if let Some(i) = args.flags.iter().position(|f| f == "--trajectory") {
-        let path = args.flags.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--trajectory requires a path");
-            std::process::exit(2);
-        });
-        let key = args
-            .flags
-            .iter()
-            .position(|f| f == "--trajectory-key")
-            .and_then(|j| args.flags.get(j + 1).cloned())
-            .unwrap_or_else(|| "dev".to_string());
-        upsert_trajectory(&path, &key, report.train_predict_speedup);
-    }
+    maybe_record_trajectory(
+        &args,
+        "model-bench",
+        "train_predict_speedup",
+        report.train_predict_speedup,
+    );
 
     // Regression gate: the speedup *ratio* is machine-independent, so CI
     // compares against the committed baseline with a 25% allowance.

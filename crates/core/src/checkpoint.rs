@@ -51,7 +51,12 @@ pub struct BestEntry {
 pub struct PolicyCheckpoint {
     /// Task name (validated against the policy on restore).
     pub task: String,
-    /// Raw xoshiro256++ state words of the policy RNG.
+    /// Raw xoshiro256++ state words of the policy RNG. This single stream
+    /// also roots each round's evolution: the policy draws one
+    /// `evolution_seed` word per round, from which every generation's
+    /// per-lane offspring streams are re-derived (`derive_seed`), so
+    /// restoring these words makes kill+resume bit-identical through the
+    /// parallel evolution path without persisting any per-lane state.
     pub rng: Vec<u64>,
     /// Measurement trials consumed.
     pub trials: u64,

@@ -14,7 +14,6 @@ use std::sync::Arc;
 use ansor_features::{extract_program_features, extract_state_matrix, FeatureMatrix, FEATURE_DIM};
 use ansor_runtime::SigCache;
 use gbdt::{Gbdt, GbdtParams, Matrix, SplitStrategy, TreeParams};
-use rand::prelude::*;
 use tensor_ir::{lower, State};
 
 use crate::search_task::SearchTask;
@@ -25,10 +24,25 @@ use crate::search_task::SearchTask;
 type FeatureBlock = Arc<Result<FeatureMatrix, String>>;
 
 /// Scores used to rank candidate programs; higher is better.
-pub trait CostModel {
+///
+/// `Sync` is a supertrait: the evolution loop shares one `&dyn CostModel`
+/// across its parallel offspring lanes, so every model must be safe to
+/// query concurrently — and, for bit-identical results at any thread
+/// count, scoring must be a pure function of `(model, state)` with no
+/// order-dependent hidden state.
+pub trait CostModel: Sync {
     /// Predicts a throughput score for each state (−∞ for unlowerable
     /// states).
     fn predict(&self, task: &SearchTask, states: &[State]) -> Vec<f64>;
+
+    /// [`predict`](CostModel::predict) over borrowed states. The default
+    /// clones; implementations that can score without owning the states
+    /// (everything in this crate) override it so ranking a retained
+    /// population never copies transform histories.
+    fn predict_refs(&self, task: &SearchTask, states: &[&State]) -> Vec<f64> {
+        let owned: Vec<State> = states.iter().map(|s| (*s).clone()).collect();
+        self.predict(task, &owned)
+    }
 
     /// Predicts a per-node score breakdown for one state (used by
     /// node-based crossover to pick the better parent per node). The
@@ -339,6 +353,16 @@ impl LearnedCostModel {
             .get_or_insert_with(state.signature(), || Arc::new(extract_state_matrix(state)))
     }
 
+    /// Scores one state through the signature-keyed score cache (the
+    /// shared body of `predict` and `predict_refs`).
+    fn score_one(&self, s: &State) -> f64 {
+        self.score_cache
+            .get_or_insert_with(s.signature(), || match self.features_for(s).as_ref() {
+                Ok(block) => self.score_rows(block.data()),
+                Err(_) => f64::NEG_INFINITY,
+            })
+    }
+
     /// Forwards featurization-cache deltas to telemetry counters.
     fn emit_feature_cache_deltas(&self, before: (u64, u64)) {
         let (h1, m1) = self.feature_cache_stats();
@@ -461,14 +485,24 @@ impl CostModel for LearnedCostModel {
             .incr("model/predictions", states.len() as u64);
         let (h0, m0) = self.cache_stats();
         let f0 = self.feature_cache_stats();
-        let scores = ansor_runtime::parallel_map(states, |s| {
-            self.score_cache.get_or_insert_with(s.signature(), || {
-                match self.features_for(s).as_ref() {
-                    Ok(block) => self.score_rows(block.data()),
-                    Err(_) => f64::NEG_INFINITY,
-                }
-            })
-        });
+        let scores = ansor_runtime::parallel_map(states, |s| self.score_one(s));
+        let (h1, m1) = self.cache_stats();
+        self.telemetry.incr("model/score_cache_hits", h1 - h0);
+        self.telemetry.incr("model/score_cache_misses", m1 - m0);
+        self.emit_feature_cache_deltas(f0);
+        scores
+    }
+
+    /// Zero-copy batch scoring over borrowed states: same caches, same
+    /// telemetry, same bit-identical results as
+    /// [`predict`](CostModel::predict), minus the `State` clones.
+    fn predict_refs(&self, _task: &SearchTask, states: &[&State]) -> Vec<f64> {
+        let _phase = self.telemetry.span("model_predict");
+        self.telemetry
+            .incr("model/predictions", states.len() as u64);
+        let (h0, m0) = self.cache_stats();
+        let f0 = self.feature_cache_stats();
+        let scores = ansor_runtime::parallel_map(states, |s| self.score_one(s));
         let (h1, m1) = self.cache_stats();
         self.telemetry.incr("model/score_cache_hits", h1 - h0);
         self.telemetry.incr("model/score_cache_misses", m1 - m0);
@@ -552,24 +586,44 @@ impl CostModel for LearnedCostModel {
 }
 
 /// A model that scores uniformly at random: the "no fine-tuning guidance"
-/// ablation baseline.
+/// ablation baseline. Stateless — each score is a pure hash of
+/// `(seed, state signature)`, so it is `Sync`, identical across repeated
+/// queries, and independent of call order (a shared RNG stream would make
+/// scores depend on which lane asked first).
 pub struct RandomModel {
-    rng: std::cell::RefCell<StdRng>,
+    seed: u64,
 }
 
 impl RandomModel {
     /// Creates a random model with a fixed seed.
     pub fn new(seed: u64) -> RandomModel {
-        RandomModel {
-            rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed)),
-        }
+        RandomModel { seed }
+    }
+
+    /// Pure splitmix64-style hash of `(seed, signature)` mapped to the
+    /// 53-bit-mantissa unit interval `[0, 1)`.
+    fn score_of(&self, sig: u64) -> f64 {
+        let mut z = self.seed ^ sig.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
 impl CostModel for RandomModel {
     fn predict(&self, _task: &SearchTask, states: &[State]) -> Vec<f64> {
-        let mut rng = self.rng.borrow_mut();
-        states.iter().map(|_| rng.gen::<f64>()).collect()
+        states
+            .iter()
+            .map(|s| self.score_of(s.signature()))
+            .collect()
+    }
+
+    fn predict_refs(&self, _task: &SearchTask, states: &[&State]) -> Vec<f64> {
+        states
+            .iter()
+            .map(|s| self.score_of(s.signature()))
+            .collect()
     }
 
     fn update(&mut self, _task: &SearchTask, _states: &[State], _seconds: &[f64]) {}
@@ -585,6 +639,7 @@ mod tests {
     use crate::annotate::{sample_program, AnnotationConfig};
     use crate::sketch::generate_sketches;
     use hwsim::{HardwareTarget, Measurer};
+    use rand::prelude::*;
     use std::sync::Arc;
     use tensor_ir::{DagBuilder, Expr, Reducer};
 

@@ -87,7 +87,7 @@ impl Default for EvolutionConfig {
 
 /// Counters describing one [`evolutionary_search`] invocation (for the
 /// tuning trace's `EvolutionStats` and `OperatorStats` events).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EvolutionStats {
     /// Generations actually run.
     pub generations: u64,
@@ -95,6 +95,9 @@ pub struct EvolutionStats {
     pub mutations_applied: u64,
     /// Offspring successfully produced by crossover.
     pub crossovers_applied: u64,
+    /// Lanes that planned a crossover, failed it, and fell back to a
+    /// mutation of parent A (whether or not that mutation succeeded).
+    pub crossover_fallbacks: u64,
     /// Best (highest) cost-model score seen across all generations.
     pub best_predicted: f64,
     /// Offspring successfully proposed, per operator name.
@@ -102,6 +105,53 @@ pub struct EvolutionStats {
     /// Offspring successfully proposed, per sketch-rule name (each
     /// offspring counts once for every rule in its derivation chain).
     pub proposed_by_rule: BTreeMap<String, u64>,
+}
+
+/// One lane's serially pre-drawn breeding decision: which parent(s) the
+/// fitness-proportional tournament selected and whether the lane attempts
+/// crossover (`partner` set) or mutation. Drawing these from the caller's
+/// RNG *before* fanning out keeps the shared fitness table out of the
+/// parallel region and pins the policy RNG stream independent of thread
+/// count (docs/PARALLELISM.md).
+#[derive(Debug, Clone, Copy)]
+struct LanePlan {
+    parent: usize,
+    partner: Option<usize>,
+}
+
+/// One lane's result: the individual landing at that population index,
+/// plus the flags the serial fold needs to tally [`EvolutionStats`].
+/// `fresh` is false when every operator failed and the lane fell back to a
+/// genetically identical parent clone (not tallied, like the old serial
+/// loop).
+#[derive(Debug, Clone)]
+pub struct Offspring {
+    /// The individual produced by this lane.
+    pub individual: Individual,
+    /// Whether an operator actually produced a new program (vs. a
+    /// fallback clone of the parent).
+    pub fresh: bool,
+    /// Whether a planned crossover failed and the lane fell back to
+    /// mutation.
+    pub crossover_fell_back: bool,
+}
+
+/// Reusable per-lane scratch buffers for one evolution invocation: each
+/// lane's mutation attempts borrow a `Vec<Step>` from the pool instead of
+/// allocating a fresh transform-history clone per attempt, so steady-state
+/// generations reuse the same buffers. One slot per lane — lanes never
+/// contend and reuse is deterministic.
+pub struct EvolutionScratch {
+    pool: ansor_runtime::ScratchPool<Vec<Step>>,
+}
+
+impl EvolutionScratch {
+    /// A pool with one scratch buffer per offspring lane.
+    pub fn new(lanes: usize) -> EvolutionScratch {
+        EvolutionScratch {
+            pool: ansor_runtime::ScratchPool::new(lanes),
+        }
+    }
 }
 
 /// Runs evolutionary search and returns the `top_k` best individuals found
@@ -116,12 +166,32 @@ pub fn evolutionary_search(
     rng: &mut impl Rng,
 ) -> Vec<Individual> {
     let banned = HashSet::new();
-    evolutionary_search_with_stats(task, sketches, init, model, cfg, top_k, &banned, rng).0
+    // Drawing the stream root from the caller's RNG keeps the historical
+    // signature while seeding the per-generation offspring streams.
+    let evolution_seed = rng.next_u64();
+    evolutionary_search_with_stats(
+        task,
+        sketches,
+        init,
+        model,
+        cfg,
+        top_k,
+        &banned,
+        evolution_seed,
+        rng,
+    )
+    .0
 }
 
 /// [`evolutionary_search`] variant that also reports operator statistics
 /// and skips `banned` signatures (quarantined terminally-failed states —
 /// they may still breed, but are never returned as candidates).
+///
+/// `evolution_seed` is the root of the per-generation offspring RNG
+/// streams: generation `g`'s lanes draw from
+/// `derive_seed(derive_seed(evolution_seed, g), lane)`, so offspring are
+/// bit-identical at every thread count. `rng` only drives the serial
+/// pre-draw of tournament picks and crossover decisions.
 #[allow(clippy::too_many_arguments)]
 pub fn evolutionary_search_with_stats(
     task: &SearchTask,
@@ -131,7 +201,39 @@ pub fn evolutionary_search_with_stats(
     cfg: &EvolutionConfig,
     top_k: usize,
     banned: &HashSet<u64>,
+    evolution_seed: u64,
     rng: &mut impl Rng,
+) -> (Vec<Individual>, EvolutionStats) {
+    evolve(
+        task,
+        sketches,
+        init,
+        model,
+        cfg,
+        top_k,
+        banned,
+        evolution_seed,
+        rng,
+        &mut |_, _, _| {},
+    )
+}
+
+/// The search loop proper, with a per-generation `observer` hook
+/// `(generation, population, stats)` invoked after each generation's
+/// offspring replace the population (used by the serial-reference
+/// differential test; a no-op closure in production).
+#[allow(clippy::too_many_arguments)]
+fn evolve(
+    task: &SearchTask,
+    sketches: &[Sketch],
+    init: Vec<Individual>,
+    model: &dyn CostModel,
+    cfg: &EvolutionConfig,
+    top_k: usize,
+    banned: &HashSet<u64>,
+    evolution_seed: u64,
+    rng: &mut impl Rng,
+    observer: &mut dyn FnMut(u64, &[Individual], &EvolutionStats),
 ) -> (Vec<Individual>, EvolutionStats) {
     assert!(!init.is_empty(), "evolution needs a non-empty population");
     let mut stats = EvolutionStats {
@@ -140,13 +242,14 @@ pub fn evolutionary_search_with_stats(
     };
     let mut population = init;
     population.truncate(cfg.population);
+    let scratch = EvolutionScratch::new(cfg.population);
     // Best-so-far set across generations.
     let mut best: Vec<(f64, Individual)> = Vec::new();
     let mut seen: HashSet<u64> = HashSet::new();
 
-    for _gen in 0..=cfg.generations {
-        let states: Vec<State> = population.iter().map(|p| p.state.clone()).collect();
-        let scores = model.predict(task, &states);
+    for gen in 0..=cfg.generations {
+        let state_refs: Vec<&State> = population.iter().map(|p| &p.state).collect();
+        let scores = model.predict_refs(task, &state_refs);
         for (ind, &score) in population.iter().zip(&scores) {
             if !score.is_finite() {
                 continue;
@@ -161,65 +264,167 @@ pub fn evolutionary_search_with_stats(
         }
         best.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         best.truncate(4 * top_k.max(8));
-        if _gen == cfg.generations {
+        if gen == cfg.generations {
             break;
         }
         stats.generations += 1;
-        // Fitness-proportional selection.
-        let min = scores
-            .iter()
-            .copied()
-            .filter(|s| s.is_finite())
-            .fold(f64::INFINITY, f64::min);
-        let weights: Vec<f64> = scores
-            .iter()
-            .map(|&s| if s.is_finite() { s - min + 1e-9 } else { 0.0 })
-            .collect();
-        let total: f64 = weights.iter().sum();
-        let pick = |rng: &mut dyn RngCore| -> usize {
-            if total <= 0.0 {
-                return (rng.next_u64() % population.len() as u64) as usize;
-            }
-            let mut t = (rng.next_u64() as f64 / u64::MAX as f64) * total;
-            for (i, w) in weights.iter().enumerate() {
-                t -= w;
-                if t <= 0.0 {
-                    return i;
+        let generation_seed = ansor_runtime::derive_seed(evolution_seed, gen as u64);
+        let offspring = produce_generation(
+            task,
+            sketches,
+            &population,
+            &scores,
+            model,
+            cfg,
+            generation_seed,
+            &scratch,
+            rng,
+        );
+        // Fold lane results back serially, in lane order, so the stats
+        // tallies and the next population are independent of scheduling.
+        let mut next = Vec::with_capacity(offspring.len());
+        for off in offspring {
+            stats.crossover_fallbacks += off.crossover_fell_back as u64;
+            let mut ind = off.individual;
+            if off.fresh {
+                ind.lineage.generation = stats.generations;
+                match ind.lineage.op {
+                    Operator::Crossover => stats.crossovers_applied += 1,
+                    _ => stats.mutations_applied += 1,
                 }
-            }
-            population.len() - 1
-        };
-        let mut next = Vec::with_capacity(cfg.population);
-        while next.len() < cfg.population {
-            let a = pick(rng);
-            let mut child = if rng.gen_bool(cfg.crossover_prob) {
-                let b = pick(rng);
-                let child = crossover(task, &population[a], &population[b], model);
-                stats.crossovers_applied += child.is_some() as u64;
-                child
-            } else {
-                let child = mutate(task, sketches, &population[a], &cfg.annotation, rng);
-                stats.mutations_applied += child.is_some() as u64;
-                child
-            };
-            if let Some(c) = &mut child {
-                c.lineage.generation = stats.generations;
-                *stats.proposed_by_op.entry(c.lineage.op.name()).or_insert(0) += 1;
-                for rule in &c.lineage.rules {
+                *stats
+                    .proposed_by_op
+                    .entry(ind.lineage.op.name())
+                    .or_insert(0) += 1;
+                for rule in &ind.lineage.rules {
                     *stats.proposed_by_rule.entry(rule.clone()).or_insert(0) += 1;
                 }
             }
-            // A failed operator falls back to cloning the parent, keeping
-            // the parent's lineage (the clone is genetically identical).
-            next.push(child.unwrap_or_else(|| population[a].clone()));
+            next.push(ind);
         }
         population = next;
+        observer(stats.generations, &population, &stats);
     }
     if let Some((score, _)) = best.first() {
         stats.best_predicted = *score;
     }
     best.truncate(top_k);
     (best.into_iter().map(|(_, ind)| ind).collect(), stats)
+}
+
+/// Produces one generation of offspring (one per population slot) on the
+/// parallel runtime.
+///
+/// The cheap, fitness-table-coupled decisions — tournament picks and the
+/// crossover-vs-mutation coin — are pre-drawn serially from `rng` into
+/// per-lane plans. The expensive part (operator application, state
+/// replay/legality checks, lineage stamping) then fans out over
+/// `parallel_map_indexed`, each lane reseeded from
+/// `derive_seed(generation_seed, lane)`, results landing by lane index.
+/// Output is bit-identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn produce_generation(
+    task: &SearchTask,
+    sketches: &[Sketch],
+    population: &[Individual],
+    scores: &[f64],
+    model: &dyn CostModel,
+    cfg: &EvolutionConfig,
+    generation_seed: u64,
+    scratch: &EvolutionScratch,
+    rng: &mut impl Rng,
+) -> Vec<Offspring> {
+    // Fitness-proportional selection weights.
+    let min = scores
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let weights: Vec<f64> = scores
+        .iter()
+        .map(|&s| if s.is_finite() { s - min + 1e-9 } else { 0.0 })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let pick = |rng: &mut dyn RngCore| -> usize {
+        if total <= 0.0 {
+            // Unbiased uniform fallback (rejection sampling via
+            // `gen_range`, not `next_u64() % len` which skews low
+            // indices for non-power-of-two populations).
+            return rng.gen_range(0..population.len());
+        }
+        let mut t = (rng.next_u64() as f64 / u64::MAX as f64) * total;
+        for (i, w) in weights.iter().enumerate() {
+            t -= w;
+            if t <= 0.0 {
+                return i;
+            }
+        }
+        population.len() - 1
+    };
+    let plans: Vec<LanePlan> = (0..cfg.population)
+        .map(|_| {
+            let parent = pick(rng);
+            let partner = rng.gen_bool(cfg.crossover_prob).then(|| pick(rng));
+            LanePlan { parent, partner }
+        })
+        .collect();
+    ansor_runtime::parallel_map_indexed(&plans, |lane, plan| {
+        let mut lane_rng =
+            StdRng::seed_from_u64(ansor_runtime::derive_seed(generation_seed, lane as u64));
+        scratch.pool.with(lane, |buf| {
+            produce_lane(
+                task,
+                sketches,
+                population,
+                plan,
+                model,
+                cfg,
+                buf,
+                &mut lane_rng,
+            )
+        })
+    })
+}
+
+/// One offspring lane: crossover if planned (falling back to mutation on
+/// failure), else mutation; a parent clone if every operator fails.
+#[allow(clippy::too_many_arguments)]
+fn produce_lane(
+    task: &SearchTask,
+    sketches: &[Sketch],
+    population: &[Individual],
+    plan: &LanePlan,
+    model: &dyn CostModel,
+    cfg: &EvolutionConfig,
+    buf: &mut Vec<Step>,
+    rng: &mut impl Rng,
+) -> Offspring {
+    let parent = &population[plan.parent];
+    let mut crossover_fell_back = false;
+    if let Some(partner) = plan.partner {
+        if let Some(child) = crossover(task, parent, &population[partner], model) {
+            return Offspring {
+                individual: child,
+                fresh: true,
+                crossover_fell_back: false,
+            };
+        }
+        crossover_fell_back = true;
+    }
+    match mutate_with_scratch(task, sketches, parent, &cfg.annotation, buf, rng) {
+        Some(child) => Offspring {
+            individual: child,
+            fresh: true,
+            crossover_fell_back,
+        },
+        // Every operator failed: fall back to cloning the parent, keeping
+        // the parent's lineage (the clone is genetically identical).
+        None => Offspring {
+            individual: parent.clone(),
+            fresh: false,
+            crossover_fell_back,
+        },
+    }
 }
 
 /// Applies one random mutation operator; `None` when the mutation failed to
@@ -231,12 +436,29 @@ pub fn mutate(
     ann_cfg: &AnnotationConfig,
     rng: &mut impl Rng,
 ) -> Option<Individual> {
+    let mut buf = Vec::new();
+    mutate_with_scratch(task, sketches, parent, ann_cfg, &mut buf, rng)
+}
+
+/// [`mutate`] with a caller-provided step buffer: structural operators
+/// build the candidate step list in `buf` instead of allocating a fresh
+/// clone of the parent's transform history per attempt. RNG draws and
+/// results are identical to [`mutate`] — only the buffer's provenance
+/// differs.
+fn mutate_with_scratch(
+    task: &SearchTask,
+    sketches: &[Sketch],
+    parent: &Individual,
+    ann_cfg: &AnnotationConfig,
+    buf: &mut Vec<Step>,
+    rng: &mut impl Rng,
+) -> Option<Individual> {
     let sketch = sketches.get(parent.sketch)?;
     match rng.gen_range(0..4) {
-        0 => mutate_tile_size(task, sketch, parent, rng),
+        0 => mutate_tile_size(task, sketch, parent, buf, rng),
         1 => reannotate(task, sketch, parent, ann_cfg, rng),
-        2 => mutate_location(task, sketch, parent, ann_cfg, rng),
-        _ => mutate_rfactor_or_tile(task, sketch, parent, ann_cfg, rng),
+        2 => mutate_location(task, sketch, parent, ann_cfg, buf, rng),
+        _ => mutate_rfactor_or_tile(task, sketch, parent, ann_cfg, buf, rng),
     }
 }
 
@@ -290,6 +512,7 @@ fn mutate_tile_size(
     task: &SearchTask,
     sketch: &Sketch,
     parent: &Individual,
+    buf: &mut Vec<Step>,
     rng: &mut impl Rng,
 ) -> Option<Individual> {
     let leaders: Vec<usize> = (0..sketch.splits.len())
@@ -298,8 +521,10 @@ fn mutate_tile_size(
     if leaders.is_empty() {
         return None;
     }
-    let mut steps = parent.state.steps.clone();
-    let mut lengths = split_lengths(sketch, &steps)?;
+    buf.clear();
+    buf.extend_from_slice(&parent.state.steps);
+    let steps = buf;
+    let mut lengths = split_lengths(sketch, steps)?;
     let &li = leaders.choose(rng)?;
     let sv = &sketch.splits[li];
     let l = &mut lengths[li];
@@ -332,8 +557,8 @@ fn mutate_tile_size(
     if let Step::Split { lengths: sl, .. } = &mut steps[sv.step] {
         *sl = l.clone();
     }
-    refresh_followers(sketch, &mut steps, &mut lengths);
-    let state = State::replay(task.dag.clone(), &steps).ok()?;
+    refresh_followers(sketch, steps, &mut lengths);
+    let state = State::replay(task.dag.clone(), steps).ok()?;
     if !crate::annotate::gpu_limits_ok(&state, task, &AnnotationConfig::default()) {
         return None;
     }
@@ -377,6 +602,7 @@ fn mutate_location(
     sketch: &Sketch,
     parent: &Individual,
     ann_cfg: &AnnotationConfig,
+    buf: &mut Vec<Step>,
     rng: &mut impl Rng,
 ) -> Option<Individual> {
     if sketch.compute_ats.is_empty() || task.is_gpu() {
@@ -387,7 +613,9 @@ fn mutate_location(
     {
         return None;
     }
-    let mut structural: Vec<Step> = parent.state.steps[..sketch.steps.len()].to_vec();
+    buf.clear();
+    buf.extend_from_slice(&parent.state.steps[..sketch.steps.len()]);
+    let structural = buf;
     let &ca = sketch.compute_ats.choose(rng)?;
     let Step::ComputeAt { prefix_len, .. } = &mut structural[ca] else {
         return None;
@@ -398,7 +626,7 @@ fn mutate_location(
     };
     let choices: Vec<usize> = (1..=built).collect();
     *prefix_len = *choices.choose(rng)?;
-    let mut state = State::replay(task.dag.clone(), &structural).ok()?;
+    let mut state = State::replay(task.dag.clone(), structural).ok()?;
     annotate_state(&mut state, task, ann_cfg, rng).ok()?;
     if !crate::annotate::gpu_limits_ok(&state, task, ann_cfg) {
         return None;
@@ -417,10 +645,11 @@ fn mutate_rfactor_or_tile(
     sketch: &Sketch,
     parent: &Individual,
     ann_cfg: &AnnotationConfig,
+    buf: &mut Vec<Step>,
     rng: &mut impl Rng,
 ) -> Option<Individual> {
     if sketch.rfactors.is_empty() {
-        return mutate_tile_size(task, sketch, parent, rng);
+        return mutate_tile_size(task, sketch, parent, buf, rng);
     }
     if parent.state.steps.len() < sketch.steps.len()
         || split_lengths(sketch, &parent.state.steps).is_none()
@@ -429,7 +658,9 @@ fn mutate_rfactor_or_tile(
     }
     let rf_idx = rng.gen_range(0..sketch.rfactors.len());
     let rv = &sketch.rfactors[rf_idx];
-    let mut structural: Vec<Step> = parent.state.steps[..sketch.steps.len()].to_vec();
+    buf.clear();
+    buf.extend_from_slice(&parent.state.steps[..sketch.steps.len()]);
+    let structural = buf;
     let divs: Vec<i64> = crate::annotate::divisors(rv.extent)
         .into_iter()
         .filter(|&d| d > 1 && d < rv.extent)
@@ -446,7 +677,7 @@ fn mutate_rfactor_or_tile(
             }
         }
     }
-    let mut state = State::replay(task.dag.clone(), &structural).ok()?;
+    let mut state = State::replay(task.dag.clone(), structural).ok()?;
     annotate_state(&mut state, task, ann_cfg, rng).ok()?;
     Some(Individual {
         state,
@@ -640,8 +871,9 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(10);
         let banned = HashSet::new();
-        let (best, stats) =
-            evolutionary_search_with_stats(&t, &sketches, pop, &model, &cfg, 8, &banned, &mut rng);
+        let (best, stats) = evolutionary_search_with_stats(
+            &t, &sketches, pop, &model, &cfg, 8, &banned, 42, &mut rng,
+        );
         let applied = stats.mutations_applied + stats.crossovers_applied;
         let proposed: u64 = stats.proposed_by_op.values().sum();
         assert_eq!(proposed, applied, "every applied operator is tallied");
@@ -669,9 +901,12 @@ mod tests {
         let pop = init_pop(&t, &sketches, 5, 1);
         let mut rng = StdRng::seed_from_u64(2);
         let mut mutated = 0;
+        let mut buf = Vec::new();
         for p in &pop {
             for _ in 0..10 {
-                if let Some(child) = mutate_tile_size(&t, &sketches[p.sketch], p, &mut rng) {
+                if let Some(child) =
+                    mutate_tile_size(&t, &sketches[p.sketch], p, &mut buf, &mut rng)
+                {
                     child.state.validate().unwrap();
                     mutated += 1;
                 }
@@ -779,6 +1014,209 @@ mod tests {
         assert_eq!(best.len(), 5);
         for b in &best {
             b.state.validate().unwrap();
+        }
+    }
+
+    /// Straight-line serial oracle for the parallel offspring path: the
+    /// same plan pre-draw and per-lane seeding as `produce_generation`,
+    /// but executed one lane at a time with the allocating [`mutate`]
+    /// (no scratch buffers, no `parallel_map_indexed`, no
+    /// `predict_refs`). An independent re-derivation of the per-lane
+    /// stream contract — any divergence in plan order, lane seeding,
+    /// scratch-buffer mutation, result placement, or stats folding shows
+    /// up as a population or stats mismatch.
+    #[allow(clippy::too_many_arguments)]
+    fn serial_reference_search(
+        task: &SearchTask,
+        sketches: &[Sketch],
+        init: Vec<Individual>,
+        model: &dyn CostModel,
+        cfg: &EvolutionConfig,
+        top_k: usize,
+        banned: &HashSet<u64>,
+        evolution_seed: u64,
+        rng: &mut impl Rng,
+        observer: &mut dyn FnMut(u64, &[Individual], &EvolutionStats),
+    ) -> (Vec<Individual>, EvolutionStats) {
+        let mut stats = EvolutionStats {
+            best_predicted: f64::NEG_INFINITY,
+            ..Default::default()
+        };
+        let mut population = init;
+        population.truncate(cfg.population);
+        let mut best: Vec<(f64, Individual)> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for gen in 0..=cfg.generations {
+            let states: Vec<State> = population.iter().map(|p| p.state.clone()).collect();
+            let scores = model.predict(task, &states);
+            for (ind, &score) in population.iter().zip(&scores) {
+                if !score.is_finite() {
+                    continue;
+                }
+                let sig = ind.signature();
+                if banned.contains(&sig) {
+                    continue;
+                }
+                if seen.insert(sig) {
+                    best.push((score, ind.clone()));
+                }
+            }
+            best.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            best.truncate(4 * top_k.max(8));
+            if gen == cfg.generations {
+                break;
+            }
+            stats.generations += 1;
+            let generation_seed = ansor_runtime::derive_seed(evolution_seed, gen as u64);
+            // Serial plan pre-draw, mirroring produce_generation.
+            let min = scores
+                .iter()
+                .copied()
+                .filter(|s| s.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            let weights: Vec<f64> = scores
+                .iter()
+                .map(|&s| if s.is_finite() { s - min + 1e-9 } else { 0.0 })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut pick = |rng: &mut dyn RngCore| -> usize {
+                if total <= 0.0 {
+                    return rng.gen_range(0..population.len());
+                }
+                let mut t = (rng.next_u64() as f64 / u64::MAX as f64) * total;
+                for (i, w) in weights.iter().enumerate() {
+                    t -= w;
+                    if t <= 0.0 {
+                        return i;
+                    }
+                }
+                population.len() - 1
+            };
+            let plans: Vec<(usize, Option<usize>)> = (0..cfg.population)
+                .map(|_| {
+                    let parent = pick(rng);
+                    let partner = rng.gen_bool(cfg.crossover_prob).then(|| pick(rng));
+                    (parent, partner)
+                })
+                .collect();
+            let mut next = Vec::with_capacity(plans.len());
+            for (lane, &(parent_i, partner)) in plans.iter().enumerate() {
+                let mut lane_rng =
+                    StdRng::seed_from_u64(ansor_runtime::derive_seed(generation_seed, lane as u64));
+                let parent = &population[parent_i];
+                let mut fell_back = false;
+                let child = match partner {
+                    Some(b) => match crossover(task, parent, &population[b], model) {
+                        Some(c) => Some(c),
+                        None => {
+                            fell_back = true;
+                            mutate(task, sketches, parent, &cfg.annotation, &mut lane_rng)
+                        }
+                    },
+                    None => mutate(task, sketches, parent, &cfg.annotation, &mut lane_rng),
+                };
+                stats.crossover_fallbacks += fell_back as u64;
+                match child {
+                    Some(mut c) => {
+                        c.lineage.generation = stats.generations;
+                        match c.lineage.op {
+                            Operator::Crossover => stats.crossovers_applied += 1,
+                            _ => stats.mutations_applied += 1,
+                        }
+                        *stats.proposed_by_op.entry(c.lineage.op.name()).or_insert(0) += 1;
+                        for rule in &c.lineage.rules {
+                            *stats.proposed_by_rule.entry(rule.clone()).or_insert(0) += 1;
+                        }
+                        next.push(c);
+                    }
+                    None => next.push(parent.clone()),
+                }
+            }
+            population = next;
+            observer(stats.generations, &population, &stats);
+        }
+        if let Some((score, _)) = best.first() {
+            stats.best_predicted = *score;
+        }
+        best.truncate(top_k);
+        (best.into_iter().map(|(_, ind)| ind).collect(), stats)
+    }
+
+    /// Per-generation fingerprint of a population: content signature,
+    /// sketch index, and full lineage of every slot, in slot order.
+    fn fingerprint(pop: &[Individual]) -> Vec<(u64, usize, Lineage)> {
+        pop.iter()
+            .map(|p| (p.signature(), p.sketch, p.lineage.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_reference() {
+        let t = task();
+        let sketches = generate_sketches(&t);
+        for seed in [11u64, 29, 73] {
+            let pop = init_pop(&t, &sketches, 16, seed);
+            let model = RandomModel::new(seed ^ 0xC0DE);
+            // crossover_prob high enough that both the crossover and the
+            // failure/fallback-to-mutation paths fire.
+            let cfg = EvolutionConfig {
+                population: 16,
+                generations: 3,
+                crossover_prob: 0.5,
+                ..Default::default()
+            };
+            let banned: HashSet<u64> = [pop[0].signature()].into_iter().collect();
+            let evolution_seed = ansor_runtime::derive_seed(seed, 0xE0);
+
+            let mut par_gens: Vec<(u64, Vec<(u64, usize, Lineage)>, EvolutionStats)> = Vec::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (par_best, par_stats) = evolve(
+                &t,
+                &sketches,
+                pop.clone(),
+                &model,
+                &cfg,
+                8,
+                &banned,
+                evolution_seed,
+                &mut rng,
+                &mut |g, p, s| par_gens.push((g, fingerprint(p), s.clone())),
+            );
+
+            let mut ser_gens: Vec<(u64, Vec<(u64, usize, Lineage)>, EvolutionStats)> = Vec::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (ser_best, ser_stats) = serial_reference_search(
+                &t,
+                &sketches,
+                pop,
+                &model,
+                &cfg,
+                8,
+                &banned,
+                evolution_seed,
+                &mut rng,
+                &mut |g, p, s| ser_gens.push((g, fingerprint(p), s.clone())),
+            );
+
+            assert_eq!(par_gens.len(), ser_gens.len(), "seed {seed}");
+            for ((pg, pf, ps), (sg, sf, ss)) in par_gens.iter().zip(&ser_gens) {
+                assert_eq!(pg, sg, "seed {seed}");
+                assert_eq!(pf, sf, "population diverged at gen {pg}, seed {seed}");
+                assert_eq!(ps, ss, "stats diverged at gen {pg}, seed {seed}");
+            }
+            assert_eq!(par_stats, ser_stats, "seed {seed}");
+            assert_eq!(
+                fingerprint(&par_best),
+                fingerprint(&ser_best),
+                "returned candidates diverged, seed {seed}"
+            );
+            // The configs above must actually exercise the interesting
+            // paths, or the differential proves nothing.
+            assert!(
+                par_stats.crossovers_applied > 0 || par_stats.crossover_fallbacks > 0,
+                "seed {seed}: no crossover activity"
+            );
+            assert!(par_stats.mutations_applied > 0, "seed {seed}");
         }
     }
 }

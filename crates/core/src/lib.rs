@@ -22,7 +22,10 @@ pub use checkpoint::{
     SinglePolicyCheckpoint, TuneCheckpoint, CHECKPOINT_VERSION,
 };
 pub use cost_model::{CostModel, LearnedCostModel, RandomModel};
-pub use evolution::{crossover, evolutionary_search, mutate, EvolutionConfig, Individual};
+pub use evolution::{
+    crossover, evolutionary_search, evolutionary_search_with_stats, mutate, produce_generation,
+    EvolutionConfig, EvolutionScratch, EvolutionStats, Individual, Offspring,
+};
 pub use gbdt::SplitStrategy;
 pub use lineage::{Lineage, Operator};
 pub use records::{best_record, load_records, save_records, TuningRecordLog};

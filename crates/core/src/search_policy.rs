@@ -403,6 +403,12 @@ impl SketchPolicy {
             _ => {
                 let mut shuffled = population;
                 shuffled.shuffle(&mut self.rng);
+                // Root of this round's per-generation offspring RNG
+                // streams. Drawn from the policy RNG, whose raw state is
+                // checkpointed at round boundaries — so kill+resume
+                // re-derives the identical streams and evolution stays
+                // bit-identical across thread counts and resume points.
+                let evolution_seed = self.rng.next_u64();
                 let (candidates, stats) = {
                     let _phase = tel.span("evolution");
                     evolutionary_search_with_stats(
@@ -413,6 +419,7 @@ impl SketchPolicy {
                         &self.options.evolution,
                         batch * 2,
                         &self.quarantined,
+                        evolution_seed,
                         &mut self.rng,
                     )
                 };

@@ -84,6 +84,48 @@ pub fn derive_seed(seed: u64, index: u64) -> u64 {
 /// to keep cursor contention negligible.
 const CHUNK: usize = 8;
 
+/// A fixed set of reusable per-lane scratch values for
+/// [`parallel_map_indexed`] workloads that would otherwise allocate fresh
+/// working buffers on every item (evolution clones full transform-step
+/// histories per offspring — see `ansor-core`'s evolution module).
+///
+/// Lane `i` of every batch maps to slot `i % lanes`, so a pool sized to
+/// the batch length gives each lane a private slot: the mutex is
+/// uncontended (each index is processed by exactly one worker) and exists
+/// only to make cross-batch reuse sound. Values keep whatever the last
+/// use left in them — callers must overwrite before reading, which is
+/// what makes reuse invisible to the determinism contract.
+pub struct ScratchPool<T> {
+    slots: Vec<std::sync::Mutex<T>>,
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// Creates a pool with one default-initialized slot per lane (at
+    /// least one).
+    pub fn new(lanes: usize) -> ScratchPool<T> {
+        ScratchPool {
+            slots: (0..lanes.max(1))
+                .map(|_| std::sync::Mutex::new(T::default()))
+                .collect(),
+        }
+    }
+}
+
+impl<T> ScratchPool<T> {
+    /// Number of slots in the pool.
+    pub fn lanes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Runs `f` with exclusive access to lane `index`'s scratch value.
+    pub fn with<R>(&self, index: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.slots[index % self.slots.len()]
+            .lock()
+            .expect("scratch slot poisoned");
+        f(&mut guard)
+    }
+}
+
 /// Workers currently inside a [`parallel_map`] batch, across all
 /// concurrent batches.
 static BUSY_WORKERS: AtomicUsize = AtomicUsize::new(0);
@@ -301,6 +343,41 @@ mod tests {
         );
         let (busy, queued) = pool_stats();
         assert_eq!((busy, queued), (0, 0), "counters must settle after batch");
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers_per_lane() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new(4);
+        assert_eq!(pool.lanes(), 4);
+        // First pass: fill each lane's buffer.
+        for lane in 0..4 {
+            pool.with(lane, |buf| {
+                buf.clear();
+                buf.push(lane as u64);
+            });
+        }
+        // Second pass: the previous contents (and capacity) are still
+        // there; callers overwrite before reading.
+        for lane in 0..4 {
+            let (prev, cap) = pool.with(lane, |buf| (buf[0], buf.capacity()));
+            assert_eq!(prev, lane as u64);
+            assert!(cap >= 1);
+        }
+        // Out-of-range lanes wrap instead of panicking.
+        pool.with(7, |buf| buf.clear());
+        // Usable from parallel workers: one slot per lane, results by index.
+        let items: Vec<usize> = (0..32).collect();
+        let pool32: ScratchPool<Vec<usize>> = ScratchPool::new(items.len());
+        set_threads(4);
+        let out = parallel_map_indexed(&items, |i, &x| {
+            pool32.with(i, |buf| {
+                buf.clear();
+                buf.extend(0..x);
+                buf.len()
+            })
+        });
+        set_threads(0);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
     }
 
     #[test]

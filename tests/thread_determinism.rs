@@ -9,9 +9,10 @@
 
 use std::sync::Arc;
 
-use ansor::core::TuningRecordLog;
+use ansor::core::{EvolutionConfig, TuningRecordLog};
 use ansor::prelude::*;
 use ansor::runtime;
+use hwsim::FaultPlan;
 use telemetry::{read_trace, SharedBuf, Telemetry, TraceEvent};
 
 fn matmul_task() -> SearchTask {
@@ -64,6 +65,68 @@ fn tuned_run_with(threads: usize, seed: u64, split: SplitStrategy) -> Run {
     policy.emit_finished();
     tel.flush();
     runtime::set_threads(0);
+
+    let (lines, skipped) = read_trace(buf.contents().as_slice()).expect("readable trace");
+    assert_eq!(skipped, 0, "trace must be fully parseable");
+    let events = lines
+        .into_iter()
+        .map(|l| l.event)
+        .filter(|e| !matches!(e, TraceEvent::PhaseProfile { .. }))
+        .collect();
+    Run {
+        best_steps: policy
+            .best_individual()
+            .map(|i| format!("{:?}", i.state.steps)),
+        best_seconds: policy.best_seconds(),
+        log: policy.log.clone(),
+        events,
+    }
+}
+
+/// A crossover-heavy tuning run under the default fault plan: with
+/// `crossover_prob` ≈ 0.9 most offspring lanes attempt crossover (and
+/// many fail and fall back to mutation — the paths satellite to the
+/// parallel offspring refactor), while cursed-measurement faults keep the
+/// policy's quarantined (banned) signature set non-empty.
+fn crossover_heavy_run(threads: usize, seed: u64) -> Run {
+    runtime::set_threads(threads);
+    let buf = SharedBuf::new();
+    let tel = Telemetry::to_writer(Box::new(buf.clone()));
+    let task = matmul_task();
+    let options = TuningOptions {
+        num_measure_trials: 48,
+        measures_per_round: 16,
+        init_population: 32,
+        seed,
+        evolution: EvolutionConfig {
+            crossover_prob: 0.9,
+            ..Default::default()
+        },
+        telemetry: tel.clone(),
+        ..Default::default()
+    };
+    let mut policy = SketchPolicy::new(task.clone(), options);
+    // The default stress plan with cursed states boosted from 0.5% to 10%
+    // so a 48-trial run reliably quarantines several signatures.
+    let plan = FaultPlan {
+        cursed_prob: 0.10,
+        ..FaultPlan::default()
+    };
+    let mut measurer = Measurer::with_faults(task.target.clone(), plan);
+    measurer.set_telemetry(tel.clone());
+    let mut model = LearnedCostModel::new();
+    model.set_telemetry(tel.clone());
+    let mut quarantined = 0;
+    while policy.tune_round(&mut model, &mut measurer) > 0 {
+        quarantined = policy.quarantined().len();
+    }
+    policy.emit_finished();
+    tel.flush();
+    runtime::set_threads(0);
+    assert!(
+        quarantined > 0,
+        "fault plan must quarantine (ban) at least one signature"
+    );
 
     let (lines, skipped) = read_trace(buf.contents().as_slice()).expect("readable trace");
     assert_eq!(skipped, 0, "trace must be fully parseable");
@@ -176,4 +239,40 @@ fn thread_count_does_not_change_search_results() {
         hist_serial.events, hist_parallel.events,
         "trace event sequences (histogram)"
     );
+
+    // Crossover-heavy sweep at threads 1 vs 4 vs 8: with crossover_prob
+    // 0.9 the parallel offspring lanes overwhelmingly attempt crossover —
+    // exercising crossover success, crossover failure with fallback to
+    // mutation, and the banned-signature filter (the boosted fault plan
+    // quarantines several states) — and the whole search must still be
+    // bit-identical at every thread count.
+    let x_serial = crossover_heavy_run(1, 5);
+    let x_par4 = crossover_heavy_run(4, 5);
+    let x_par8 = crossover_heavy_run(8, 5);
+    assert!(
+        x_serial.events.iter().any(
+            |e| matches!(e, TraceEvent::EvolutionStats { crossovers_applied, .. }
+                if *crossovers_applied > 0)
+        ),
+        "crossover-heavy config must actually apply crossovers"
+    );
+    for (name, other) in [("4 threads", &x_par4), ("8 threads", &x_par8)] {
+        assert_eq!(
+            x_serial.best_steps, other.best_steps,
+            "best state (crossover-heavy, {name})"
+        );
+        assert_eq!(
+            x_serial.best_seconds.to_bits(),
+            other.best_seconds.to_bits(),
+            "best seconds must be bit-identical (crossover-heavy, {name})"
+        );
+        assert_eq!(
+            x_serial.log, other.log,
+            "tuning-record logs (crossover-heavy, {name})"
+        );
+        assert_eq!(
+            x_serial.events, other.events,
+            "trace event sequences (crossover-heavy, {name})"
+        );
+    }
 }
