@@ -205,6 +205,22 @@ fn render(
         out.push_str(&format!("\ncaches: {}\n", caches.join("  ")));
     }
 
+    if let Some(s) = &report.serve {
+        let draining = if s.draining { "  DRAINING" } else { "" };
+        out.push_str(&format!(
+            "serve: {} active / {} queued   jobs {} done, {} failed, {} cancelled of {}   \
+             store {} entries / {} records{draining}\n",
+            s.active_sessions,
+            s.queue_depth,
+            s.jobs_done,
+            s.jobs_failed,
+            s.jobs_cancelled,
+            s.jobs_submitted,
+            s.store_entries,
+            s.store_records,
+        ));
+    }
+
     let f = &report.faults;
     if f.retries + f.gave_up + f.quarantined + f.failed > 0 {
         out.push_str(&format!(

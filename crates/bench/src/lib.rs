@@ -62,6 +62,10 @@ pub struct Args {
     pub threads: Option<usize>,
     /// Fault-injection spec (`--faults <spec>`; `None` = fault-free).
     pub faults: Option<hwsim::FaultPlan>,
+    /// The raw `--faults` spec string (`"none"` when absent). Consumers
+    /// that fingerprint runs (`ansor-serve` checkpoints and warm-store
+    /// class keys) need the canonical string, not just the parsed plan.
+    pub faults_spec: String,
     /// Live metrics endpoint address (`--metrics-addr <addr>`; `None` =
     /// no exporter, zero extra threads).
     pub metrics_addr: Option<String>,
@@ -94,6 +98,7 @@ impl Args {
         let mut quiet = false;
         let mut threads = None;
         let mut faults = None;
+        let mut faults_spec = "none".to_string();
         let mut metrics_addr = None;
         let mut flags = Vec::new();
         let mut it = args.into_iter();
@@ -110,7 +115,10 @@ impl Args {
                 "--faults" => {
                     let spec = it.next().unwrap_or_default();
                     match hwsim::FaultPlan::parse(&spec) {
-                        Ok(plan) => faults = (!plan.is_inert()).then_some(plan),
+                        Ok(plan) => {
+                            faults = (!plan.is_inert()).then_some(plan);
+                            faults_spec = spec;
+                        }
                         Err(e) => {
                             eprintln!("--faults: {e}");
                             std::process::exit(2);
@@ -128,6 +136,7 @@ impl Args {
             quiet,
             threads,
             faults,
+            faults_spec,
             metrics_addr,
             flags,
         }
@@ -425,11 +434,14 @@ mod tests {
     #[test]
     fn faults_flag_parses() {
         assert_eq!(args(&[]).faults, None);
+        assert_eq!(args(&[]).faults_spec, "none");
         assert_eq!(args(&["--faults", "none"]).faults, None, "inert → None");
         let a = args(&["--faults", "default"]);
         assert_eq!(a.faults, Some(hwsim::FaultPlan::default()));
+        assert_eq!(a.faults_spec, "default");
         let b = args(&["--faults", "transient=0.2,seed=9"]);
         assert_eq!(b.faults.as_ref().map(|p| p.seed), Some(9));
+        assert_eq!(b.faults_spec, "transient=0.2,seed=9");
     }
 
     #[test]

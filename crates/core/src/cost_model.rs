@@ -21,7 +21,7 @@ use crate::search_task::SearchTask;
 /// Cached result of featurizing one state: the packed per-statement rows,
 /// or the lowering error. `Arc` so cache hits hand out a pointer instead of
 /// cloning a feature block.
-type FeatureBlock = Arc<Result<FeatureMatrix, String>>;
+pub type FeatureBlock = Arc<Result<FeatureMatrix, String>>;
 
 /// Scores used to rank candidate programs; higher is better.
 ///
@@ -104,8 +104,11 @@ pub struct LearnedCostModel {
     /// Signature-keyed featurization cache. Features depend only on the
     /// state (not on the model), so entries survive retrains; measured
     /// states were almost always just scored, so `update` usually reuses
-    /// the rows `predict` extracted.
-    feature_cache: SigCache<FeatureBlock>,
+    /// the rows `predict` extracted. Behind an `Arc` so several models
+    /// (e.g. concurrent tuning sessions in a serving daemon) can share one
+    /// featurization cache — unlike scores, features never depend on the
+    /// model, so sharing is always transparent.
+    feature_cache: Arc<SigCache<FeatureBlock>>,
 }
 
 impl Default for LearnedCostModel {
@@ -136,8 +139,20 @@ impl LearnedCostModel {
             max_train_records: 800,
             telemetry: telemetry::Telemetry::disabled(),
             score_cache: SigCache::new(1 << 16),
-            feature_cache: SigCache::new(1 << 14),
+            feature_cache: Arc::new(SigCache::new(1 << 14)),
         }
+    }
+
+    /// Replaces the featurization cache with a shared one (see the field
+    /// docs: features are pure in the state, so a shared cache returns
+    /// exactly what a private recompute would).
+    pub fn set_feature_cache(&mut self, cache: Arc<SigCache<FeatureBlock>>) {
+        self.feature_cache = cache;
+    }
+
+    /// Handle on the featurization cache (for sharing across models).
+    pub fn feature_cache(&self) -> Arc<SigCache<FeatureBlock>> {
+        Arc::clone(&self.feature_cache)
     }
 
     /// Lifetime (hits, misses) of the signature-keyed score cache.

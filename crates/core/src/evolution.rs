@@ -1079,7 +1079,7 @@ mod tests {
                 .map(|&s| if s.is_finite() { s - min + 1e-9 } else { 0.0 })
                 .collect();
             let total: f64 = weights.iter().sum();
-            let mut pick = |rng: &mut dyn RngCore| -> usize {
+            let pick = |rng: &mut dyn RngCore| -> usize {
                 if total <= 0.0 {
                     return rng.gen_range(0..population.len());
                 }

@@ -13,6 +13,7 @@ pub mod lineage;
 pub mod records;
 pub mod search_policy;
 pub mod search_task;
+pub mod session;
 pub mod sketch;
 pub mod task_scheduler;
 
@@ -21,19 +22,20 @@ pub use checkpoint::{
     BestEntry, ModelCheckpoint, ModelRecord, PolicyCheckpoint, SchedulerCheckpoint,
     SinglePolicyCheckpoint, TuneCheckpoint, CHECKPOINT_VERSION,
 };
-pub use cost_model::{CostModel, LearnedCostModel, RandomModel};
+pub use cost_model::{CostModel, FeatureBlock, LearnedCostModel, RandomModel};
 pub use evolution::{
     crossover, evolutionary_search, evolutionary_search_with_stats, mutate, produce_generation,
     EvolutionConfig, EvolutionScratch, EvolutionStats, Individual, Offspring,
 };
 pub use gbdt::SplitStrategy;
 pub use lineage::{Lineage, Operator};
-pub use records::{best_record, load_records, save_records, TuningRecordLog};
+pub use records::{best_record, load_records, log_fingerprint, save_records, TuningRecordLog};
 pub use search_policy::{
     auto_schedule, auto_schedule_with_model, PolicyVariant, SketchPolicy, TuningOptions,
     TuningRecord, TuningResult,
 };
 pub use search_task::SearchTask;
+pub use session::{single_fingerprint, single_task_name, SessionCacheStats, TuningSession};
 pub use sketch::{
     generate_sketches, generate_sketches_full, generate_sketches_with_rules, RuleSet, Sketch,
     SketchRule,

@@ -120,6 +120,26 @@ pub fn load_records(path: impl AsRef<Path>) -> std::io::Result<(Vec<TuningRecord
     Ok((out, skipped))
 }
 
+/// Stable 64-bit FNV-1a fingerprint of a record log's canonical JSON
+/// serialization. Two runs produced bit-identical tuning results iff their
+/// logs fingerprint equally, so serving infrastructure can assert a warm
+/// job reproduced a cold run without shipping the full log over the wire.
+pub fn log_fingerprint(records: &[TuningRecordLog]) -> u64 {
+    fn mix(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for r in records {
+        let line = serde_json::to_string(r).expect("records serialize");
+        mix(&mut h, line.as_bytes());
+        mix(&mut h, b"\n");
+    }
+    h
+}
+
 /// The best (fastest, valid) record for a task, if any.
 pub fn best_record<'a>(records: &'a [TuningRecordLog], task: &str) -> Option<&'a TuningRecordLog> {
     records

@@ -1,0 +1,445 @@
+//! A self-contained tuning session: policy + cost model + measurer +
+//! checkpoint state behind one object.
+//!
+//! `ansor-tune` historically wired these pieces together inline in its
+//! `main`, which made the tuning loop impossible to host anywhere else.
+//! [`TuningSession`] extracts that wiring so N sessions can coexist in one
+//! process (the `ansor-serve` daemon runs one per job, multiplexed onto
+//! the deterministic parallel runtime) while the CLI keeps identical
+//! behavior by driving the same object.
+//!
+//! Determinism contract: a session is a pure function of
+//! `(task, options, measurer configuration)` plus any restored checkpoint.
+//! Sharing the measurer's result cache or the model's featurization cache
+//! across sessions (see [`TuningSession::share_measure_cache`] and
+//! [`TuningSession::share_feature_cache`]) does not change any session's
+//! results — both caches hold values that are pure in the state (and the
+//! measurer's fixed configuration), so a hit returns exactly what a cold
+//! recompute would. The *score* cache is deliberately per-session: scores
+//! depend on the session's own model.
+
+use std::sync::Arc;
+
+use ansor_runtime::SigCache;
+use hwsim::{MeasureResult, Measurer};
+
+use crate::checkpoint::{SinglePolicyCheckpoint, TuneCheckpoint, CHECKPOINT_VERSION};
+use crate::cost_model::{FeatureBlock, LearnedCostModel};
+use crate::evolution::Individual;
+use crate::records::{save_records, TuningRecordLog};
+use crate::search_policy::{SketchPolicy, TuningOptions, TuningResult};
+use crate::search_task::SearchTask;
+
+/// Canonical fingerprint of a single-operator tuning invocation, shared by
+/// `ansor-tune` and `ansor-serve` so a checkpoint or warm-store entry taken
+/// under one entry point is recognized by the other. The trial budget is
+/// deliberately excluded: it only gates the stop condition, so a run may be
+/// resumed with a larger budget.
+pub fn single_fingerprint(
+    op: &str,
+    shape: usize,
+    batch: i64,
+    target: &str,
+    faults: &str,
+    seed: u64,
+) -> String {
+    format!("single:{op}:s{shape}:b{batch}:target={target}:faults={faults}:seed={seed}")
+}
+
+/// Canonical task name of a single-operator case (`"{op}:s{shape}b{batch}"`).
+pub fn single_task_name(op: &str, shape: usize, batch: i64) -> String {
+    format!("{op}:s{shape}b{batch}")
+}
+
+/// Lifetime hit/miss counters of every cache a session touches. Counters
+/// are cumulative over the underlying caches, which may be shared across
+/// sessions — take a snapshot before and after a job and subtract to
+/// approximate per-job traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionCacheStats {
+    /// Measurement result cache hits.
+    pub measure_hits: u64,
+    /// Measurement result cache misses.
+    pub measure_misses: u64,
+    /// Model score cache hits.
+    pub score_hits: u64,
+    /// Model score cache misses.
+    pub score_misses: u64,
+    /// Featurization cache hits.
+    pub feature_hits: u64,
+    /// Featurization cache misses.
+    pub feature_misses: u64,
+}
+
+impl SessionCacheStats {
+    /// Counter-wise difference `self - earlier` (saturating, so a caller
+    /// snapshotting around a job never underflows even if another thread
+    /// raced a shared counter).
+    pub fn since(&self, earlier: &SessionCacheStats) -> SessionCacheStats {
+        SessionCacheStats {
+            measure_hits: self.measure_hits.saturating_sub(earlier.measure_hits),
+            measure_misses: self.measure_misses.saturating_sub(earlier.measure_misses),
+            score_hits: self.score_hits.saturating_sub(earlier.score_hits),
+            score_misses: self.score_misses.saturating_sub(earlier.score_misses),
+            feature_hits: self.feature_hits.saturating_sub(earlier.feature_hits),
+            feature_misses: self.feature_misses.saturating_sub(earlier.feature_misses),
+        }
+    }
+
+    /// Total hits across all three caches.
+    pub fn total_hits(&self) -> u64 {
+        self.measure_hits + self.score_hits + self.feature_hits
+    }
+}
+
+/// One tuning run's complete state: search policy, learned cost model,
+/// measurer, and the bookkeeping `ansor-tune` used to keep inline
+/// (invocation fingerprint, flushed-record offset).
+pub struct TuningSession {
+    policy: SketchPolicy,
+    model: LearnedCostModel,
+    measurer: Measurer,
+    fingerprint: String,
+    records_flushed: usize,
+}
+
+impl TuningSession {
+    /// Creates a session from its three parts. The policy and model inherit
+    /// the telemetry handle carried by `options`; the measurer keeps
+    /// whatever telemetry/fault configuration the caller installed (so a
+    /// caller can wire a shared handle before handing it over, exactly as
+    /// `ansor-tune` does).
+    pub fn new(
+        task: SearchTask,
+        options: TuningOptions,
+        measurer: Measurer,
+        fingerprint: impl Into<String>,
+    ) -> TuningSession {
+        let tel = options.telemetry.clone();
+        let policy = SketchPolicy::new(task, options);
+        let mut model = LearnedCostModel::new();
+        model.set_telemetry(tel);
+        TuningSession {
+            policy,
+            model,
+            measurer,
+            fingerprint: fingerprint.into(),
+            records_flushed: 0,
+        }
+    }
+
+    /// The invocation fingerprint checkpoints are validated against.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The task under tuning.
+    pub fn task(&self) -> &SearchTask {
+        &self.policy.task
+    }
+
+    /// Shares a measurement-result cache with this session (see the module
+    /// docs for why this is determinism-transparent). Only share between
+    /// measurers with identical target/options/fault configuration.
+    pub fn share_measure_cache(&mut self, cache: Arc<SigCache<MeasureResult>>) {
+        self.measurer.set_result_cache(cache);
+    }
+
+    /// Shares a featurization cache with this session.
+    pub fn share_feature_cache(&mut self, cache: Arc<SigCache<FeatureBlock>>) {
+        self.model.set_feature_cache(cache);
+    }
+
+    /// Runs one tuning round; returns the number of new measurements (0
+    /// when the trial budget is exhausted and the session is finished).
+    pub fn step(&mut self) -> usize {
+        self.policy.tune_round(&mut self.model, &mut self.measurer)
+    }
+
+    /// Runs rounds until the budget is exhausted. `keep_going` is consulted
+    /// between rounds; returning `false` stops early (cooperative
+    /// cancellation), leaving the session in a valid, checkpointable state.
+    pub fn run(&mut self, mut keep_going: impl FnMut(&TuningSession) -> bool) {
+        loop {
+            if !keep_going(self) {
+                return;
+            }
+            if self.step() == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Best measured seconds so far (`INFINITY` before any valid result).
+    pub fn best_seconds(&self) -> f64 {
+        self.policy.best_seconds()
+    }
+
+    /// Best measured program so far.
+    pub fn best_individual(&self) -> Option<&Individual> {
+        self.policy.best_individual()
+    }
+
+    /// Measurement trials consumed by the policy.
+    pub fn trials(&self) -> u64 {
+        self.policy.trials()
+    }
+
+    /// Tuning rounds completed.
+    pub fn rounds(&self) -> u64 {
+        self.policy.rounds()
+    }
+
+    /// Replayable per-trial records accumulated so far.
+    pub fn log(&self) -> &[TuningRecordLog] {
+        &self.policy.log
+    }
+
+    /// The session's measurer (trial accounting, fault clock, cache).
+    pub fn measurer(&self) -> &Measurer {
+        &self.measurer
+    }
+
+    /// The session's cost model.
+    pub fn model(&self) -> &LearnedCostModel {
+        &self.model
+    }
+
+    /// The session's policy.
+    pub fn policy(&self) -> &SketchPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of all cache counters this session can observe.
+    pub fn cache_stats(&self) -> SessionCacheStats {
+        let (mh, mm) = self.measurer.cache_stats();
+        let (sh, sm) = self.model.cache_stats();
+        let (fh, fm) = self.model.feature_cache_stats();
+        SessionCacheStats {
+            measure_hits: mh,
+            measure_misses: mm,
+            score_hits: sh,
+            score_misses: sm,
+            feature_hits: fh,
+            feature_misses: fm,
+        }
+    }
+
+    /// Warm-starts the policy and model from prior tuning records (the
+    /// transfer path of Chen et al.; *not* on the bit-identity path — a
+    /// warm-started run legitimately differs from a cold one).
+    pub fn warm_start(&mut self, records: &[TuningRecordLog]) -> usize {
+        self.policy.warm_start(records, &mut self.model)
+    }
+
+    /// Number of log records already flushed to an external record log.
+    pub fn records_flushed(&self) -> usize {
+        self.records_flushed
+    }
+
+    /// Appends the not-yet-flushed log records to a JSONL file and advances
+    /// the flushed offset; returns how many records were written.
+    pub fn flush_records_to(&mut self, path: &str) -> std::io::Result<usize> {
+        let new = &self.policy.log[self.records_flushed..];
+        let n = new.len();
+        save_records(path, new)?;
+        self.records_flushed = self.policy.log.len();
+        Ok(n)
+    }
+
+    /// Serializes the complete session state (single-op checkpoint form).
+    pub fn checkpoint(&self) -> TuneCheckpoint {
+        TuneCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: self.fingerprint.clone(),
+            measurer_trials: self.measurer.trials(),
+            sim_fault_nanos: self.measurer.sim_fault_nanos(),
+            records_flushed: self.records_flushed,
+            single: Some(SinglePolicyCheckpoint {
+                policy: self.policy.checkpoint(),
+                model: self.model.checkpoint(),
+            }),
+            scheduler: None,
+        }
+    }
+
+    /// Restores the session from a checkpoint taken under the same
+    /// fingerprint; a resumed session continues bit-identically to the
+    /// uninterrupted run.
+    pub fn restore(&mut self, ck: &TuneCheckpoint) -> Result<(), String> {
+        if ck.fingerprint != self.fingerprint {
+            return Err(format!(
+                "checkpoint was taken under different settings\n  checkpoint: {}\n  this run:   {}",
+                ck.fingerprint, self.fingerprint
+            ));
+        }
+        let Some(single) = &ck.single else {
+            return Err("checkpoint holds a network run, not a single-op session".into());
+        };
+        self.policy.restore(&single.policy)?;
+        self.model.restore(&single.model);
+        self.measurer
+            .restore_accounting(ck.measurer_trials, ck.sim_fault_nanos);
+        self.records_flushed = ck.records_flushed;
+        Ok(())
+    }
+
+    /// Emits the final `SearchFinished` trace event (if tracing).
+    pub fn emit_finished(&self) {
+        self.policy.emit_finished();
+    }
+
+    /// Consumes the session into the policy's final result.
+    pub fn into_result(self) -> TuningResult {
+        self.policy.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::HardwareTarget;
+    use std::sync::Arc as StdArc;
+    use tensor_ir::{DagBuilder, Expr, Reducer};
+
+    fn task(name: &str) -> SearchTask {
+        let mut b = DagBuilder::new();
+        let a = b.placeholder("A", &[64, 64]);
+        let w = b.placeholder("B", &[64, 64]);
+        b.compute_reduce("C", &[64, 64], &[64], Reducer::Sum, |ax| {
+            Expr::load(a, vec![ax[0].clone(), ax[2].clone()])
+                * Expr::load(w, vec![ax[2].clone(), ax[1].clone()])
+        });
+        SearchTask::new(
+            name,
+            StdArc::new(b.build().unwrap()),
+            HardwareTarget::intel_20core(),
+        )
+    }
+
+    fn session(seed: u64, trials: usize) -> TuningSession {
+        let t = task("mm64");
+        let options = TuningOptions {
+            num_measure_trials: trials,
+            seed,
+            ..Default::default()
+        };
+        let measurer = Measurer::new(t.target.clone());
+        TuningSession::new(t, options, measurer, "test-session")
+    }
+
+    #[test]
+    fn session_matches_inline_wiring_bit_for_bit() {
+        // The refactored session must reproduce exactly what ansor-tune's
+        // historical inline loop produced.
+        let mut s = session(7, 32);
+        s.run(|_| true);
+
+        let t = task("mm64");
+        let options = TuningOptions {
+            num_measure_trials: 32,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut policy = SketchPolicy::new(t.clone(), options);
+        let mut model = LearnedCostModel::new();
+        let mut measurer = Measurer::new(t.target.clone());
+        while policy.tune_round(&mut model, &mut measurer) > 0 {}
+
+        assert_eq!(s.trials(), policy.trials());
+        assert_eq!(s.best_seconds().to_bits(), policy.best_seconds().to_bits());
+        assert_eq!(s.log(), &policy.log[..]);
+    }
+
+    #[test]
+    fn shared_caches_do_not_change_results() {
+        let mut cold = session(3, 48);
+        cold.run(|_| true);
+
+        // Pre-warm shared caches with a different-seed run of the same
+        // task, then tune with them installed: results must be unchanged.
+        let mut other = session(9, 48);
+        other.run(|_| true);
+        let measure_cache = other.measurer().result_cache();
+        let feature_cache = other.model().feature_cache();
+
+        let mut warm = session(3, 48);
+        warm.share_measure_cache(StdArc::clone(&measure_cache));
+        warm.share_feature_cache(feature_cache);
+        let before = warm.cache_stats();
+        warm.run(|_| true);
+        let delta = warm.cache_stats().since(&before);
+
+        assert_eq!(cold.trials(), warm.trials());
+        assert_eq!(cold.best_seconds().to_bits(), warm.best_seconds().to_bits());
+        assert_eq!(cold.log(), warm.log());
+        // The different-seed run explores overlapping programs, so the warm
+        // run must actually have used the shared cache.
+        assert!(
+            delta.measure_hits > 0 || delta.feature_hits > 0,
+            "warm run never hit the shared caches: {delta:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let mut full = session(11, 128);
+        full.run(|_| true);
+
+        // Run half the budget, checkpoint, restore into a fresh session,
+        // finish: identical to the uninterrupted run.
+        let mut first = session(11, 128);
+        let mut rounds = 0;
+        first.run(|_| {
+            rounds += 1;
+            rounds <= 1
+        });
+        assert!(first.trials() < 128, "stopped early");
+        let ck = first.checkpoint();
+
+        let mut resumed = session(11, 128);
+        resumed.restore(&ck).unwrap();
+        resumed.run(|_| true);
+        assert_eq!(resumed.trials(), full.trials());
+        assert_eq!(
+            resumed.best_seconds().to_bits(),
+            full.best_seconds().to_bits()
+        );
+        assert_eq!(resumed.log(), full.log());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_fingerprint() {
+        let mut s = session(0, 8);
+        s.run(|_| true);
+        let mut ck = s.checkpoint();
+        ck.fingerprint = "something-else".into();
+        let mut fresh = session(0, 8);
+        let err = fresh.restore(&ck).unwrap_err();
+        assert!(err.contains("different settings"), "{err}");
+    }
+
+    #[test]
+    fn cancellation_leaves_valid_state() {
+        let mut s = session(5, 64);
+        s.run(|_| false); // cancelled before the first round
+        assert_eq!(s.trials(), 0);
+        let mut s2 = session(5, 64);
+        let mut n = 0;
+        s2.run(|_| {
+            n += 1;
+            n <= 1
+        });
+        assert!(s2.trials() > 0);
+        assert!(s2.checkpoint().single.is_some());
+    }
+
+    #[test]
+    fn fingerprint_helpers_are_stable() {
+        assert_eq!(
+            single_fingerprint("GMM", 0, 1, "intel", "none", 42),
+            "single:GMM:s0:b1:target=intel:faults=none:seed=42"
+        );
+        assert_eq!(single_task_name("GMM", 0, 1), "GMM:s0b1");
+    }
+}

@@ -188,6 +188,21 @@ impl Measurer {
         (self.cache.hits(), self.cache.misses())
     }
 
+    /// Replaces the result cache with a shared one, so several measurers
+    /// (e.g. concurrent tuning sessions in a serving daemon) reuse each
+    /// other's measurements. Results are pure functions of
+    /// `(state, target, options, fault plan)`, so sharing is only
+    /// transparent between measurers configured identically — callers key
+    /// shared caches by that configuration.
+    pub fn set_result_cache(&mut self, cache: Arc<SigCache<MeasureResult>>) {
+        self.cache = cache;
+    }
+
+    /// Handle on the result cache (for sharing or external priming).
+    pub fn result_cache(&self) -> Arc<SigCache<MeasureResult>> {
+        Arc::clone(&self.cache)
+    }
+
     /// Installs a telemetry handle: measurement batches are timed under the
     /// `measurement` phase and per-error-category failure counters
     /// (`measure/errors/<kind>`) plus `measure/valid` accumulate.

@@ -79,6 +79,19 @@ impl HardwareTarget {
         self.line_bytes / 4
     }
 
+    /// Looks up a built-in target by its CLI name (`intel`, `intel-avx512`,
+    /// `arm`, `gpu`) — the vocabulary shared by `ansor-tune --target` and
+    /// `ansor-serve` job specs. `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<HardwareTarget> {
+        match name {
+            "intel" => Some(Self::intel_20core()),
+            "intel-avx512" => Some(Self::intel_20core_avx512()),
+            "arm" => Some(Self::arm_4core()),
+            "gpu" => Some(Self::nvidia_v100()),
+            _ => None,
+        }
+    }
+
     /// The paper's main evaluation CPU: 20-core Intel Platinum 8269CY.
     /// AVX-512 is disabled to mirror §7.1 (8 lanes = AVX2).
     pub fn intel_20core() -> HardwareTarget {

@@ -1,0 +1,122 @@
+//! A thin synchronous client for the `ansor-serve` protocol.
+//!
+//! One request in flight at a time per connection (the protocol is
+//! strictly request/response); open more clients for concurrency.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use crate::proto::{
+    decode_response, read_line, write_line, JobResult, JobSpec, JobStatus, Request, Response,
+    ServerStats,
+};
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one request and reads its response. Protocol-level failures
+    /// (`ok: false`) are returned as `Err` with the server's message.
+    pub fn call(&mut self, mut req: Request) -> Result<Response, String> {
+        self.next_id += 1;
+        req.id = self.next_id;
+        write_line(&mut self.writer, &req).map_err(|e| format!("send: {e}"))?;
+        let line = read_line(&mut self.reader)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or_else(|| "server closed the connection".to_string())?;
+        let resp = decode_response(&line)?;
+        if !resp.ok {
+            return Err(resp
+                .error
+                .unwrap_or_else(|| "unspecified server error".into()));
+        }
+        Ok(resp)
+    }
+
+    fn request(&self, method: &str) -> Request {
+        Request {
+            id: 0, // assigned by `call`
+            method: method.into(),
+            job: None,
+            spec: None,
+            drain: None,
+        }
+    }
+
+    /// Submits a job; returns its id.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<String, String> {
+        let mut req = self.request("submit");
+        req.spec = Some(spec);
+        self.call(req)?
+            .job
+            .ok_or_else(|| "submit response carried no job id".into())
+    }
+
+    /// Snapshot of a job's progress.
+    pub fn status(&mut self, job: &str) -> Result<JobStatus, String> {
+        let mut req = self.request("status");
+        req.job = Some(job.into());
+        self.call(req)?
+            .status
+            .ok_or_else(|| "status response carried no status".into())
+    }
+
+    /// A finished job's result; errors if the job is still running.
+    pub fn result(&mut self, job: &str) -> Result<JobResult, String> {
+        let mut req = self.request("result");
+        req.job = Some(job.into());
+        self.call(req)?
+            .result
+            .ok_or_else(|| "result response carried no result".into())
+    }
+
+    /// Blocks until the job finishes, then returns its result.
+    pub fn wait(&mut self, job: &str) -> Result<JobResult, String> {
+        let mut req = self.request("wait");
+        req.job = Some(job.into());
+        self.call(req)?
+            .result
+            .ok_or_else(|| "wait response carried no result".into())
+    }
+
+    /// Requests cancellation (idempotent; takes effect at the job's next
+    /// tuning round if it is already running).
+    pub fn cancel(&mut self, job: &str) -> Result<(), String> {
+        let mut req = self.request("cancel");
+        req.job = Some(job.into());
+        self.call(req).map(|_| ())
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&mut self) -> Result<ServerStats, String> {
+        let req = self.request("stats");
+        self.call(req)?
+            .stats
+            .ok_or_else(|| "stats response carried no stats".into())
+    }
+
+    /// Asks the server to shut down. With `drain`, queued jobs finish
+    /// first; without, everything is cancelled. The server closes this
+    /// connection after responding.
+    pub fn shutdown(&mut self, drain: bool) -> Result<(), String> {
+        let mut req = self.request("shutdown");
+        req.drain = Some(drain);
+        self.call(req).map(|_| ())
+    }
+}

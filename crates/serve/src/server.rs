@@ -1,0 +1,705 @@
+//! The `ansor-serve` daemon: a TCP server hosting concurrent tuning
+//! sessions over the newline-delimited JSON protocol.
+//!
+//! Architecture: an accept loop hands each connection to a detached
+//! handler thread; handlers enqueue jobs into a bounded queue; a fixed
+//! pool of session workers drains the queue, each running one
+//! [`TuningSession`] per job wired into the shared [`WarmStore`]. All
+//! coordination is one mutex around the job table plus two condvars
+//! (work available, job finished) — no async runtime, matching the
+//! repo's std-only discipline.
+//!
+//! Determinism: a job is executed exactly as `ansor-tune` would execute
+//! the same flags — same task name, same fingerprint, same cold session
+//! wiring — with the shared caches layered on top, which are
+//! determinism-transparent (see `ansor_core::session`). Warm starts are
+//! opt-in per job because they intentionally change the search
+//! trajectory.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ansor_core::{log_fingerprint, SearchTask, TuningOptions, TuningSession};
+use ansor_workloads::build_case;
+use hwsim::{HardwareTarget, Measurer};
+use serde::Deserialize as _;
+use telemetry::Telemetry;
+
+use crate::proto::{
+    decode_request, read_line, write_line, CacheDeltas, JobResult, JobSpec, JobStatus, Request,
+    Response, ServerStats, PROTOCOL_VERSION,
+};
+use crate::store::WarmStore;
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Session worker threads (concurrent jobs).
+    pub workers: usize,
+    /// Bounded queue capacity; submits beyond it are rejected.
+    pub queue_cap: usize,
+    /// Warm-store path; `None` for an in-memory store.
+    pub store_path: Option<String>,
+    /// Fault spec string jobs run under (the global `hwsim` plan must be
+    /// set to match by the caller; the string here feeds fingerprints and
+    /// class keys).
+    pub faults: String,
+    /// Telemetry handle for `serve/*` gauges and session counters.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 64,
+            store_path: None,
+            faults: "none".into(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn finished(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Progress {
+    rounds: u64,
+    trials: u64,
+    best_seconds: Option<f64>,
+}
+
+struct Job {
+    spec: JobSpec,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    progress: Arc<Mutex<Progress>>,
+    result: Option<JobResult>,
+}
+
+#[derive(Default)]
+struct JobTable {
+    next_id: u64,
+    queue: VecDeque<String>,
+    jobs: HashMap<String, Job>,
+    active: usize,
+    /// No new submits; queued jobs still run (graceful shutdown).
+    draining: bool,
+    /// Workers and the accept loop exit.
+    stop: bool,
+    submitted: u64,
+    done: u64,
+    failed: u64,
+    cancelled: u64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    store: WarmStore,
+    jobs: Mutex<JobTable>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+impl Shared {
+    /// Publishes the `serve/*` gauge family from the (locked) job table.
+    fn publish_gauges(&self, t: &JobTable) {
+        let tel = &self.cfg.telemetry;
+        tel.gauge_set("serve/queue_depth", t.queue.len() as f64);
+        tel.gauge_set("serve/active_sessions", t.active as f64);
+        tel.gauge_set("serve/jobs_submitted", t.submitted as f64);
+        tel.gauge_set("serve/jobs_done", t.done as f64);
+        tel.gauge_set("serve/jobs_failed", t.failed as f64);
+        tel.gauge_set("serve/jobs_cancelled", t.cancelled as f64);
+        tel.gauge_set("serve/draining", if t.draining { 1.0 } else { 0.0 });
+        tel.gauge_set("serve/store_entries", self.store.entry_count() as f64);
+        tel.gauge_set("serve/store_records", self.store.record_count() as f64);
+    }
+}
+
+/// A running daemon. Dropping the handle does not stop the server; call
+/// [`Server::shutdown`] (or send a `shutdown` request) then
+/// [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Opens the store, binds the listener, and spawns the worker pool and
+    /// accept loop.
+    pub fn start(cfg: ServeConfig) -> Result<Server, String> {
+        let store = match &cfg.store_path {
+            Some(p) => {
+                let (store, stats) = WarmStore::open(p)?;
+                if stats.entries > 0 {
+                    eprintln!(
+                        "warm store {}: {} classes, {} records, {} cache entries primed{}",
+                        p,
+                        stats.entries,
+                        stats.records,
+                        stats.primed,
+                        if stats.replay_failures > 0 {
+                            format!(" ({} records failed to replay)", stats.replay_failures)
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
+                store
+            }
+            None => WarmStore::in_memory(),
+        };
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let local_addr = listener.local_addr().map_err(|e| e.to_string())?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            store,
+            jobs: Mutex::new(JobTable::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut threads = Vec::new();
+        for i in 0..workers {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".into())
+                    .spawn(move || accept_loop(&sh, listener))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Initiates shutdown: with `drain`, queued and running jobs finish
+    /// first; without, queued jobs are cancelled and running jobs are
+    /// signalled to stop at their next round.
+    pub fn shutdown(&self, drain: bool) {
+        initiate_shutdown(&self.shared, drain);
+    }
+
+    /// Blocks until the server has fully stopped (all jobs settled, all
+    /// threads exited) and persists the store one final time.
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Err(e) = self.shared.store.save() {
+            eprintln!("warning: final store save failed: {e}");
+        }
+    }
+}
+
+/// Flags shutdown and wakes everyone; a monitor inside the worker/accept
+/// loops converts "draining and idle" into a full stop.
+fn initiate_shutdown(shared: &Arc<Shared>, drain: bool) {
+    let mut t = shared.jobs.lock().expect("job table lock poisoned");
+    t.draining = true;
+    if !drain {
+        while let Some(id) = t.queue.pop_front() {
+            if let Some(job) = t.jobs.get_mut(&id) {
+                job.state = JobState::Cancelled;
+                job.result = Some(cancelled_result(&id, &job.spec));
+                t.cancelled += 1;
+            }
+        }
+        for job in t.jobs.values() {
+            job.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+    maybe_stop(shared, &mut t);
+    shared.publish_gauges(&t);
+    drop(t);
+    shared.work_cv.notify_all();
+    shared.done_cv.notify_all();
+}
+
+/// If the server is draining and idle, flips to a full stop.
+fn maybe_stop(shared: &Arc<Shared>, t: &mut JobTable) {
+    if t.draining && t.queue.is_empty() && t.active == 0 {
+        t.stop = true;
+        shared.work_cv.notify_all();
+        shared.done_cv.notify_all();
+    }
+}
+
+fn cancelled_result(id: &str, spec: &JobSpec) -> JobResult {
+    JobResult {
+        job: id.to_string(),
+        task: spec.task_name(),
+        state: "cancelled".into(),
+        trials: 0,
+        best_seconds: None,
+        best_gflops: None,
+        best_signature: None,
+        log_records: 0,
+        log_fingerprint: 0,
+        warm: CacheDeltas::default(),
+        wall_ms: 0.0,
+        error: None,
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        // Claim the next queued job (or exit on stop).
+        let (id, spec, cancel, progress) = {
+            let mut t = shared.jobs.lock().expect("job table lock poisoned");
+            loop {
+                if t.stop {
+                    return;
+                }
+                if let Some(id) = t.queue.pop_front() {
+                    let claimed = {
+                        let job = t.jobs.get_mut(&id).expect("queued job exists");
+                        job.state = JobState::Running;
+                        (
+                            id.clone(),
+                            job.spec.clone(),
+                            Arc::clone(&job.cancel),
+                            Arc::clone(&job.progress),
+                        )
+                    };
+                    t.active += 1;
+                    shared.publish_gauges(&t);
+                    break claimed;
+                }
+                t = shared.work_cv.wait(t).expect("job table lock poisoned");
+            }
+        };
+
+        let (result, log) = run_job(shared, &id, &spec, &cancel, &progress);
+
+        if result.state == "done" {
+            // Persist what the job learned before reporting completion, so
+            // a client observing "done" can rely on the store being warm.
+            shared.store.absorb(&spec, &shared.cfg.faults, &log);
+            if let Err(e) = shared.store.save() {
+                eprintln!("warning: store save failed: {e}");
+            }
+        }
+
+        let mut t = shared.jobs.lock().expect("job table lock poisoned");
+        t.active -= 1;
+        match result.state.as_str() {
+            "done" => t.done += 1,
+            "failed" => t.failed += 1,
+            _ => t.cancelled += 1,
+        }
+        if let Some(job) = t.jobs.get_mut(&id) {
+            job.state = match result.state.as_str() {
+                "done" => JobState::Done,
+                "failed" => JobState::Failed,
+                _ => JobState::Cancelled,
+            };
+            job.result = Some(result);
+        }
+        maybe_stop(shared, &mut t);
+        shared.publish_gauges(&t);
+        drop(t);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Executes one job exactly as `ansor-tune` would, plus shared caches.
+/// Returns the wire-facing result and the full tuning log (for the store;
+/// the log stays off the wire — clients get its fingerprint and count).
+fn run_job(
+    shared: &Arc<Shared>,
+    id: &str,
+    spec: &JobSpec,
+    cancel: &Arc<AtomicBool>,
+    progress: &Arc<Mutex<Progress>>,
+) -> (JobResult, Vec<ansor_core::TuningRecordLog>) {
+    let started = Instant::now();
+    let fail = |error: String| {
+        (
+            JobResult {
+                job: id.to_string(),
+                task: spec.task_name(),
+                state: "failed".into(),
+                trials: 0,
+                best_seconds: None,
+                best_gflops: None,
+                best_signature: None,
+                log_records: 0,
+                log_fingerprint: 0,
+                warm: CacheDeltas::default(),
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                error: Some(error),
+            },
+            Vec::new(),
+        )
+    };
+    let Some(dag) = build_case(&spec.op, spec.shape, spec.batch) else {
+        return fail(format!("unknown case {:?} shape {}", spec.op, spec.shape));
+    };
+    let Some(target) = HardwareTarget::by_name(&spec.target) else {
+        return fail(format!("unknown target {:?}", spec.target));
+    };
+    let faults = &shared.cfg.faults;
+    let tel = shared.cfg.telemetry.clone();
+    let task = SearchTask::new(spec.task_name(), dag.clone(), target.clone());
+    let options = TuningOptions {
+        num_measure_trials: spec.trials,
+        seed: spec.seed,
+        telemetry: tel.clone(),
+        ..Default::default()
+    };
+    let mut measurer = Measurer::new(target);
+    measurer.set_telemetry(tel.clone());
+    let mut session = TuningSession::new(task, options, measurer, spec.fingerprint(faults));
+
+    let class = spec.class_key(faults);
+    session.share_measure_cache(shared.store.measure_cache(&class));
+    session.share_feature_cache(shared.store.feature_cache());
+    if spec.warm_start == Some(true) {
+        let records = shared.store.records_for(&class);
+        session.warm_start(&records);
+    }
+
+    let before = session.cache_stats();
+    let gauge = format!("serve/session/{id}/trials");
+    session.run(|s| {
+        let mut p = progress.lock().expect("progress lock poisoned");
+        p.rounds = s.rounds();
+        p.trials = s.trials();
+        p.best_seconds = s.best_seconds().is_finite().then(|| s.best_seconds());
+        tel.gauge_set(&gauge, s.trials() as f64);
+        !cancel.load(Ordering::Relaxed)
+    });
+    let delta = session.cache_stats().since(&before);
+    let warm = CacheDeltas {
+        measure_hits: delta.measure_hits,
+        measure_misses: delta.measure_misses,
+        feature_hits: delta.feature_hits,
+        feature_misses: delta.feature_misses,
+        score_hits: delta.score_hits,
+        score_misses: delta.score_misses,
+    };
+    let was_cancelled = cancel.load(Ordering::Relaxed);
+
+    {
+        let mut p = progress.lock().expect("progress lock poisoned");
+        p.rounds = session.rounds();
+        p.trials = session.trials();
+        p.best_seconds = session
+            .best_seconds()
+            .is_finite()
+            .then(|| session.best_seconds());
+        tel.gauge_set(&gauge, session.trials() as f64);
+    }
+
+    let best_seconds = session.best_seconds();
+    let finite_best = best_seconds.is_finite().then_some(best_seconds);
+    let log = session.log().to_vec();
+    let result = JobResult {
+        job: id.to_string(),
+        task: spec.task_name(),
+        state: if was_cancelled { "cancelled" } else { "done" }.into(),
+        trials: session.trials(),
+        best_seconds: finite_best,
+        best_gflops: finite_best.map(|s| dag.flop_count() / s / 1e9),
+        best_signature: session.best_individual().map(|i| i.state.signature()),
+        log_records: log.len() as u64,
+        log_fingerprint: log_fingerprint(&log),
+        warm,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        error: None,
+    };
+    (result, log)
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        {
+            let t = shared.jobs.lock().expect("job table lock poisoned");
+            if t.stop {
+                return;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let sh = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_connection(&sh, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // One request/response per round trip: latency matters, Nagle hurts.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_line(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // clean EOF or mid-write disconnect
+            Err(e) => {
+                // Oversized or non-UTF-8 line: tell the client, then hang
+                // up — the stream is no longer line-synchronized.
+                let _ = write_line(&mut writer, &Response::failure(None, e.to_string()));
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match decode_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                // Best-effort id recovery so the client can correlate.
+                let id = serde_json::from_str::<serde::Value>(&line)
+                    .ok()
+                    .and_then(|v| match v {
+                        serde::Value::Object(m) => m.get("id").cloned(),
+                        _ => None,
+                    })
+                    .and_then(|v| u64::from_value(&v).ok());
+                if write_line(&mut writer, &Response::failure(id, e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let resp = dispatch(shared, &req);
+        if write_line(&mut writer, &resp).is_err() {
+            return;
+        }
+        if req.method == "shutdown" {
+            return;
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, req: &Request) -> Response {
+    match req.method.as_str() {
+        "submit" => handle_submit(shared, req),
+        "status" => handle_status(shared, req),
+        "result" => handle_result(shared, req, false),
+        "wait" => handle_result(shared, req, true),
+        "cancel" => handle_cancel(shared, req),
+        "stats" => handle_stats(shared, req),
+        "shutdown" => {
+            initiate_shutdown(shared, req.drain.unwrap_or(true));
+            Response::success(req.id)
+        }
+        other => Response::failure(req.id, format!("unknown method {other:?}")),
+    }
+}
+
+fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Response {
+    let Some(spec) = &req.spec else {
+        return Response::failure(req.id, "submit requires a job spec");
+    };
+    // Validate eagerly so a typo fails at submit, not minutes later.
+    if build_case(&spec.op, spec.shape, spec.batch).is_none() {
+        return Response::failure(
+            req.id,
+            format!("unknown case {:?} shape {}", spec.op, spec.shape),
+        );
+    }
+    if HardwareTarget::by_name(&spec.target).is_none() {
+        return Response::failure(req.id, format!("unknown target {:?}", spec.target));
+    }
+    if spec.trials == 0 {
+        return Response::failure(req.id, "trials must be positive");
+    }
+    let mut t = shared.jobs.lock().expect("job table lock poisoned");
+    if t.draining {
+        return Response::failure(req.id, "server is draining; not accepting jobs");
+    }
+    if t.queue.len() >= shared.cfg.queue_cap {
+        return Response::failure(
+            req.id,
+            format!("queue full ({} jobs queued)", t.queue.len()),
+        );
+    }
+    t.next_id += 1;
+    let id = format!("job-{}", t.next_id);
+    t.jobs.insert(
+        id.clone(),
+        Job {
+            spec: spec.clone(),
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            progress: Arc::new(Mutex::new(Progress::default())),
+            result: None,
+        },
+    );
+    t.queue.push_back(id.clone());
+    t.submitted += 1;
+    shared.publish_gauges(&t);
+    drop(t);
+    shared.work_cv.notify_one();
+    let mut resp = Response::success(req.id);
+    resp.job = Some(id);
+    resp
+}
+
+fn job_status(id: &str, job: &Job) -> JobStatus {
+    let p = *job.progress.lock().expect("progress lock poisoned");
+    JobStatus {
+        job: id.to_string(),
+        state: job.state.as_str().into(),
+        rounds: p.rounds,
+        trials: p.trials,
+        trials_budget: job.spec.trials as u64,
+        best_seconds: p.best_seconds,
+    }
+}
+
+fn handle_status(shared: &Arc<Shared>, req: &Request) -> Response {
+    let Some(id) = &req.job else {
+        return Response::failure(req.id, "status requires a job id");
+    };
+    let t = shared.jobs.lock().expect("job table lock poisoned");
+    match t.jobs.get(id) {
+        Some(job) => {
+            let mut resp = Response::success(req.id);
+            resp.status = Some(job_status(id, job));
+            resp
+        }
+        None => Response::failure(req.id, format!("no such job {id:?}")),
+    }
+}
+
+fn handle_result(shared: &Arc<Shared>, req: &Request, block: bool) -> Response {
+    let Some(id) = &req.job else {
+        return Response::failure(req.id, "result requires a job id");
+    };
+    let mut t = shared.jobs.lock().expect("job table lock poisoned");
+    loop {
+        match t.jobs.get(id) {
+            None => return Response::failure(req.id, format!("no such job {id:?}")),
+            Some(job) if job.state.finished() => {
+                let mut resp = Response::success(req.id);
+                resp.result = job.result.clone();
+                return resp;
+            }
+            Some(job) => {
+                if !block {
+                    return Response::failure(
+                        req.id,
+                        format!("job {id} not finished (state {})", job.state.as_str()),
+                    );
+                }
+            }
+        }
+        t = shared.done_cv.wait(t).expect("job table lock poisoned");
+    }
+}
+
+fn handle_cancel(shared: &Arc<Shared>, req: &Request) -> Response {
+    let Some(id) = &req.job else {
+        return Response::failure(req.id, "cancel requires a job id");
+    };
+    let mut t = shared.jobs.lock().expect("job table lock poisoned");
+    let (was_queued, spec) = match t.jobs.get(id) {
+        Some(job) => {
+            job.cancel.store(true, Ordering::Relaxed);
+            (job.state == JobState::Queued, job.spec.clone())
+        }
+        None => return Response::failure(req.id, format!("no such job {id:?}")),
+    };
+    if was_queued {
+        t.queue.retain(|q| q != id);
+        let job = t.jobs.get_mut(id).expect("job exists");
+        job.state = JobState::Cancelled;
+        job.result = Some(cancelled_result(id, &spec));
+        t.cancelled += 1;
+        maybe_stop(shared, &mut t);
+        shared.publish_gauges(&t);
+        drop(t);
+        shared.done_cv.notify_all();
+    }
+    Response::success(req.id)
+}
+
+fn handle_stats(shared: &Arc<Shared>, req: &Request) -> Response {
+    let t = shared.jobs.lock().expect("job table lock poisoned");
+    let mut resp = Response::success(req.id);
+    resp.stats = Some(ServerStats {
+        protocol_version: PROTOCOL_VERSION,
+        jobs_submitted: t.submitted,
+        jobs_queued: t.queue.len() as u64,
+        jobs_active: t.active as u64,
+        jobs_done: t.done,
+        jobs_failed: t.failed,
+        jobs_cancelled: t.cancelled,
+        queue_cap: shared.cfg.queue_cap as u64,
+        workers: shared.cfg.workers.max(1) as u64,
+        store_entries: shared.store.entry_count() as u64,
+        store_records: shared.store.record_count() as u64,
+        draining: t.draining,
+    });
+    resp
+}

@@ -1,0 +1,220 @@
+//! End-to-end daemon behavior: job lifecycle, warm-store reuse across
+//! jobs and restarts, cancellation, queue bounds, and graceful drain.
+
+use ansor_serve::{Client, JobSpec, ServeConfig, Server};
+
+fn spec(seed: u64, trials: usize) -> JobSpec {
+    JobSpec {
+        op: "GMM".into(),
+        shape: 0,
+        batch: 1,
+        target: "intel".into(),
+        trials,
+        seed,
+        warm_start: None,
+    }
+}
+
+fn start(workers: usize, queue_cap: usize, store_path: Option<String>) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap,
+        store_path,
+        ..Default::default()
+    })
+    .expect("server starts")
+}
+
+fn client(server: &Server) -> Client {
+    Client::connect(&server.local_addr().to_string()).expect("connect")
+}
+
+#[test]
+fn resubmitted_job_hits_the_warm_store() {
+    let server = start(1, 8, None);
+    let mut c = client(&server);
+
+    let cold = c.submit(spec(42, 64)).expect("submit");
+    let cold = c.wait(&cold).expect("wait");
+    assert_eq!(cold.state, "done");
+    assert!(cold.trials > 0);
+    assert!(cold.best_seconds.is_some());
+
+    // Identical spec again: the search replays the same trajectory, so
+    // every measurement and featurization is already cached.
+    let warm = c.submit(spec(42, 64)).expect("submit");
+    let warm = c.wait(&warm).expect("wait");
+    assert_eq!(warm.state, "done");
+    assert!(
+        warm.warm.measure_hits > 0,
+        "no measure-cache hits on identical resubmit: {:?}",
+        warm.warm
+    );
+    assert!(
+        warm.warm.feature_hits > 0,
+        "no feature-cache hits on identical resubmit: {:?}",
+        warm.warm
+    );
+    // Bit-identical outcome.
+    assert_eq!(warm.log_fingerprint, cold.log_fingerprint);
+    assert_eq!(warm.best_signature, cold.best_signature);
+    assert_eq!(
+        warm.best_seconds.unwrap().to_bits(),
+        cold.best_seconds.unwrap().to_bits()
+    );
+
+    // A different seed on the same workload class shares the caches too
+    // (the class key excludes the seed) but follows its own trajectory.
+    let other = c.submit(spec(7, 64)).expect("submit");
+    let other = c.wait(&other).expect("wait");
+    assert_eq!(other.state, "done");
+    assert_ne!(other.log_fingerprint, cold.log_fingerprint);
+
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.jobs_done, 3);
+    assert_eq!(stats.store_entries, 1);
+    assert!(stats.store_records > 0);
+
+    server.shutdown(true);
+    server.wait();
+}
+
+#[test]
+fn warm_store_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("ansor-serve-restart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("store.json");
+    let _ = std::fs::remove_file(&path);
+    let path_str = path.to_string_lossy().to_string();
+
+    let first = start(1, 8, Some(path_str.clone()));
+    let mut c = client(&first);
+    let cold = c.submit(spec(3, 64)).expect("submit");
+    let cold = c.wait(&cold).expect("wait");
+    assert_eq!(cold.state, "done");
+    c.shutdown(true).expect("shutdown");
+    first.wait();
+    assert!(path.exists(), "store file not written");
+
+    // A fresh process (new server) re-primes its caches from the store, so
+    // the same job is warm from the first trial.
+    let second = start(1, 8, Some(path_str));
+    let mut c = client(&second);
+    let warm = c.submit(spec(3, 64)).expect("submit");
+    let warm = c.wait(&warm).expect("wait");
+    assert_eq!(warm.state, "done");
+    assert!(
+        warm.warm.measure_hits > 0,
+        "restart lost the warm store: {:?}",
+        warm.warm
+    );
+    assert_eq!(warm.log_fingerprint, cold.log_fingerprint);
+    second.shutdown(true);
+    second.wait();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn queued_jobs_can_be_cancelled() {
+    // One worker: the first job occupies it, the rest queue behind.
+    let server = start(1, 8, None);
+    let mut c = client(&server);
+    let running = c.submit(spec(1, 256)).expect("submit");
+    let queued = c.submit(spec(2, 256)).expect("submit");
+    c.cancel(&queued).expect("cancel");
+    let cancelled = c.wait(&queued).expect("wait");
+    assert_eq!(cancelled.state, "cancelled");
+    assert_eq!(cancelled.trials, 0);
+    // The running job is unaffected.
+    let done = c.wait(&running).expect("wait");
+    assert_eq!(done.state, "done");
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.jobs_cancelled, 1);
+    assert_eq!(stats.jobs_done, 1);
+    server.shutdown(true);
+    server.wait();
+}
+
+#[test]
+fn queue_bound_is_enforced() {
+    let server = start(1, 2, None);
+    let mut c = client(&server);
+    // Worker takes the first; capacity 2 admits two more into the queue.
+    let mut ids = vec![c.submit(spec(1, 512)).expect("submit")];
+    let mut rejected = 0;
+    for seed in 2..8 {
+        match c.submit(spec(seed, 512)) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                assert!(e.contains("queue full"), "unexpected error: {e}");
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "queue bound never triggered");
+    for id in &ids {
+        c.cancel(id).expect("cancel");
+    }
+    for id in &ids {
+        c.wait(id).expect("wait");
+    }
+    server.shutdown(true);
+    server.wait();
+}
+
+#[test]
+fn invalid_specs_are_rejected_at_submit() {
+    let server = start(1, 8, None);
+    let mut c = client(&server);
+    let mut bad = spec(0, 64);
+    bad.op = "NOPE".into();
+    assert!(c.submit(bad).unwrap_err().contains("unknown case"));
+    let mut bad = spec(0, 64);
+    bad.target = "vax".into();
+    assert!(c.submit(bad).unwrap_err().contains("unknown target"));
+    let bad = spec(0, 0);
+    assert!(c.submit(bad).unwrap_err().contains("trials"));
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.jobs_submitted, 0);
+    server.shutdown(true);
+    server.wait();
+}
+
+#[test]
+fn graceful_shutdown_drains_the_queue() {
+    let server = start(1, 8, None);
+    let mut c = client(&server);
+    let a = c.submit(spec(1, 64)).expect("submit");
+    let b = c.submit(spec(2, 64)).expect("submit");
+    // Drain: both jobs must complete even though shutdown arrives first.
+    let mut c2 = client(&server);
+    c2.shutdown(true).expect("shutdown");
+    let ra = c.wait(&a).expect("wait");
+    let rb = c.wait(&b).expect("wait");
+    assert_eq!(ra.state, "done");
+    assert_eq!(rb.state, "done");
+    // New submits are refused while draining (if the server is still up).
+    if let Err(e) = c.submit(spec(3, 64)) {
+        assert!(
+            e.contains("draining") || e.contains("connection"),
+            "unexpected error: {e}"
+        );
+    }
+    server.wait();
+}
+
+#[test]
+fn immediate_shutdown_cancels_everything() {
+    let server = start(1, 8, None);
+    let mut c = client(&server);
+    let a = c.submit(spec(1, 4096)).expect("submit");
+    let b = c.submit(spec(2, 4096)).expect("submit");
+    let mut c2 = client(&server);
+    c2.shutdown(false).expect("shutdown");
+    let ra = c.wait(&a).expect("wait");
+    let rb = c.wait(&b).expect("wait");
+    assert_eq!(rb.state, "cancelled");
+    assert!(ra.state == "cancelled" || ra.state == "done");
+    server.wait();
+}

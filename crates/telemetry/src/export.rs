@@ -527,6 +527,23 @@ pub struct Throughput {
     pub recent_trials_per_second: Option<f64>,
 }
 
+/// Daemon-side state published by `ansor-serve` through `serve/*` gauges
+/// (absent from the report when the process is not a tuning daemon).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeStatus {
+    pub queue_depth: u64,
+    pub active_sessions: u64,
+    pub jobs_submitted: u64,
+    pub jobs_done: u64,
+    pub jobs_failed: u64,
+    pub jobs_cancelled: u64,
+    pub draining: bool,
+    pub store_entries: u64,
+    pub store_records: u64,
+    /// Trials completed so far per live session, keyed by job id.
+    pub session_trials: BTreeMap<String, u64>,
+}
+
 /// Everything `/status` serves; `ansor-top` deserializes this directly.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatusReport {
@@ -541,6 +558,35 @@ pub struct StatusReport {
     pub faults: FaultStats,
     pub throughput: Throughput,
     pub resources: BTreeMap<String, f64>,
+    /// `Some` only when the process runs an `ansor-serve` daemon.
+    pub serve: Option<ServeStatus>,
+}
+
+fn serve_status(snap: &Snapshot) -> Option<ServeStatus> {
+    if !snap.metrics.gauges.keys().any(|k| k.starts_with("serve/")) {
+        return None;
+    }
+    let gauge = |name: &str| snap.metrics.gauges.get(name).copied().unwrap_or(0.0) as u64;
+    Some(ServeStatus {
+        queue_depth: gauge("serve/queue_depth"),
+        active_sessions: gauge("serve/active_sessions"),
+        jobs_submitted: gauge("serve/jobs_submitted"),
+        jobs_done: gauge("serve/jobs_done"),
+        jobs_failed: gauge("serve/jobs_failed"),
+        jobs_cancelled: gauge("serve/jobs_cancelled"),
+        draining: gauge("serve/draining") != 0,
+        store_entries: gauge("serve/store_entries"),
+        store_records: gauge("serve/store_records"),
+        session_trials: snap
+            .metrics
+            .gauges
+            .iter()
+            .filter_map(|(k, &v)| {
+                let job = k.strip_prefix("serve/session/")?.strip_suffix("/trials")?;
+                Some((job.to_string(), v as u64))
+            })
+            .collect(),
+    })
 }
 
 fn cache_stats(snap: &Snapshot, hits: &str, misses: &str) -> Option<CacheStats> {
@@ -654,6 +700,7 @@ pub fn build_status(
         faults,
         throughput,
         resources: resources.clone(),
+        serve: serve_status(snap),
     }
 }
 
@@ -743,6 +790,38 @@ mod tests {
         let back: StatusReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!(!back.healthy);
+    }
+
+    #[test]
+    fn status_picks_up_serve_gauges_when_present() {
+        let snap = sample_snapshot();
+        let report = build_status(&snap, None, &BTreeMap::new(), true, 0.1, 30.0);
+        assert!(report.serve.is_none(), "no serve gauges → no serve section");
+
+        let t = Telemetry::with_metrics();
+        t.gauge_set("serve/queue_depth", 3.0);
+        t.gauge_set("serve/active_sessions", 2.0);
+        t.gauge_set("serve/jobs_submitted", 7.0);
+        t.gauge_set("serve/jobs_done", 4.0);
+        t.gauge_set("serve/draining", 1.0);
+        t.gauge_set("serve/store_entries", 2.0);
+        t.gauge_set("serve/store_records", 96.0);
+        t.gauge_set("serve/session/job-6/trials", 32.0);
+        let snap = t.live_snapshot().unwrap();
+        let report = build_status(&snap, None, &BTreeMap::new(), true, 0.1, 30.0);
+        let serve = report.serve.as_ref().expect("serve section present");
+        assert_eq!(serve.queue_depth, 3);
+        assert_eq!(serve.active_sessions, 2);
+        assert_eq!(serve.jobs_submitted, 7);
+        assert_eq!(serve.jobs_done, 4);
+        assert_eq!(serve.jobs_failed, 0);
+        assert!(serve.draining);
+        assert_eq!(serve.store_records, 96);
+        assert_eq!(serve.session_trials["job-6"], 32);
+        // And the section survives the JSON round trip `ansor-top` relies on.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StatusReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! `ansor-client`: command-line client for the `ansor-serve` daemon.
+//!
+//! ```text
+//! ansor-client --addr 127.0.0.1:4815 submit --op GMM --shape 0 --batch 1 \
+//!              --target intel --trials 200 --seed 0 [--warm-start] [--wait]
+//! ansor-client --addr 127.0.0.1:4815 status job-1
+//! ansor-client --addr 127.0.0.1:4815 wait job-1
+//! ansor-client --addr 127.0.0.1:4815 stats
+//! ansor-client --addr 127.0.0.1:4815 shutdown [--no-drain]
+//! ```
+//!
+//! Prints one JSON object per response on stdout (scriptable; CI's
+//! serve-smoke job parses it) and exits non-zero on any server-reported
+//! error.
+
+use ansor_serve::proto::encode;
+use ansor_serve::{Client, JobSpec};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    println!(
+        "ansor-client — talk to an ansor-serve daemon (protocol: docs/SERVING.md)\n\
+         \n\
+         \x20  ansor-client [--addr ADDR] submit --op OP [--shape N] [--batch N]\n\
+         \x20               [--target T] [--trials N] [--seed N] [--warm-start] [--wait]\n\
+         \x20  ansor-client [--addr ADDR] status|result|wait|cancel JOB\n\
+         \x20  ansor-client [--addr ADDR] stats\n\
+         \x20  ansor-client [--addr ADDR] shutdown [--no-drain]\n\
+         \n\
+         default ADDR: 127.0.0.1:4815; responses print as JSON, one per line"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:4815".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().unwrap_or_else(|| die("--addr requires a value")),
+            "--help" | "-h" => usage(),
+            _ => {
+                rest.push(a);
+                rest.extend(it);
+                break;
+            }
+        }
+    }
+    let Some(cmd) = rest.first().cloned() else {
+        usage();
+    };
+    let opts = &rest[1..];
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| die(&e));
+
+    let job_arg = || -> String {
+        opts.first()
+            .cloned()
+            .unwrap_or_else(|| die(&format!("{cmd} requires a job id")))
+    };
+    match cmd.as_str() {
+        "submit" => {
+            let mut spec = JobSpec {
+                op: String::new(),
+                shape: 0,
+                batch: 1,
+                target: "intel".into(),
+                trials: 200,
+                seed: 0,
+                warm_start: None,
+            };
+            let mut wait = false;
+            let mut it = opts.iter();
+            while let Some(a) = it.next() {
+                let mut val = || {
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die(&format!("{a} requires a value")))
+                };
+                match a.as_str() {
+                    "--op" => spec.op = val(),
+                    "--shape" => spec.shape = val().parse().unwrap_or(0),
+                    "--batch" => spec.batch = val().parse().unwrap_or(1),
+                    "--target" => spec.target = val(),
+                    "--trials" => spec.trials = val().parse().unwrap_or(200),
+                    "--seed" => spec.seed = val().parse().unwrap_or(0),
+                    "--warm-start" => spec.warm_start = Some(true),
+                    "--wait" => wait = true,
+                    other => die(&format!("unknown submit flag {other:?}")),
+                }
+            }
+            if spec.op.is_empty() {
+                die("submit requires --op (see `ansor-tune --list`)");
+            }
+            let job = client.submit(spec).unwrap_or_else(|e| die(&e));
+            println!("{{\"job\": {job:?}}}");
+            if wait {
+                let result = client.wait(&job).unwrap_or_else(|e| die(&e));
+                println!("{}", encode(&result));
+            }
+        }
+        "status" => {
+            let status = client.status(&job_arg()).unwrap_or_else(|e| die(&e));
+            println!("{}", encode(&status));
+        }
+        "result" => {
+            let result = client.result(&job_arg()).unwrap_or_else(|e| die(&e));
+            println!("{}", encode(&result));
+        }
+        "wait" => {
+            let result = client.wait(&job_arg()).unwrap_or_else(|e| die(&e));
+            println!("{}", encode(&result));
+        }
+        "cancel" => {
+            client.cancel(&job_arg()).unwrap_or_else(|e| die(&e));
+            println!("{{\"cancelled\": {:?}}}", job_arg());
+        }
+        "stats" => {
+            let stats = client.stats().unwrap_or_else(|e| die(&e));
+            println!("{}", encode(&stats));
+        }
+        "shutdown" => {
+            let drain = !opts.iter().any(|f| f == "--no-drain");
+            client.shutdown(drain).unwrap_or_else(|e| die(&e));
+            println!(
+                "{{\"shutdown\": {}}}",
+                if drain { "\"drain\"" } else { "\"now\"" }
+            );
+        }
+        _ => usage(),
+    }
+}

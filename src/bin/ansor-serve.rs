@@ -1,0 +1,81 @@
+//! `ansor-serve`: the tuning-as-a-service daemon.
+//!
+//! ```text
+//! ansor-serve --addr 127.0.0.1:4815 --workers 2 --queue-cap 64 \
+//!             --store warm-store.json [--metrics-addr 127.0.0.1:9100]
+//! ```
+//!
+//! Hosts concurrent tuning sessions over the newline-delimited JSON
+//! protocol (see docs/SERVING.md) with a persistent shared warm store.
+//! Submit work with `ansor-client`; stop with
+//! `ansor-client --addr <addr> shutdown`. Shares the experiment
+//! harnesses' flags (`--threads`, `--faults`, `--metrics-addr`,
+//! `--trace`) via `ansor_bench::Args`, which also installs the allocation
+//! counter used by the live `/metrics` endpoint.
+
+use ansor_bench::Args;
+use ansor_serve::{ServeConfig, Server};
+
+fn flag_value(args: &Args, name: &str) -> Option<String> {
+    args.flags
+        .iter()
+        .position(|f| f == name)
+        .and_then(|i| args.flags.get(i + 1).cloned())
+}
+
+fn print_help() {
+    println!(
+        "ansor-serve — tuning-as-a-service daemon (protocol: docs/SERVING.md)\n\
+         \n\
+         \x20  --addr ADDR          listen address (default 127.0.0.1:4815; :0 = ephemeral)\n\
+         \x20  --workers N          concurrent tuning sessions (default 2)\n\
+         \x20  --queue-cap N        bounded job-queue capacity (default 64)\n\
+         \x20  --store PATH         persistent warm store (default: in-memory only)\n\
+         \x20  --threads N          parallel-runtime workers per session\n\
+         \x20  --faults SPEC        deterministic measurement faults (docs/ROBUSTNESS.md)\n\
+         \x20  --metrics-addr ADDR  live /metrics /status /healthz (docs/OPERATIONS.md)\n\
+         \x20  --trace PATH         structured JSONL tuning trace (docs/TELEMETRY.md)\n\
+         \n\
+         submit jobs with `ansor-client`; `ansor-client shutdown` stops the daemon"
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.has_flag("--help") || args.has_flag("-h") {
+        print_help();
+        return;
+    }
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4815".into());
+    let workers = flag_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let queue_cap = flag_value(&args, "--queue-cap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let store_path = flag_value(&args, "--store");
+
+    let telemetry = args.telemetry();
+    let server = Server::start(ServeConfig {
+        addr,
+        workers,
+        queue_cap,
+        store_path: store_path.clone(),
+        faults: args.faults_spec.clone(),
+        telemetry: telemetry.clone(),
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "ansor-serve listening on {} ({} workers, queue cap {}, store: {})",
+        server.local_addr(),
+        workers,
+        queue_cap,
+        store_path.as_deref().unwrap_or("in-memory")
+    );
+    server.wait();
+    args.finish_telemetry(&telemetry);
+    println!("ansor-serve: drained and stopped");
+}

@@ -18,8 +18,8 @@
 //! measurement faults (see docs/ROBUSTNESS.md).
 
 use ansor::core::{
-    load_records, save_records, LearnedCostModel, SinglePolicyCheckpoint, SketchPolicy,
-    TuneCheckpoint, CHECKPOINT_VERSION,
+    load_records, log_fingerprint, single_fingerprint, single_task_name, TuneCheckpoint,
+    TuningSession, CHECKPOINT_VERSION,
 };
 use ansor::prelude::*;
 use ansor::workloads;
@@ -47,6 +47,7 @@ struct Cli {
     resume: Option<String>,
     bless: bool,
     metrics_addr: Option<String>,
+    seed: u64,
 }
 
 impl Cli {
@@ -99,6 +100,7 @@ fn parse() -> Cli {
         resume: None,
         bless: false,
         metrics_addr: None,
+        seed: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -118,6 +120,7 @@ fn parse() -> Cli {
             "--resume" => cli.resume = Some(val()),
             "--bless" => cli.bless = true,
             "--metrics-addr" => cli.metrics_addr = Some(val()),
+            "--seed" => cli.seed = val().parse().unwrap_or(0),
             "--threads" => {
                 if let Ok(n) = val().parse() {
                     ansor::runtime::set_threads(n);
@@ -151,6 +154,7 @@ fn print_help() {
          common:\n\
          \x20  --target intel|intel-avx512|arm|gpu   (default intel)\n\
          \x20  --threads N                            parallel-runtime workers\n\
+         \x20  --seed N                               search RNG seed (default 0)\n\
          \x20  --faults none|default|k=v,...          inject measurement faults\n\
          \x20  --checkpoint PATH                      persist search state\n\
          \x20  --checkpoint-every N                   rounds between saves (default 1)\n\
@@ -163,16 +167,10 @@ fn print_help() {
 }
 
 fn target(name: &str) -> HardwareTarget {
-    match name {
-        "intel" => HardwareTarget::intel_20core(),
-        "intel-avx512" => HardwareTarget::intel_20core_avx512(),
-        "arm" => HardwareTarget::arm_4core(),
-        "gpu" => HardwareTarget::nvidia_v100(),
-        other => {
-            eprintln!("unknown target {other:?}; use intel|intel-avx512|arm|gpu");
-            std::process::exit(2);
-        }
-    }
+    HardwareTarget::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown target {name:?}; use intel|intel-avx512|arm|gpu");
+        std::process::exit(2);
+    })
 }
 
 fn die(msg: &str) -> ! {
@@ -245,53 +243,45 @@ fn main() {
     // The trial budget is deliberately not part of the fingerprint: it only
     // gates the stop condition, so a checkpoint may be resumed with a larger
     // `--trials` to extend a finished run.
-    let fingerprint = format!(
-        "single:{op}:s{}:b{}:target={}:faults={}",
-        cli.shape, cli.batch, cli.target, cli.faults
+    let fingerprint = single_fingerprint(
+        &op,
+        cli.shape,
+        cli.batch,
+        &cli.target,
+        &cli.faults,
+        cli.seed,
     );
     let task = SearchTask::new(
-        format!("{op}:s{}b{}", cli.shape, cli.batch),
+        single_task_name(&op, cli.shape, cli.batch),
         dag.clone(),
         target.clone(),
     );
     let tel = cli.telemetry();
     let options = TuningOptions {
         num_measure_trials: cli.trials,
+        seed: cli.seed,
         telemetry: tel.clone(),
         ..Default::default()
     };
-    let mut policy = SketchPolicy::new(task.clone(), options);
-    let mut model = LearnedCostModel::new();
-    model.set_telemetry(tel.clone());
     let mut measurer = Measurer::new(target);
     measurer.set_telemetry(tel.clone());
-    // Records already appended to --log (resume skips re-writing them).
-    let mut flushed = 0usize;
+    let mut session = TuningSession::new(task, options, measurer, fingerprint);
 
     if let Some(path) = &cli.resume {
         let ck = TuneCheckpoint::load(path).unwrap_or_else(|e| die(&e));
-        if ck.fingerprint != fingerprint {
-            die(&format!(
-                "checkpoint was taken under different settings\n  checkpoint: {}\n  this run:   {fingerprint}",
-                ck.fingerprint
-            ));
-        }
-        let Some(single) = &ck.single else {
+        if ck.single.is_none() && ck.scheduler.is_some() {
             die("checkpoint holds a network run; pass --network to resume it");
-        };
-        policy.restore(&single.policy).unwrap_or_else(|e| die(&e));
-        model.restore(&single.model);
-        measurer.restore_accounting(ck.measurer_trials, ck.sim_fault_nanos);
-        flushed = ck.records_flushed;
+        }
+        session.restore(&ck).unwrap_or_else(|e| die(&e));
         println!(
             "resumed from {path}: {} trials done, {} rounds, best {:.6} ms",
-            policy.trials(),
-            policy.rounds(),
-            policy.best_seconds() * 1e3
+            session.trials(),
+            session.rounds(),
+            session.best_seconds() * 1e3
         );
     } else if let Some(path) = &cli.log {
         let records = load_log(path);
-        let n = policy.warm_start(&records, &mut model);
+        let n = session.warm_start(&records);
         if n > 0 {
             println!("warm-started from {n} records in {path}");
         }
@@ -301,60 +291,50 @@ fn main() {
         "tuning {op} (shape {}, batch {}) with {} trials...",
         cli.shape, cli.batch, cli.trials
     );
-    let save_checkpoint =
-        |policy: &SketchPolicy, model: &LearnedCostModel, measurer: &Measurer, flushed: usize| {
-            if let Some(path) = &cli.checkpoint {
-                let ck = TuneCheckpoint {
-                    version: CHECKPOINT_VERSION,
-                    fingerprint: fingerprint.clone(),
-                    measurer_trials: measurer.trials(),
-                    sim_fault_nanos: measurer.sim_fault_nanos(),
-                    records_flushed: flushed,
-                    single: Some(SinglePolicyCheckpoint {
-                        policy: policy.checkpoint(),
-                        model: model.checkpoint(),
-                    }),
-                    scheduler: None,
-                };
-                if let Err(e) = ck.save(path) {
-                    eprintln!("warning: checkpoint save failed: {e}");
-                }
+    let save_checkpoint = |session: &TuningSession| {
+        if let Some(path) = &cli.checkpoint {
+            if let Err(e) = session.checkpoint().save(path) {
+                eprintln!("warning: checkpoint save failed: {e}");
             }
-        };
+        }
+    };
     let mut rounds_since_save = 0usize;
-    while policy.tune_round(&mut model, &mut measurer) > 0 {
+    while session.step() > 0 {
         rounds_since_save += 1;
         if cli.checkpoint.is_some() && rounds_since_save >= cli.checkpoint_every {
             rounds_since_save = 0;
             // Flush new records before the checkpoint records their offset,
             // so a resumed run appends exactly the remainder.
             if let Some(path) = &cli.log {
-                save_records(path, &policy.log[flushed..]).expect("write log");
-                flushed = policy.log.len();
+                session.flush_records_to(path).expect("write log");
             }
-            save_checkpoint(&policy, &model, &measurer, flushed);
+            save_checkpoint(&session);
         }
     }
-    let best_seconds = policy.best_seconds();
+    let best_seconds = session.best_seconds();
     println!(
         "best: {:.6} ms  ({:.1} GFLOP/s)",
         best_seconds * 1e3,
         dag.flop_count() / best_seconds / 1e9
     );
+    println!(
+        "log fingerprint: {:#018x} ({} records)",
+        log_fingerprint(session.log()),
+        session.log().len()
+    );
     if plan.is_some() {
         println!(
             "fault injection: {:.1} simulated seconds lost to retries/timeouts",
-            measurer.sim_fault_seconds()
+            session.measurer().sim_fault_seconds()
         );
     }
     if let Some(path) = &cli.log {
-        save_records(path, &policy.log[flushed..]).expect("write log");
-        println!("appended {} records to {path}", policy.log.len() - flushed);
-        flushed = policy.log.len();
+        let n = session.flush_records_to(path).expect("write log");
+        println!("appended {n} records to {path}");
     }
-    save_checkpoint(&policy, &model, &measurer, flushed);
+    save_checkpoint(&session);
     if cli.show_program {
-        if let Some(best) = policy.best_individual() {
+        if let Some(best) = session.best_individual() {
             let program = lower(&best.state).expect("best program lowers");
             println!("\n{}", print_program(&program));
         }

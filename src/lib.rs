@@ -18,7 +18,9 @@
 //! - [`baselines`] ([`ansor_baselines`]) — AutoTVM-, Halide- and
 //!   FlexTensor-like searchers plus a vendor-library stand-in;
 //! - [`workloads`] ([`ansor_workloads`]) — the paper's operators,
-//!   subgraphs and networks.
+//!   subgraphs and networks;
+//! - [`serve`] ([`ansor_serve`]) — the `ansor-serve` tuning daemon:
+//!   wire protocol, server, client, and the persistent warm store.
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@
 pub use ansor_baselines as baselines;
 pub use ansor_core as core;
 pub use ansor_runtime as runtime;
+pub use ansor_serve as serve;
 pub use ansor_workloads as workloads;
 pub use hwsim as hw;
 pub use tensor_ir as ir;

@@ -1,0 +1,170 @@
+//! The `ansor-serve` determinism contract, end to end: a job submitted to
+//! the daemon must produce the *same tuning run* as the same `(task,
+//! options, seed)` driven cold through a local [`TuningSession`] — the
+//! path `ansor-tune` takes. "Same" means bit-identical `best_seconds`,
+//! identical best-state signature, and an identical tuning-record log
+//! (compared by the FNV fingerprint the server reports).
+//!
+//! The contract must survive concurrency: eight jobs run on four workers
+//! — sharing the store's per-class measure cache and the store-wide
+//! feature cache — must report exactly the results of the same eight jobs
+//! run one at a time. Caches may change *when* a measurement is computed,
+//! never *what* it is.
+//!
+//! Runs under whatever `ANSOR_THREADS` the CI matrix sets (the runtime
+//! reads the variable itself), so the 1- and 4-thread legs both cover it.
+
+use ansor::core::{log_fingerprint, TuningSession};
+use ansor::prelude::*;
+use ansor::serve::{Client, JobResult, JobSpec, ServeConfig, Server};
+use ansor::workloads::build_case;
+
+const OP: &str = "GMM";
+const SHAPE: usize = 0;
+const TRIALS: usize = 48;
+
+fn spec(seed: u64) -> JobSpec {
+    JobSpec {
+        op: OP.into(),
+        shape: SHAPE,
+        batch: 1,
+        target: "intel".into(),
+        trials: TRIALS,
+        seed,
+        warm_start: None,
+    }
+}
+
+/// What the contract compares, reduced to plain bits.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    best_seconds_bits: Option<u64>,
+    best_signature: Option<u64>,
+    log_records: u64,
+    log_fingerprint: u64,
+}
+
+impl Outcome {
+    fn of_result(r: &JobResult) -> Outcome {
+        Outcome {
+            best_seconds_bits: r.best_seconds.map(f64::to_bits),
+            best_signature: r.best_signature,
+            log_records: r.log_records,
+            log_fingerprint: r.log_fingerprint,
+        }
+    }
+}
+
+/// Runs the spec cold — no daemon, no shared caches — exactly as
+/// `ansor-tune` does.
+fn cold_run(spec: &JobSpec) -> Outcome {
+    let dag = build_case(&spec.op, spec.shape, spec.batch).expect("known case");
+    let target = HardwareTarget::by_name(&spec.target).expect("known target");
+    let task = SearchTask::new(spec.task_name(), dag, target.clone());
+    let options = TuningOptions {
+        num_measure_trials: spec.trials,
+        seed: spec.seed,
+        ..Default::default()
+    };
+    let measurer = Measurer::new(target);
+    let mut session = TuningSession::new(task, options, measurer, spec.fingerprint("none"));
+    session.run(|_| true);
+    let best = session.best_seconds();
+    Outcome {
+        best_seconds_bits: best.is_finite().then(|| best.to_bits()),
+        best_signature: session.best_individual().map(|i| i.state.signature()),
+        log_records: session.log().len() as u64,
+        log_fingerprint: log_fingerprint(session.log()),
+    }
+}
+
+fn start_server(workers: usize) -> (Server, Client) {
+    let server = Server::start(ServeConfig {
+        workers,
+        queue_cap: 32,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let client = Client::connect(&server.local_addr().to_string()).expect("client connects");
+    (server, client)
+}
+
+/// Submits every spec, then waits for each; results come back in
+/// submission order.
+fn run_batch(client: &mut Client, specs: &[JobSpec]) -> Vec<JobResult> {
+    let ids: Vec<String> = specs
+        .iter()
+        .map(|s| client.submit(s.clone()).expect("submit"))
+        .collect();
+    ids.iter()
+        .map(|id| client.wait(id).expect("wait"))
+        .collect()
+}
+
+// One test function on purpose: each leg boots a daemon with worker
+// threads, and serialising them keeps the measurement-timing environment
+// (and the test's runtime) predictable.
+#[test]
+fn served_jobs_match_cold_runs_and_concurrency_is_invisible() {
+    // Leg 1 — a served job is bit-identical to the cold `ansor-tune` path.
+    let (server, mut client) = start_server(1);
+    let served = run_batch(&mut client, &[spec(5)]);
+    let cold = cold_run(&spec(5));
+    assert_eq!(served[0].state, "done");
+    assert_eq!(
+        Outcome::of_result(&served[0]),
+        cold,
+        "served job must be bit-identical to a cold local run"
+    );
+    assert!(
+        served[0].log_records >= 32,
+        "run must fill most of its budget"
+    );
+    client.shutdown(true).expect("shutdown");
+    server.wait();
+
+    // The comparison is not vacuous: another seed tunes differently.
+    let other = cold_run(&spec(6));
+    assert_ne!(cold, other, "seeds must matter");
+
+    // Leg 2 — eight jobs on four workers vs the same eight serially.
+    // Identical class (op/shape/target), distinct seeds: the concurrent
+    // batch shares one measure cache and races on it; the serial batch
+    // runs one job at a time on a fresh daemon. Outcomes must match
+    // job-for-job.
+    let seeds: Vec<u64> = (0..8).collect();
+    let specs: Vec<JobSpec> = seeds.iter().map(|&s| spec(s)).collect();
+
+    let (server, mut client) = start_server(4);
+    let concurrent = run_batch(&mut client, &specs);
+    client.shutdown(true).expect("shutdown");
+    server.wait();
+
+    let (server, mut client) = start_server(1);
+    let serial: Vec<JobResult> = specs
+        .iter()
+        .map(|s| {
+            let id = client.submit(s.clone()).expect("submit");
+            client.wait(&id).expect("wait")
+        })
+        .collect();
+    client.shutdown(true).expect("shutdown");
+    server.wait();
+
+    for ((seed, con), ser) in seeds.iter().zip(&concurrent).zip(&serial) {
+        assert_eq!(con.state, "done", "seed {seed}");
+        assert_eq!(
+            Outcome::of_result(con),
+            Outcome::of_result(ser),
+            "concurrent result for seed {seed} must match the serial run"
+        );
+    }
+    // Eight distinct seeds must not have collapsed to one search.
+    let distinct: std::collections::HashSet<u64> =
+        serial.iter().map(|r| r.log_fingerprint).collect();
+    assert!(distinct.len() > 1, "distinct seeds must search differently");
+
+    // And seed 5's serial-daemon result equals the cold run from leg 1,
+    // tying all three paths (cold, solo daemon, batch daemon) together.
+    assert_eq!(Outcome::of_result(&serial[5]), cold, "seed 5 round trip");
+}

@@ -218,7 +218,9 @@ tuple_strategy!(
     (A.0, B.1, C.2),
     (A.0, B.1, C.2, D.3),
     (A.0, B.1, C.2, D.3, E.4),
-    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
 );
 
 /// Types with a canonical "uniform over the whole domain" strategy
