@@ -1,0 +1,306 @@
+//! Two-stage scoring benchmark: the step-sequence surrogate against the
+//! full lower+featurize+GBDT path it short-circuits.
+//!
+//! Two phases:
+//!
+//! 1. **Micro**: batch-score sampled real schedules with the surrogate vs
+//!    cold feature extraction over the same batch. The ratio
+//!    (`score_speedup`) is the whole point of the prerank stage — the
+//!    surrogate must be orders of magnitude cheaper — and is the gated,
+//!    machine-independent number.
+//! 2. **End-to-end**: paired `TuningSession`s on a real GMM case, prerank
+//!    off vs on (`prerank_keep = 0.25`), over three seeds. Reports the
+//!    fraction of candidate scorings the staged path skipped (via the
+//!    score cache's miss counters: every cold GBDT evaluation is a miss,
+//!    and skipped candidates never reach the GBDT), the median final-best
+//!    GFLOPS ratio (acceptance: within 2% of the full path), and the
+//!    surrogate's mean rank accuracy against the GBDT from the
+//!    `SurrogateCalibration` trace events.
+//!
+//! Emits `BENCH_surrogate.json` (via `--json`); the committed baseline in
+//! `results/` pins the ratios and `--check <baseline.json>` exits non-zero
+//! when `score_speedup` falls below half the baseline (it guards
+//! "orders-of-magnitude cheaper", and a ~75x wall-clock ratio jitters ±30%
+//! on shared CI runners), the skip fraction falls more than 25% below
+//! baseline, or the GFLOPS ratio drops more than two points below
+//! baseline (both fully deterministic) — the CI gate for the staged
+//! scorer.
+//!
+//! Run: `cargo run -p ansor-bench --release --bin surrogate-bench -- \
+//!        --json BENCH_surrogate.json`
+//! Gate: `... --bin surrogate-bench -- --check results/BENCH_surrogate.json`
+
+use ansor_bench::{maybe_dump_json, maybe_record_trajectory, print_table, time_ms, Args};
+use ansor_core::{
+    generate_sketches, sample_program, AnnotationConfig, SearchTask, StepSequenceModel,
+    TuningOptions, TuningSession,
+};
+use ansor_features::extract_state_matrix;
+use hwsim::{HardwareTarget, Measurer};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tensor_ir::{ComputeDag, State, Step};
+
+#[derive(Serialize, Deserialize)]
+struct BenchReport {
+    /// Micro-phase batch size (sampled real schedules).
+    n_states: usize,
+    /// End-to-end trial budget per session.
+    trials: usize,
+    /// Surrogate batch scoring, ms per batch.
+    score_ms: f64,
+    /// Cold lower+featurize over the same batch, ms per batch.
+    extract_cold_ms: f64,
+    /// `extract_cold_ms / score_ms` — the gated ratio.
+    score_speedup: f64,
+    /// Fraction of candidate scorings the prerank stage skipped (pooled
+    /// over all seeds).
+    skip_fraction: f64,
+    /// Median final best throughput, prerank off.
+    best_gflops_off: f64,
+    /// Median final best throughput, prerank on.
+    best_gflops_on: f64,
+    /// Median per-seed `on / off` — acceptance wants ≥ 0.98.
+    gflops_ratio: f64,
+    /// Mean surrogate-vs-GBDT pairwise rank accuracy over the run.
+    mean_rank_acc: f64,
+    /// Number of `SurrogateCalibration` batches behind the mean.
+    calibration_points: usize,
+}
+
+fn gmm_case() -> Arc<ComputeDag> {
+    ansor_workloads::build_case("GMM", 0, 1).expect("GMM shape 0 exists")
+}
+
+/// Deterministically sampled real schedules (same recipe as model-bench).
+fn sample_states(task: &SearchTask, n: usize) -> Vec<State> {
+    let sketches = generate_sketches(task);
+    let cfg = AnnotationConfig::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut out = Vec::new();
+    while out.len() < n {
+        let sk = &sketches[rng.gen_range(0..sketches.len())];
+        if let Some(s) = sample_program(sk, task, &cfg, &mut rng) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// A surrogate trained the way a session trains it: one update per
+/// (steps, seconds) pair. Labels are synthetic — scoring cost does not
+/// depend on them — but varied, so weights are non-trivial.
+fn trained_surrogate(task: &SearchTask, states: &[State]) -> StepSequenceModel {
+    let mut m = StepSequenceModel::new();
+    for (i, s) in states.iter().take(64).enumerate() {
+        m.update(&task.name, &s.steps, 1e-3 * (1.0 + (i % 17) as f64));
+    }
+    m
+}
+
+/// End-to-end seeds. One seed's off-vs-on ratio swings ±10% (two
+/// different searches); the medians/pools over three keep the committed
+/// baseline stable.
+const E2E_SEEDS: [u64; 3] = [7, 9, 11];
+
+/// One end-to-end tuning run; returns (best seconds, cold GBDT
+/// evaluations, i.e. score-cache misses).
+fn run_session(
+    trials: usize,
+    seed: u64,
+    prerank_keep: Option<f64>,
+    tel: &telemetry::Telemetry,
+) -> (f64, u64) {
+    let dag = gmm_case();
+    let target = HardwareTarget::intel_20core();
+    let task = SearchTask::new("GMM:s0b1", dag, target.clone());
+    let options = TuningOptions {
+        num_measure_trials: trials,
+        seed,
+        prerank_keep,
+        telemetry: tel.clone(),
+        ..Default::default()
+    };
+    let measurer = Measurer::new(target);
+    let mut session = TuningSession::new(task, options, measurer, "surrogate-bench");
+    session.run(|_| true);
+    let stats = session.cache_stats();
+    (session.best_seconds(), stats.score_misses)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = Args::parse();
+    let reps = args.pick(3, 5, 9);
+    let n_states = args.pick(64, 256, 1024);
+    let trials = args.pick(96, 256, 512);
+
+    // Phase 1 — micro: surrogate batch scoring vs cold extraction over the
+    // same sampled schedules.
+    let task = SearchTask::new(
+        "GMM:surrogate-bench",
+        gmm_case(),
+        HardwareTarget::intel_20core(),
+    );
+    let states = sample_states(&task, n_states);
+    let surrogate = trained_surrogate(&task, &states);
+    let refs: Vec<&[Step]> = states.iter().map(|s| s.steps.as_slice()).collect();
+    // One surrogate pass over the batch is sub-millisecond; time 16 passes
+    // per rep so the measured region is well above timer noise.
+    const SCORE_INNER_REPS: usize = 16;
+    let score_ms = time_ms(reps, || {
+        (0..SCORE_INNER_REPS)
+            .map(|_| surrogate.score_batch(&refs).len())
+            .sum::<usize>()
+    }) / SCORE_INNER_REPS as f64;
+    let extract_cold_ms = time_ms(reps, || {
+        states
+            .iter()
+            .map(|s| extract_state_matrix(s).map(|m| m.n_rows()).unwrap_or(0))
+            .sum::<usize>()
+    });
+    let score_speedup = extract_cold_ms / score_ms.max(1e-9);
+
+    // Phase 2 — end to end: the same tuning runs with the prerank stage
+    // off vs on, over three seeds. The on-runs write a trace so the
+    // SurrogateCalibration events (surrogate-vs-GBDT agreement on every
+    // staged batch) can be read back.
+    let trace_path = std::env::temp_dir().join(format!(
+        "ansor-surrogate-bench-{}.jsonl",
+        std::process::id()
+    ));
+    let off_tel = telemetry::Telemetry::disabled();
+    let on_tel = telemetry::Telemetry::to_file(&trace_path).expect("create trace file");
+    let mut misses = [0u64, 0u64];
+    let (mut offs, mut ons) = (Vec::new(), Vec::new());
+    for seed in E2E_SEEDS {
+        let (best_off, misses_off) = run_session(trials, seed, None, &off_tel);
+        let (best_on, misses_on) = run_session(trials, seed, Some(0.25), &on_tel);
+        misses[0] += misses_off;
+        misses[1] += misses_on;
+        offs.push(best_off);
+        ons.push(best_on);
+    }
+    on_tel.flush();
+
+    let skip_fraction = 1.0 - misses[1] as f64 / misses[0].max(1) as f64;
+    let flops = gmm_case().flop_count();
+    let best_gflops_off = flops / median(offs.clone()) / 1e9;
+    let best_gflops_on = flops / median(ons.clone()) / 1e9;
+    let gflops_ratio = median(
+        offs.iter()
+            .zip(&ons)
+            .map(|(off, on)| off / on)
+            .collect::<Vec<_>>(),
+    );
+
+    let (lines, _skipped) =
+        telemetry::read_trace_file(&trace_path).expect("read back the on-run trace");
+    let _ = std::fs::remove_file(&trace_path);
+    let calib = telemetry::report::surrogate_calibration(&lines);
+    let mean_rank_acc = if calib.is_empty() {
+        0.0
+    } else {
+        calib.iter().map(|p| p.rank_acc).sum::<f64>() / calib.len() as f64
+    };
+
+    let report = BenchReport {
+        n_states,
+        trials,
+        score_ms,
+        extract_cold_ms,
+        score_speedup,
+        skip_fraction,
+        best_gflops_off,
+        best_gflops_on,
+        gflops_ratio,
+        mean_rank_acc,
+        calibration_points: calib.len(),
+    };
+
+    if args.tables_enabled() {
+        print_table(
+            &format!("Two-stage scoring ({n_states} states, {trials} trials/session)"),
+            &["metric", "value"],
+            &[
+                vec![
+                    "surrogate batch score (ms)".into(),
+                    format!("{score_ms:.3}"),
+                ],
+                vec![
+                    "cold lower+featurize (ms)".into(),
+                    format!("{extract_cold_ms:.2}"),
+                ],
+                vec!["score speedup".into(), format!("{score_speedup:.0}x")],
+                vec![
+                    "candidates skipped (prerank on)".into(),
+                    format!("{:.1}%", 100.0 * skip_fraction),
+                ],
+                vec![
+                    "best GFLOPS off / on".into(),
+                    format!("{best_gflops_off:.2} / {best_gflops_on:.2}"),
+                ],
+                vec!["GFLOPS ratio (on/off)".into(), format!("{gflops_ratio:.3}")],
+                vec![
+                    "mean rank accuracy".into(),
+                    format!("{mean_rank_acc:.3} over {} batches", calib.len()),
+                ],
+            ],
+        );
+    }
+    maybe_dump_json(&args, &report);
+    maybe_record_trajectory(&args, "surrogate-bench", "score_speedup", score_speedup);
+
+    // Regression gate: all three numbers are ratios, hence
+    // machine-independent. CI compares against the committed baseline.
+    if let Some(i) = args.flags.iter().position(|f| f == "--check") {
+        let path = args.flags.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--check requires a baseline path");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("--check: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: BenchReport = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("--check: cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        // Wall-clock ratio: wide allowance (see module docs). Skip and
+        // GFLOPS ratios are deterministic, so their floors are tight.
+        let speedup_floor = baseline.score_speedup * 0.5;
+        let skip_floor = baseline.skip_fraction * 0.75;
+        let gflops_floor = baseline.gflops_ratio - 0.02;
+        println!(
+            "score speedup {score_speedup:.0}x vs baseline {:.0}x (floor {speedup_floor:.0}x); \
+             skip {:.1}% vs {:.1}% (floor {:.1}%); \
+             gflops ratio {gflops_ratio:.3} vs {:.3} (floor {gflops_floor:.3})",
+            baseline.score_speedup,
+            100.0 * skip_fraction,
+            100.0 * baseline.skip_fraction,
+            100.0 * skip_floor,
+            baseline.gflops_ratio,
+        );
+        let mut failed = false;
+        if score_speedup < speedup_floor {
+            eprintln!("REGRESSION: surrogate score speedup fell below half the baseline");
+            failed = true;
+        }
+        if skip_fraction < skip_floor {
+            eprintln!("REGRESSION: prerank skip fraction fell >25% below baseline");
+            failed = true;
+        }
+        if gflops_ratio < gflops_floor {
+            eprintln!("REGRESSION: prerank-on final GFLOPS fell >2 points below baseline ratio");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -105,6 +105,14 @@ pub struct EvolutionStats {
     /// Offspring successfully proposed, per sketch-rule name (each
     /// offspring counts once for every rule in its derivation chain).
     pub proposed_by_rule: BTreeMap<String, u64>,
+    /// Candidates scored by the surrogate prerank stage (0 when the model
+    /// has no prerank stage, i.e. prerank is off).
+    pub prerank_scored: u64,
+    /// Candidates that survived prerank and were scored by the full model.
+    pub prerank_kept: u64,
+    /// Per-operator prerank survival funnel: `[scored, kept]` keyed by the
+    /// candidate's generating operator.
+    pub prerank_by_op: BTreeMap<&'static str, [u64; 2]>,
 }
 
 /// One lane's serially pre-drawn breeding decision: which parent(s) the
@@ -249,7 +257,25 @@ fn evolve(
 
     for gen in 0..=cfg.generations {
         let state_refs: Vec<&State> = population.iter().map(|p| &p.state).collect();
-        let scores = model.predict_refs(task, &state_refs);
+        // Staged scoring: models with an active prerank stage return a
+        // survivor mask alongside the scores; plain models (including
+        // prerank-off LearnedCostModel and RandomModel) return None and
+        // this path is byte-identical to calling `predict_refs` directly.
+        let (scores, kept) = model.predict_population(task, &state_refs);
+        if let Some(kept) = &kept {
+            stats.prerank_scored += kept.len() as u64;
+            for (ind, &k) in population.iter().zip(kept.iter()) {
+                let e = stats
+                    .prerank_by_op
+                    .entry(ind.lineage.op.name())
+                    .or_insert([0; 2]);
+                e[0] += 1;
+                if k {
+                    e[1] += 1;
+                    stats.prerank_kept += 1;
+                }
+            }
+        }
         for (ind, &score) in population.iter().zip(&scores) {
             if !score.is_finite() {
                 continue;
@@ -1048,6 +1074,10 @@ mod tests {
         let mut seen: HashSet<u64> = HashSet::new();
         for gen in 0..=cfg.generations {
             let states: Vec<State> = population.iter().map(|p| p.state.clone()).collect();
+            // The oracle uses the plain scoring path: the differential test
+            // runs a RandomModel, whose `predict_population` defaults to
+            // `predict_refs` with no survivor mask, so the two are
+            // equivalent by construction.
             let scores = model.predict(task, &states);
             for (ind, &score) in population.iter().zip(&scores) {
                 if !score.is_finite() {

@@ -116,9 +116,11 @@ impl TuningSession {
         fingerprint: impl Into<String>,
     ) -> TuningSession {
         let tel = options.telemetry.clone();
+        let prerank_keep = options.prerank_keep;
         let policy = SketchPolicy::new(task, options);
         let mut model = LearnedCostModel::new();
         model.set_telemetry(tel);
+        model.set_prerank_keep(prerank_keep);
         TuningSession {
             policy,
             model,
@@ -148,6 +150,14 @@ impl TuningSession {
     /// Shares a featurization cache with this session.
     pub fn share_feature_cache(&mut self, cache: Arc<SigCache<FeatureBlock>>) {
         self.model.set_feature_cache(cache);
+    }
+
+    /// Installs a pre-trained step-sequence surrogate (the cross-class
+    /// transfer path — e.g. the serve warm store's store-wide surrogate).
+    /// Only consulted when a prerank fraction is configured; *not* on the
+    /// bit-identity path, like [`TuningSession::warm_start`].
+    pub fn install_surrogate(&mut self, surrogate: crate::surrogate::StepSequenceModel) {
+        self.model.set_surrogate(surrogate);
     }
 
     /// Runs one tuning round; returns the number of new measurements (0

@@ -44,6 +44,27 @@ pub struct JobSpec {
     /// a cold one (it begins from prior measurements, per the transfer
     /// argument of Chen et al.). Defaults to off.
     pub warm_start: Option<bool>,
+    /// Per-job runtime thread-count override (0 = auto). Determinism is
+    /// thread-count-transparent, so this only affects wall-clock speed; the
+    /// setting is process-global for the duration of the job, so under
+    /// concurrent jobs the last-started job's value wins (perf-only
+    /// effect). Defaults to the server's configured thread count.
+    pub threads: Option<usize>,
+    /// Per-job fault-plan override (`"none"`, `"default"`, or `"k=v,..."`
+    /// — same grammar as `ansor-tune --faults`). Feeds the job's
+    /// fingerprint and class key, so overridden jobs occupy their own
+    /// warm-store class. Defaults to the server's fault spec.
+    pub faults: Option<String>,
+    /// Surrogate prerank fraction for this job (see
+    /// `TuningOptions::prerank_keep`). Defaults to off, or to 0.25 when
+    /// `transfer` is set without an explicit fraction.
+    pub prerank_keep: Option<f64>,
+    /// Opt-in cross-class transfer: install the store-wide step-sequence
+    /// surrogate (trained on every completed job, across class keys) and
+    /// enable prerank. Off the bit-identity path, like `warm_start` — but
+    /// unlike `warm_start` it helps even when no store entry matches this
+    /// job's class key. Defaults to off.
+    pub transfer: Option<bool>,
 }
 
 impl JobSpec {
@@ -189,6 +210,13 @@ pub struct ServerStats {
     pub store_entries: u64,
     /// Tuning records resident in the warm store.
     pub store_records: u64,
+    /// Approximate serialized size of the warm store's entries, in bytes
+    /// (what the compaction budget is enforced against).
+    pub store_bytes: u64,
+    /// Warm-store entries evicted by byte-budget compaction so far.
+    pub store_evictions: u64,
+    /// Training updates absorbed into the store-wide transfer surrogate.
+    pub surrogate_updates: u64,
     /// Whether the server is draining (shutdown requested).
     pub draining: bool,
 }
@@ -315,7 +343,19 @@ mod tests {
             trials: 64,
             seed: 7,
             warm_start: None,
+            threads: None,
+            faults: None,
+            prerank_keep: None,
+            transfer: None,
         }
+    }
+
+    #[test]
+    fn legacy_spec_json_without_new_fields_parses() {
+        // Specs written by pre-transfer clients omit the override fields.
+        let line = r#"{"op":"GMM","shape":0,"batch":1,"target":"intel","trials":64,"seed":7}"#;
+        let s: JobSpec = serde_json::from_str(line).unwrap();
+        assert_eq!(s, spec());
     }
 
     #[test]

@@ -35,6 +35,10 @@ use crate::proto::{
 };
 use crate::store::WarmStore;
 
+/// Prerank fraction used when a job opts into `transfer` without naming
+/// an explicit `prerank_keep`.
+const DEFAULT_TRANSFER_PRERANK_KEEP: f64 = 0.25;
+
 /// Server configuration.
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` for an ephemeral port).
@@ -47,8 +51,17 @@ pub struct ServeConfig {
     pub store_path: Option<String>,
     /// Fault spec string jobs run under (the global `hwsim` plan must be
     /// set to match by the caller; the string here feeds fingerprints and
-    /// class keys).
+    /// class keys). Jobs may override it per-spec; overridden jobs get
+    /// their own fingerprints/class keys and an explicit measurer plan.
     pub faults: String,
+    /// Baseline runtime thread count jobs run under (0 = auto). Jobs may
+    /// override it per-spec; the setting is process-global, so under
+    /// concurrent jobs the last-started job's value wins (determinism is
+    /// thread-count-transparent — this is perf-only).
+    pub threads: usize,
+    /// Warm-store serialized-entry byte budget; `None` = unlimited. When
+    /// exceeded, least-recently-used class entries are evicted.
+    pub store_budget: Option<u64>,
     /// Telemetry handle for `serve/*` gauges and session counters.
     pub telemetry: Telemetry,
 }
@@ -61,6 +74,8 @@ impl Default for ServeConfig {
             queue_cap: 64,
             store_path: None,
             faults: "none".into(),
+            threads: 0,
+            store_budget: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -146,6 +161,12 @@ impl Shared {
         tel.gauge_set("serve/draining", if t.draining { 1.0 } else { 0.0 });
         tel.gauge_set("serve/store_entries", self.store.entry_count() as f64);
         tel.gauge_set("serve/store_records", self.store.record_count() as f64);
+        tel.gauge_set("serve/store_bytes", self.store.resident_bytes() as f64);
+        tel.gauge_set("serve/store_evictions", self.store.eviction_count() as f64);
+        tel.gauge_set(
+            "serve/surrogate_updates",
+            self.store.surrogate_updates() as f64,
+        );
     }
 }
 
@@ -183,6 +204,7 @@ impl Server {
             }
             None => WarmStore::in_memory(),
         };
+        store.set_byte_budget(cfg.store_budget);
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
         let local_addr = listener.local_addr().map_err(|e| e.to_string())?;
@@ -227,6 +249,12 @@ impl Server {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.local_addr
+    }
+
+    /// The shared warm store (read access for benchmarks and tests — e.g.
+    /// snapshotting the transfer surrogate after a batch of jobs).
+    pub fn store(&self) -> &WarmStore {
+        &self.shared.store
     }
 
     /// Initiates shutdown: with `drain`, queued and running jobs finish
@@ -331,7 +359,8 @@ fn worker_loop(shared: &Arc<Shared>) {
         if result.state == "done" {
             // Persist what the job learned before reporting completion, so
             // a client observing "done" can rely on the store being warm.
-            shared.store.absorb(&spec, &shared.cfg.faults, &log);
+            let faults = spec.faults.as_deref().unwrap_or(&shared.cfg.faults);
+            shared.store.absorb(&spec, faults, &log);
             if let Err(e) = shared.store.save() {
                 eprintln!("warning: store save failed: {e}");
             }
@@ -395,17 +424,34 @@ fn run_job(
     let Some(target) = HardwareTarget::by_name(&spec.target) else {
         return fail(format!("unknown target {:?}", spec.target));
     };
-    let faults = &shared.cfg.faults;
+    // Per-job overrides. The fault spec feeds the fingerprint and class
+    // key, so overridden jobs occupy their own warm-store class; the
+    // thread count is process-global and perf-only (see `ServeConfig`).
+    let faults = spec.faults.as_deref().unwrap_or(&shared.cfg.faults);
+    let fault_plan = match spec.faults.as_deref().map(hwsim::FaultPlan::parse) {
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(e)) => return fail(format!("bad fault spec: {e}")),
+        None => None,
+    };
+    ansor_runtime::set_threads(spec.threads.unwrap_or(shared.cfg.threads));
+    let transfer = spec.transfer == Some(true);
+    let prerank_keep = spec
+        .prerank_keep
+        .or_else(|| transfer.then_some(DEFAULT_TRANSFER_PRERANK_KEEP));
     let tel = shared.cfg.telemetry.clone();
     let task = SearchTask::new(spec.task_name(), dag.clone(), target.clone());
     let options = TuningOptions {
         num_measure_trials: spec.trials,
         seed: spec.seed,
+        prerank_keep,
         telemetry: tel.clone(),
         ..Default::default()
     };
     let mut measurer = Measurer::new(target);
     measurer.set_telemetry(tel.clone());
+    if let Some(plan) = fault_plan {
+        measurer.set_fault_plan(Some(plan));
+    }
     let mut session = TuningSession::new(task, options, measurer, spec.fingerprint(faults));
 
     let class = spec.class_key(faults);
@@ -414,6 +460,12 @@ fn run_job(
     if spec.warm_start == Some(true) {
         let records = shared.store.records_for(&class);
         session.warm_start(&records);
+    }
+    if transfer {
+        // Cross-class transfer: start from the store-wide surrogate
+        // (trained on every completed job, whatever its class key) so the
+        // prerank stage is informed from trial one.
+        session.install_surrogate(shared.store.surrogate());
     }
 
     let before = session.cache_stats();
@@ -573,6 +625,16 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Response {
     if spec.trials == 0 {
         return Response::failure(req.id, "trials must be positive");
     }
+    if let Some(f) = &spec.faults {
+        if let Err(e) = hwsim::FaultPlan::parse(f) {
+            return Response::failure(req.id, format!("bad fault spec: {e}"));
+        }
+    }
+    if let Some(k) = spec.prerank_keep {
+        if !(k > 0.0 && k <= 1.0) {
+            return Response::failure(req.id, "prerank_keep must be in (0, 1]");
+        }
+    }
     let mut t = shared.jobs.lock().expect("job table lock poisoned");
     if t.draining {
         return Response::failure(req.id, "server is draining; not accepting jobs");
@@ -699,6 +761,9 @@ fn handle_stats(shared: &Arc<Shared>, req: &Request) -> Response {
         workers: shared.cfg.workers.max(1) as u64,
         store_entries: shared.store.entry_count() as u64,
         store_records: shared.store.record_count() as u64,
+        store_bytes: shared.store.resident_bytes(),
+        store_evictions: shared.store.eviction_count(),
+        surrogate_updates: shared.store.surrogate_updates(),
         draining: t.draining,
     });
     resp

@@ -25,9 +25,10 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use ansor_core::{FeatureBlock, TuningRecordLog};
+use ansor_core::{FeatureBlock, StepSequenceModel, TuningRecordLog};
 use ansor_runtime::SigCache;
 use ansor_workloads::build_case;
 use hwsim::MeasureResult;
@@ -69,6 +70,11 @@ pub struct StoreEntry {
     pub jobs_absorbed: u64,
     /// Deduplicated tuning records, capped at `MAX_RECORDS_PER_ENTRY`.
     pub records: Vec<TuningRecordLog>,
+    /// Monotonic use tick (bumped on absorb and warm-start reads); the
+    /// byte-budget compactor evicts the smallest tick first. Defaulted so
+    /// stores written before compaction existed still load.
+    #[serde(default)]
+    pub last_used: u64,
 }
 
 /// On-disk form of the store.
@@ -76,6 +82,12 @@ pub struct StoreEntry {
 struct StoreFile {
     version: u32,
     entries: Vec<StoreEntry>,
+    /// Store-wide step-sequence surrogate, trained on every absorbed
+    /// record across class keys (the cross-class transfer model).
+    /// Defaulted so stores written before the surrogate existed still
+    /// load.
+    #[serde(default)]
+    surrogate: Option<StepSequenceModel>,
 }
 
 /// Summary of what [`WarmStore::open`] found on disk.
@@ -98,6 +110,21 @@ pub struct WarmStore {
     entries: Mutex<BTreeMap<String, StoreEntry>>,
     measure_caches: Mutex<HashMap<String, Arc<SigCache<MeasureResult>>>>,
     feature_cache: Arc<SigCache<FeatureBlock>>,
+    /// Store-wide step-sequence surrogate, trained on every absorbed
+    /// record (across class keys) and handed to jobs that opt into
+    /// cross-class transfer.
+    surrogate: Mutex<StepSequenceModel>,
+    /// Cached serialized byte size per entry (updated on absorb/evict),
+    /// so the compaction check and the `store_bytes` gauge never
+    /// re-serialize the whole store.
+    entry_bytes: Mutex<BTreeMap<String, u64>>,
+    /// Store-wide serialized-entry byte budget; 0 = unlimited.
+    byte_budget: AtomicU64,
+    /// LRU clock: next `last_used` tick.
+    clock: AtomicU64,
+    /// Entries evicted by byte-budget compaction over this process's
+    /// lifetime.
+    evictions: AtomicU64,
     /// Serializes [`WarmStore::save`] calls: concurrent workers would
     /// otherwise race on the shared temp file between write and rename.
     save_lock: Mutex<()>,
@@ -112,6 +139,11 @@ impl WarmStore {
             entries: Mutex::new(BTreeMap::new()),
             measure_caches: Mutex::new(HashMap::new()),
             feature_cache: Arc::new(SigCache::new(FEATURE_CACHE_CAPACITY)),
+            surrogate: Mutex::new(StepSequenceModel::new()),
+            entry_bytes: Mutex::new(BTreeMap::new()),
+            byte_budget: AtomicU64::new(0),
+            clock: AtomicU64::new(1),
+            evictions: AtomicU64::new(0),
             save_lock: Mutex::new(()),
         }
     }
@@ -142,9 +174,14 @@ impl WarmStore {
                 file.version
             ));
         }
+        if let Some(sur) = file.surrogate {
+            *store.surrogate.lock().expect("store lock poisoned") = sur.validated();
+        }
+        let mut max_tick = 0;
         for entry in file.entries {
             stats.entries += 1;
             stats.records += entry.records.len();
+            max_tick = max_tick.max(entry.last_used);
             let (primed, failed) = store.prime_class(&entry);
             stats.primed += primed;
             stats.replay_failures += failed;
@@ -154,7 +191,21 @@ impl WarmStore {
                 .expect("store lock poisoned")
                 .insert(entry.key.clone(), entry);
         }
+        store.clock.store(max_tick + 1, Ordering::Relaxed);
+        store.recompute_entry_bytes();
         Ok((store, stats))
+    }
+
+    /// Rebuilds the per-entry serialized-size cache from scratch (load
+    /// path only; absorb maintains it incrementally).
+    fn recompute_entry_bytes(&self) {
+        let entries = self.entries.lock().expect("store lock poisoned");
+        let mut bytes = self.entry_bytes.lock().expect("store lock poisoned");
+        bytes.clear();
+        for (key, entry) in entries.iter() {
+            let json = serde_json::to_string(entry).expect("store entry serializes");
+            bytes.insert(key.clone(), json.len() as u64);
+        }
     }
 
     /// Replays one entry's records into its class measurement cache.
@@ -204,13 +255,17 @@ impl WarmStore {
         Arc::clone(&self.feature_cache)
     }
 
-    /// Stored tuning records for a class (for opt-in warm starts).
+    /// Stored tuning records for a class (for opt-in warm starts). Counts
+    /// as a use for LRU compaction.
     pub fn records_for(&self, class_key: &str) -> Vec<TuningRecordLog> {
-        self.entries
-            .lock()
-            .expect("store lock poisoned")
-            .get(class_key)
-            .map(|e| e.records.clone())
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("store lock poisoned");
+        entries
+            .get_mut(class_key)
+            .map(|e| {
+                e.last_used = tick;
+                e.records.clone()
+            })
             .unwrap_or_default()
     }
 
@@ -229,9 +284,10 @@ impl WarmStore {
     /// running — so only the persisted layer needs the records.
     pub fn absorb(&self, spec: &JobSpec, faults: &str, log: &[TuningRecordLog]) {
         let key = spec.class_key(faults);
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().expect("store lock poisoned");
         let entry = entries.entry(key.clone()).or_insert_with(|| StoreEntry {
-            key,
+            key: key.clone(),
             op: spec.op.clone(),
             shape: spec.shape,
             batch: spec.batch,
@@ -240,16 +296,20 @@ impl WarmStore {
             best_seconds: None,
             jobs_absorbed: 0,
             records: Vec::new(),
+            last_used: 0,
         });
         entry.jobs_absorbed += 1;
+        entry.last_used = tick;
         let mut seen: std::collections::HashSet<u64> =
             entry.records.iter().map(steps_hash).collect();
+        let mut absorbed: Vec<&TuningRecordLog> = Vec::new();
         for r in log {
             if entry.records.len() >= MAX_RECORDS_PER_ENTRY {
                 break;
             }
             if seen.insert(steps_hash(r)) {
                 entry.records.push(r.clone());
+                absorbed.push(r);
             }
             if r.is_valid() {
                 // (not `map_or`/`is_none_or`: the latter postdates the MSRV)
@@ -262,6 +322,100 @@ impl WarmStore {
                 }
             }
         }
+        // Train the store-wide transfer surrogate on the newly absorbed
+        // (deduplicated) records only, so re-running the same job doesn't
+        // double-weight its programs.
+        {
+            let mut sur = self.surrogate.lock().expect("store lock poisoned");
+            for r in &absorbed {
+                sur.update(&r.task, &r.steps, r.seconds);
+            }
+        }
+        let entry_json = serde_json::to_string(&*entry).expect("store entry serializes");
+        self.entry_bytes
+            .lock()
+            .expect("store lock poisoned")
+            .insert(key.clone(), entry_json.len() as u64);
+        drop(entries);
+        self.compact(&key);
+    }
+
+    /// Evicts least-recently-used entries (never `keep_key`, the entry the
+    /// caller just touched) until the summed serialized entry size fits
+    /// the byte budget. A no-op when no budget is set.
+    fn compact(&self, keep_key: &str) {
+        let budget = self.byte_budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        loop {
+            let victim = {
+                let entries = self.entries.lock().expect("store lock poisoned");
+                let bytes = self.entry_bytes.lock().expect("store lock poisoned");
+                let total: u64 = bytes.values().sum();
+                if total <= budget || entries.len() <= 1 {
+                    return;
+                }
+                match entries
+                    .values()
+                    .filter(|e| e.key != keep_key)
+                    .min_by_key(|e| e.last_used)
+                {
+                    Some(e) => e.key.clone(),
+                    None => return,
+                }
+            };
+            self.entries
+                .lock()
+                .expect("store lock poisoned")
+                .remove(&victim);
+            self.entry_bytes
+                .lock()
+                .expect("store lock poisoned")
+                .remove(&victim);
+            // Drop the class's measurement cache too: with the records
+            // gone it can no longer be re-primed after a restart, and
+            // keeping it would hold the evicted memory live.
+            self.measure_caches
+                .lock()
+                .expect("store lock poisoned")
+                .remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the store-wide serialized-entry byte budget (`None` =
+    /// unlimited). Enforced lazily, on each absorb.
+    pub fn set_byte_budget(&self, budget: Option<u64>) {
+        self.byte_budget
+            .store(budget.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Approximate serialized size of all entries, in bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entry_bytes
+            .lock()
+            .expect("store lock poisoned")
+            .values()
+            .sum()
+    }
+
+    /// Entries evicted by byte-budget compaction in this process.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the store-wide transfer surrogate.
+    pub fn surrogate(&self) -> StepSequenceModel {
+        self.surrogate.lock().expect("store lock poisoned").clone()
+    }
+
+    /// Training updates absorbed into the store-wide surrogate.
+    pub fn surrogate_updates(&self) -> u64 {
+        self.surrogate
+            .lock()
+            .expect("store lock poisoned")
+            .num_updates()
     }
 
     /// Number of class entries.
@@ -293,9 +447,14 @@ impl WarmStore {
             .values()
             .cloned()
             .collect();
+        let surrogate = {
+            let sur = self.surrogate.lock().expect("store lock poisoned");
+            (sur.num_updates() > 0).then(|| sur.clone())
+        };
         let file = StoreFile {
             version: STORE_VERSION,
             entries,
+            surrogate,
         };
         let json = serde_json::to_string(&file).expect("store serializes");
         let tmp = path.with_extension("tmp");
@@ -330,6 +489,10 @@ mod tests {
             trials: 32,
             seed: 1,
             warm_start: None,
+            threads: None,
+            faults: None,
+            prerank_keep: None,
+            transfer: None,
         }
     }
 
@@ -385,6 +548,76 @@ mod tests {
         std::fs::write(&path, "{\"version\":999,\"entries\":[]}").unwrap();
         let err = WarmStore::open(&path).unwrap_err();
         assert!(err.contains("version"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn record_with_steps(trial: u64, seconds: f64, split: i64) -> TuningRecordLog {
+        TuningRecordLog {
+            task: "GMM:s0b1".into(),
+            trial,
+            steps: vec![tensor_ir::Step::Split {
+                node: "C".into(),
+                iter: "i".into(),
+                lengths: vec![split],
+            }],
+            seconds,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_entries() {
+        let store = WarmStore::in_memory();
+        let a = spec();
+        let mut b = spec();
+        b.shape = 1;
+        let mut c = spec();
+        c.shape = 2;
+        store.absorb(&a, "none", &[record_with_steps(1, 2e-3, 2)]);
+        store.absorb(&b, "none", &[record_with_steps(1, 2e-3, 4)]);
+        // Touch A so B becomes the least recently used.
+        assert!(!store.records_for(&a.class_key("none")).is_empty());
+        let two_entries = store.resident_bytes();
+        assert!(two_entries > 0);
+        // Budget fits roughly two entries; absorbing a third must evict B.
+        store.set_byte_budget(Some(two_entries + 8));
+        store.absorb(&c, "none", &[record_with_steps(1, 2e-3, 8)]);
+        assert_eq!(store.entry_count(), 2);
+        assert_eq!(store.eviction_count(), 1);
+        assert!(store.records_for(&b.class_key("none")).is_empty());
+        assert!(!store.records_for(&a.class_key("none")).is_empty());
+        assert!(!store.records_for(&c.class_key("none")).is_empty());
+        assert!(store.resident_bytes() <= two_entries + 8);
+    }
+
+    #[test]
+    fn surrogate_survives_save_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("ansor-store-s-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let _ = std::fs::remove_file(&path);
+
+        let (store, _) = WarmStore::open(&path).unwrap();
+        let s = spec();
+        let log: Vec<TuningRecordLog> = (0..12)
+            .map(|i| record_with_steps(i, 1e-3 * (i + 1) as f64, i as i64 + 1))
+            .collect();
+        store.absorb(&s, "none", &log);
+        assert_eq!(store.surrogate_updates(), 12);
+        store.save().unwrap();
+
+        let (reopened, _) = WarmStore::open(&path).unwrap();
+        assert_eq!(reopened.surrogate_updates(), 12);
+        let probe = vec![tensor_ir::Step::Split {
+            node: "C".into(),
+            iter: "i".into(),
+            lengths: vec![4],
+        }];
+        assert_eq!(
+            store.surrogate().score(&probe).to_bits(),
+            reopened.surrogate().score(&probe).to_bits(),
+            "persisted surrogate must score bit-identically"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -29,16 +29,32 @@ fn arb_spec() -> impl Strategy<Value = JobSpec> {
         1usize..4096,
         any::<u64>(),
         prop_oneof![Just(None), Just(Some(false)), Just(Some(true))],
+        (
+            prop_oneof![Just(None), (0usize..16).prop_map(Some)],
+            prop_oneof![
+                Just(None),
+                Just(Some("none".to_string())),
+                Just(Some("transient_prob=0.1".to_string()))
+            ],
+            prop_oneof![Just(None), (0.05f64..1.0).prop_map(Some)],
+            prop_oneof![Just(None), Just(Some(false)), Just(Some(true))],
+        ),
     )
         .prop_map(
-            |(op, shape, batch, target, trials, seed, warm_start)| JobSpec {
-                op,
-                shape,
-                batch,
-                target,
-                trials,
-                seed,
-                warm_start,
+            |(op, shape, batch, target, trials, seed, warm_start, (threads, faults, keep, tr))| {
+                JobSpec {
+                    op,
+                    shape,
+                    batch,
+                    target,
+                    trials,
+                    seed,
+                    warm_start,
+                    threads,
+                    faults,
+                    prerank_keep: keep,
+                    transfer: tr,
+                }
             },
         )
 }
@@ -144,6 +160,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
             workers: 2,
             store_entries: 1,
             store_records: 17,
+            store_bytes: 4096,
+            store_evictions: 0,
+            surrogate_updates: 17,
             draining,
         },
     );

@@ -12,6 +12,10 @@ fn spec(seed: u64, trials: usize) -> JobSpec {
         trials,
         seed,
         warm_start: None,
+        threads: None,
+        faults: None,
+        prerank_keep: None,
+        transfer: None,
     }
 }
 

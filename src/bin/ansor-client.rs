@@ -27,6 +27,7 @@ fn usage() -> ! {
          \n\
          \x20  ansor-client [--addr ADDR] submit --op OP [--shape N] [--batch N]\n\
          \x20               [--target T] [--trials N] [--seed N] [--warm-start] [--wait]\n\
+         \x20               [--threads N] [--faults SPEC] [--transfer] [--prerank-keep F]\n\
          \x20  ansor-client [--addr ADDR] status|result|wait|cancel JOB\n\
          \x20  ansor-client [--addr ADDR] stats\n\
          \x20  ansor-client [--addr ADDR] shutdown [--no-drain]\n\
@@ -73,6 +74,10 @@ fn main() {
                 trials: 200,
                 seed: 0,
                 warm_start: None,
+                threads: None,
+                faults: None,
+                prerank_keep: None,
+                transfer: None,
             };
             let mut wait = false;
             let mut it = opts.iter();
@@ -90,6 +95,10 @@ fn main() {
                     "--trials" => spec.trials = val().parse().unwrap_or(200),
                     "--seed" => spec.seed = val().parse().unwrap_or(0),
                     "--warm-start" => spec.warm_start = Some(true),
+                    "--threads" => spec.threads = val().parse().ok(),
+                    "--faults" => spec.faults = Some(val()),
+                    "--prerank-keep" => spec.prerank_keep = val().parse().ok(),
+                    "--transfer" => spec.transfer = Some(true),
                     "--wait" => wait = true,
                     other => die(&format!("unknown submit flag {other:?}")),
                 }

@@ -31,6 +31,7 @@ fn print_help() {
          \x20  --workers N          concurrent tuning sessions (default 2)\n\
          \x20  --queue-cap N        bounded job-queue capacity (default 64)\n\
          \x20  --store PATH         persistent warm store (default: in-memory only)\n\
+         \x20  --store-budget N     warm-store byte budget; LRU classes evicted beyond it\n\
          \x20  --threads N          parallel-runtime workers per session\n\
          \x20  --faults SPEC        deterministic measurement faults (docs/ROBUSTNESS.md)\n\
          \x20  --metrics-addr ADDR  live /metrics /status /healthz (docs/OPERATIONS.md)\n\
@@ -54,6 +55,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
     let store_path = flag_value(&args, "--store");
+    let store_budget = flag_value(&args, "--store-budget").and_then(|v| v.parse().ok());
 
     let telemetry = args.telemetry();
     let server = Server::start(ServeConfig {
@@ -62,6 +64,8 @@ fn main() {
         queue_cap,
         store_path: store_path.clone(),
         faults: args.faults_spec.clone(),
+        threads: args.threads.unwrap_or(0),
+        store_budget,
         telemetry: telemetry.clone(),
     })
     .unwrap_or_else(|e| {

@@ -32,6 +32,10 @@ fn spec(seed: u64) -> JobSpec {
         trials: TRIALS,
         seed,
         warm_start: None,
+        threads: None,
+        faults: None,
+        prerank_keep: None,
+        transfer: None,
     }
 }
 

@@ -1,0 +1,143 @@
+//! Cross-class transfer through the warm store's surrogate: a donor
+//! session on one operator class trains the store-wide step-sequence
+//! model, and a *different* class warm-started from it must reach the
+//! cold run's final quality in no more trials than the cold run took.
+//!
+//! Also pins the golden-trace guarantee from the other side: with the
+//! prerank stage off (the default) a traced run emits no
+//! `SurrogateCalibration` events and no `surrogate/*` counters, so
+//! enabling the subsystem cannot perturb existing traces.
+
+use ansor::core::{SearchTask, StepSequenceModel, TuningOptions, TuningRecord, TuningSession};
+use ansor::prelude::*;
+use ansor::serve::{JobSpec, WarmStore};
+use ansor::workloads::build_case;
+use telemetry::{read_trace, SharedBuf, Telemetry, TraceEvent};
+
+const DONOR_TRIALS: usize = 96;
+const PROBE_TRIALS: usize = 64;
+
+fn donor_spec(seed: u64) -> JobSpec {
+    JobSpec {
+        op: "GMM".into(),
+        shape: 0,
+        batch: 1,
+        target: "intel".into(),
+        trials: DONOR_TRIALS,
+        seed,
+        warm_start: None,
+        threads: None,
+        faults: None,
+        prerank_keep: None,
+        transfer: None,
+    }
+}
+
+/// Runs a donor job exactly as the daemon would and absorbs its log into
+/// the store (which trains the store-wide surrogate).
+fn run_donor_into(store: &WarmStore, seed: u64) {
+    let spec = donor_spec(seed);
+    let dag = build_case(&spec.op, spec.shape, spec.batch).expect("known case");
+    let target = HardwareTarget::by_name(&spec.target).expect("known target");
+    let task = SearchTask::new(spec.task_name(), dag, target.clone());
+    let options = TuningOptions {
+        num_measure_trials: spec.trials,
+        seed: spec.seed,
+        ..Default::default()
+    };
+    let mut session = TuningSession::new(task, options, Measurer::new(target), "donor");
+    session.run(|_| true);
+    store.absorb(&spec, "none", session.log());
+}
+
+/// Tunes the probe class (GMM shape 2 — never absorbed into the store),
+/// optionally warm-started with the transferred surrogate, and returns
+/// the tuning history.
+fn run_probe(surrogate: Option<StepSequenceModel>) -> Vec<TuningRecord> {
+    let dag = build_case("GMM", 2, 1).expect("GMM shape 2 exists");
+    let target = HardwareTarget::by_name("intel").expect("intel target");
+    let task = SearchTask::new("GMM:s2b1", dag, target.clone());
+    let options = TuningOptions {
+        num_measure_trials: PROBE_TRIALS,
+        seed: 1,
+        prerank_keep: surrogate.is_some().then_some(0.25),
+        ..Default::default()
+    };
+    let mut session = TuningSession::new(task, options, Measurer::new(target), "probe");
+    if let Some(sur) = surrogate {
+        session.install_surrogate(sur);
+    }
+    session.run(|_| true);
+    session.into_result().history
+}
+
+/// First trial at which the running best reached `target` seconds.
+fn trials_to_reach(history: &[TuningRecord], target: f64) -> Option<u64> {
+    history
+        .iter()
+        .find(|r| r.best_seconds <= target)
+        .map(|r| r.trial)
+}
+
+#[test]
+fn transferred_surrogate_reaches_cold_quality_in_no_more_trials() {
+    let store = WarmStore::in_memory();
+    for seed in [0, 1] {
+        run_donor_into(&store, seed);
+    }
+    let surrogate = store.surrogate();
+    assert!(
+        surrogate.is_trained(),
+        "store surrogate must train from absorbed donor jobs ({} updates)",
+        surrogate.num_updates()
+    );
+
+    let cold = run_probe(None);
+    let warm = run_probe(Some(surrogate));
+
+    // Both runs are measured against the same bar: the cold run's final
+    // quality on a class the store never saw.
+    let bar = cold.last().expect("cold probe ran").best_seconds;
+    let cold_trials = trials_to_reach(&cold, bar).expect("cold reaches its own best");
+    let warm_trials = trials_to_reach(&warm, bar).unwrap_or(u64::MAX);
+    assert!(
+        warm_trials <= cold_trials,
+        "cross-class warm start must not slow convergence: \
+         warm {warm_trials} trials vs cold {cold_trials} to reach {bar:e}s"
+    );
+}
+
+#[test]
+fn prerank_off_emits_no_surrogate_trace_events_or_counters() {
+    let buf = SharedBuf::new();
+    let tel = Telemetry::to_writer(Box::new(buf.clone()));
+    let dag = build_case("GMM", 2, 1).expect("GMM shape 2 exists");
+    let target = HardwareTarget::by_name("intel").expect("intel target");
+    let task = SearchTask::new("GMM:s2b1", dag, target.clone());
+    let options = TuningOptions {
+        num_measure_trials: 48,
+        seed: 1,
+        telemetry: tel.clone(),
+        ..Default::default()
+    };
+    let mut measurer = Measurer::new(target);
+    measurer.set_telemetry(tel.clone());
+    let mut session = TuningSession::new(task, options, measurer, "prerank-off");
+    session.run(|_| true);
+    tel.flush();
+
+    let (lines, skipped) = read_trace(buf.contents().as_slice()).expect("readable trace");
+    assert_eq!(skipped, 0, "trace must be fully parseable");
+    assert!(
+        !lines
+            .iter()
+            .any(|l| matches!(l.event, TraceEvent::SurrogateCalibration { .. })),
+        "prerank off must not emit SurrogateCalibration events"
+    );
+    for (name, _) in telemetry::report::final_counters(&lines) {
+        assert!(
+            !name.starts_with("surrogate/"),
+            "prerank off must not create surrogate counters (found {name})"
+        );
+    }
+}
