@@ -219,6 +219,41 @@ fn render(
             s.store_entries,
             s.store_records,
         ));
+        if !s.jobs.is_empty() {
+            out.push_str(&format!(
+                "\n{:<10} {:>9} {:>12} {:>6} {:>9} {:>8}\n",
+                "JOB", "STATE", "TRIALS", "ROUNDS", "QWAIT", "GFLOPS"
+            ));
+            for (id, j) in &s.jobs {
+                let trials = if j.trials_budget > 0 {
+                    format!("{}/{}", j.trials, j.trials_budget)
+                } else {
+                    format!("{}", j.trials)
+                };
+                let qwait = j
+                    .queue_wait_ms
+                    .map(|ms| format!("{ms:.1}ms"))
+                    .unwrap_or_else(|| "-".into());
+                let gflops = j
+                    .best_gflops
+                    .map(|g| format!("{g:.1}"))
+                    .unwrap_or_else(|| "-".into());
+                out.push_str(&format!(
+                    "{id:<10} {:>9} {trials:>12} {:>6} {qwait:>9} {gflops:>8}\n",
+                    j.state, j.rounds
+                ));
+            }
+        }
+        let mut latency = Vec::new();
+        if let Some(q) = &s.queue_wait_ms {
+            latency.push(format!("queue-wait p50 {:.1}ms p99 {:.1}ms", q.p50, q.p99));
+        }
+        for (method, h) in &s.request_ms {
+            latency.push(format!("{method} p50 {:.2}ms p99 {:.2}ms", h.p50, h.p99));
+        }
+        if !latency.is_empty() {
+            out.push_str(&format!("latency: {}\n", latency.join("  ")));
+        }
     }
 
     let f = &report.faults;

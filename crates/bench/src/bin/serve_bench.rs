@@ -5,8 +5,10 @@
 //! runs a **cold** pass of distinct jobs submitted from concurrent
 //! clients, then a **warm** pass resubmitting the identical jobs — every
 //! measurement and featurization is then served from the shared store.
-//! Reports jobs/sec for both passes, p50/p99 request latency probed
-//! against the daemon while it is busy, and the wall-clock
+//! Reports jobs/sec for both passes, p50/p99 request latency from the
+//! daemon's own `serve/request_ms/stats` histogram (probe requests keep
+//! it busy; the daemon times every request at the dispatch layer),
+//! queue-wait p50/p99 from `serve/queue_wait_ms`, and the wall-clock
 //! `warm_cold_ratio`, a machine-independent number (both passes run the
 //! same search on the same machine; only cache state differs).
 //!
@@ -45,9 +47,19 @@ struct BenchReport {
     /// Throughput, jobs per second.
     jobs_per_sec_cold: f64,
     jobs_per_sec_warm: f64,
-    /// Request latency of `stats` probes against the busy daemon, ms.
+    /// Request latency of `stats` probes against the busy daemon, ms —
+    /// measured by the daemon itself (`serve/request_ms/stats`).
     request_p50_ms: f64,
     request_p99_ms: f64,
+    /// Queue wait across all claimed jobs, ms, from the daemon's
+    /// `serve/queue_wait_ms` histogram (absent in older baselines).
+    #[serde(default)]
+    queue_wait_p50_ms: f64,
+    #[serde(default)]
+    queue_wait_p99_ms: f64,
+    /// Jobs whose queue wait the daemon observed (both passes).
+    #[serde(default)]
+    queue_waits_observed: u64,
     /// Measure-cache hits observed across the warm pass (must be > 0).
     warm_measure_hits: u64,
     /// Cross-class transfer probe (a class the store has never tuned):
@@ -159,24 +171,14 @@ fn run_pass(
     (wall_ms, results.into_iter().map(|(_, r)| r).collect())
 }
 
-/// `stats` round-trip latencies (ms) probed while the daemon is busy.
-fn probe_latency(addr: &str, probes: usize) -> Vec<f64> {
+/// Fires `stats` probes at the busy daemon. The daemon times each one
+/// into its `serve/request_ms/stats` histogram at the dispatch layer, so
+/// the reported latency excludes client-side connect/serialize noise.
+fn probe_requests(addr: &str, probes: usize) {
     let mut client = Client::connect(addr).expect("connect");
-    (0..probes)
-        .map(|_| {
-            let t0 = Instant::now();
-            client.stats().expect("stats");
-            t0.elapsed().as_secs_f64() * 1e3
-        })
-        .collect()
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+    for _ in 0..probes {
+        client.stats().expect("stats");
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
 }
 
 fn main() {
@@ -192,13 +194,21 @@ fn main() {
     let _ = std::fs::remove_file(&store);
 
     let telemetry = args.telemetry();
+    // The daemon needs a metrics registry even when the harness runs
+    // without `--metrics-addr`: its request/queue-wait histograms ARE the
+    // latency measurement.
+    let server_tel = if telemetry.is_enabled() {
+        telemetry.clone()
+    } else {
+        telemetry::Telemetry::with_metrics()
+    };
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers,
         queue_cap: jobs * 2 + 4,
         store_path: Some(store.to_string_lossy().to_string()),
         faults: args.faults_spec.clone(),
-        telemetry: telemetry.clone(),
+        telemetry: server_tel.clone(),
         ..Default::default()
     })
     .expect("server starts");
@@ -207,10 +217,12 @@ fn main() {
 
     // Cold pass: empty store, every measurement computed. Latency probes
     // run concurrently so p50/p99 reflect a daemon under load.
-    let ((cold_wall_ms, cold_results), mut latencies) = std::thread::scope(|scope| {
+    let (cold_wall_ms, cold_results) = std::thread::scope(|scope| {
         let pass = scope.spawn(|| run_pass(&addr, &seeds, trials, clients));
-        let probes = scope.spawn(|| probe_latency(&addr, 200));
-        (pass.join().expect("pass"), probes.join().expect("probes"))
+        let probes = scope.spawn(|| probe_requests(&addr, 200));
+        let result = pass.join().expect("pass");
+        probes.join().expect("probes");
+        result
     });
 
     // Warm pass: identical jobs; the store now holds every measurement.
@@ -249,12 +261,32 @@ fn main() {
     let xclass_cold = trials_to_reach(&cold_hist, xclass_target).expect("cold reaches own best");
     let xclass_warm = trials_to_reach(&warm_hist, xclass_target).unwrap_or(trials as u64 + 1);
 
+    // Read the daemon's own latency histograms before shutting it down.
+    let snap = server_tel.live_snapshot().expect("server metrics enabled");
+    let request_stats = snap
+        .metrics
+        .histograms
+        .get("serve/request_ms/stats")
+        .cloned()
+        .expect("stats probes recorded");
+    let queue_wait = snap
+        .metrics
+        .histograms
+        .get("serve/queue_wait_ms")
+        .cloned()
+        .expect("queue waits recorded");
+    assert!(
+        queue_wait.count >= (jobs * 2) as u64,
+        "daemon observed {} queue waits for {} started jobs",
+        queue_wait.count,
+        jobs * 2
+    );
+
     let mut shutdown_client = Client::connect(&addr).expect("connect");
     shutdown_client.shutdown(true).expect("shutdown");
     server.wait();
     let _ = std::fs::remove_file(&store);
 
-    latencies.sort_by(f64::total_cmp);
     let report = BenchReport {
         jobs,
         trials_per_job: trials,
@@ -264,8 +296,11 @@ fn main() {
         warm_cold_ratio: cold_wall_ms / warm_wall_ms.max(1e-9),
         jobs_per_sec_cold: jobs as f64 / (cold_wall_ms / 1e3).max(1e-9),
         jobs_per_sec_warm: jobs as f64 / (warm_wall_ms / 1e3).max(1e-9),
-        request_p50_ms: percentile(&latencies, 0.50),
-        request_p99_ms: percentile(&latencies, 0.99),
+        request_p50_ms: request_stats.p50,
+        request_p99_ms: request_stats.p99,
+        queue_wait_p50_ms: queue_wait.p50,
+        queue_wait_p99_ms: queue_wait.p99,
+        queue_waits_observed: queue_wait.count,
         warm_measure_hits,
         xclass_cold_trials_to_best: xclass_cold,
         xclass_warm_trials_to_best: xclass_warm,
@@ -294,6 +329,12 @@ fn main() {
                     format!("{:.2}", report.request_p50_ms),
                     format!("{:.2}", report.request_p99_ms),
                     String::new(),
+                ],
+                vec![
+                    "queue wait p50/p99 (ms)".into(),
+                    format!("{:.2}", report.queue_wait_p50_ms),
+                    format!("{:.2}", report.queue_wait_p99_ms),
+                    format!("{} jobs", report.queue_waits_observed),
                 ],
                 vec![
                     "warm measure hits".into(),

@@ -18,8 +18,15 @@
 //! - the lineage of each task's best state (`ImprovementAttributed`);
 //! - held-out cost-model calibration over time (`ModelCalibration`).
 //!
+//! With `--serve <journal.jsonl>` it reports on an `ansor-serve` daemon
+//! instead: the per-job lifecycle table (queue wait, run time, outcome,
+//! best GFLOPS) from the job journal, plus fleet-wide sketch-rule and
+//! evolution-operator efficacy aggregated across every per-job trace the
+//! journal points at (see docs/SERVING.md).
+//!
 //! Run: `trace-report <trace.jsonl> [--explain] [--json <path>] [--strict]
 //! [--follow] [--events <path>]`
+//! or:  `trace-report --serve <journal.jsonl> [--json <path>] [--strict]`
 //!
 //! `--json <path>` writes every table (including the explain sections) as
 //! one JSON document; `--strict` exits nonzero when the trace contains
@@ -114,6 +121,7 @@ struct Options {
     strict: bool,
     follow: bool,
     events: Option<String>,
+    serve: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -123,6 +131,7 @@ fn parse_args() -> Options {
     let mut strict = false;
     let mut follow = false;
     let mut events = None;
+    let mut serve = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -131,6 +140,7 @@ fn parse_args() -> Options {
             "--strict" => strict = true,
             "--follow" => follow = true,
             "--events" => events = it.next(),
+            "--serve" => serve = it.next(),
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => {
                 eprintln!("trace-report: unrecognized argument {other}");
@@ -138,8 +148,12 @@ fn parse_args() -> Options {
             }
         }
     }
-    let Some(path) = path else {
-        usage_exit();
+    // `--serve` takes the journal path itself; a positional trace path is
+    // only required in the default (single-trace) mode.
+    let path = match (path, &serve) {
+        (Some(p), _) => p,
+        (None, Some(_)) => String::new(),
+        (None, None) => usage_exit(),
     };
     Options {
         path,
@@ -148,15 +162,93 @@ fn parse_args() -> Options {
         strict,
         follow,
         events,
+        serve,
     }
 }
 
 fn usage_exit() -> ! {
     eprintln!(
         "usage: trace-report <trace.jsonl> [--explain] [--json <path>] [--strict] \
-         [--follow] [--events <path>]"
+         [--follow] [--events <path>]\n\
+         \x20      trace-report --serve <journal.jsonl> [--json <path>] [--strict]"
     );
     std::process::exit(2);
+}
+
+/// The `--serve` mode: per-job lifecycle table and fleet-wide efficacy
+/// from an `ansor-serve` job journal.
+fn serve_mode(journal: &str, opts: &Options) -> ! {
+    use ansor_bench::serve_report::{job_rows, ServeReport};
+    let report = match ServeReport::build(std::path::Path::new(journal)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-report: cannot read journal {journal}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "journal: {journal} ({} events, {} corrupt lines skipped, {} daemon start{})",
+        report.events,
+        report.corrupt_lines_skipped,
+        report.daemon_starts,
+        if report.daemon_starts == 1 { "" } else { "s" }
+    );
+    if !report.jobs.is_empty() {
+        print_table(
+            "Jobs (submit order)",
+            &[
+                "job",
+                "task",
+                "outcome",
+                "trials",
+                "queue wait",
+                "run time",
+                "GFLOPS",
+                "absorbed",
+            ],
+            &job_rows(&report),
+        );
+    }
+    if report.traces_read + report.traces_missing > 0 {
+        println!(
+            "fleet traces: {} read, {} missing",
+            report.traces_read, report.traces_missing
+        );
+    }
+    if !report.rule_efficacy.is_empty() {
+        print_table(
+            "Fleet sketch-rule efficacy (all jobs)",
+            &[
+                "rule", "proposed", "survived", "measured", "new best", "hit rate",
+            ],
+            &efficacy_rows(&report.rule_efficacy),
+        );
+    }
+    if !report.operator_efficacy.is_empty() {
+        print_table(
+            "Fleet evolution-operator efficacy (all jobs)",
+            &[
+                "operator", "proposed", "survived", "measured", "new best", "hit rate",
+            ],
+            &efficacy_rows(&report.operator_efficacy),
+        );
+    }
+    if let Some(json_path) = &opts.json {
+        let json = serde_json::to_string_pretty(&report).expect("serializable serve report");
+        std::fs::write(json_path, json).unwrap_or_else(|e| {
+            eprintln!("trace-report: cannot write {json_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("(wrote {json_path})");
+    }
+    if opts.strict && report.corrupt_lines_skipped > 0 {
+        eprintln!(
+            "trace-report: --strict: {} corrupt lines in {journal}",
+            report.corrupt_lines_skipped
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// Tail a live trace file: poll + seek from the last offset, parse only
@@ -235,6 +327,9 @@ fn print_live(line: &TraceLine) {
 
 fn main() {
     let opts = parse_args();
+    if let Some(journal) = opts.serve.clone() {
+        serve_mode(&journal, &opts);
+    }
     let (lines, skipped) = if opts.follow {
         follow_trace(std::path::Path::new(&opts.path))
     } else {

@@ -24,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod serve_report;
+
 use std::io::Write as _;
 use std::time::Instant;
 

@@ -56,6 +56,7 @@ impl Client {
             job: None,
             spec: None,
             drain: None,
+            offset: None,
         }
     }
 
@@ -101,6 +102,38 @@ impl Client {
         let mut req = self.request("cancel");
         req.job = Some(job.into());
         self.call(req).map(|_| ())
+    }
+
+    /// Pulls a finished job's full provenance trace (the per-job JSONL
+    /// the daemon wrote under its `--trace-dir`), reassembling it from
+    /// offset-ordered chunks. Feed the result to `trace-report`.
+    pub fn trace(&mut self, job: &str) -> Result<String, String> {
+        let mut out = String::new();
+        let mut offset = 0u64;
+        loop {
+            let mut req = self.request("trace");
+            req.job = Some(job.into());
+            req.offset = Some(offset);
+            let chunk = self
+                .call(req)?
+                .trace
+                .ok_or_else(|| "trace response carried no chunk".to_string())?;
+            if chunk.offset != offset {
+                return Err(format!(
+                    "trace chunk at offset {} but {} was requested",
+                    chunk.offset, offset
+                ));
+            }
+            let eof = chunk.eof;
+            if chunk.data.is_empty() && !eof {
+                return Err("empty non-final trace chunk".into());
+            }
+            offset += chunk.data.len() as u64;
+            out.push_str(&chunk.data);
+            if eof {
+                return Ok(out);
+            }
+        }
     }
 
     /// Server-wide counters.

@@ -1,0 +1,389 @@
+//! The daemon's job journal: an append-only JSONL flight recorder.
+//!
+//! One [`JournalEvent`] per line, written next to the warm store by
+//! default (`journal.jsonl`). The journal spans daemon restarts: on
+//! startup the existing file is replayed to (a) mark any job that was
+//! submitted but never finished as [`JournalEvent::Interrupted`] — a
+//! crash must not leave phantom "running" entries — and (b) seed the
+//! job-id counter past every id ever issued, so restarted daemons never
+//! reuse an id the journal already knows.
+//!
+//! Appends are atomic at the line level: the file is opened in append
+//! mode and each event is written as a single `write_all` of the whole
+//! line (POSIX appends of one buffer do not interleave), then flushed,
+//! so a reader — or a replay after a crash — sees only whole lines plus
+//! at most one torn tail, which replay skips.
+//!
+//! `trace-report --serve <journal>` builds its per-job table and
+//! fleet-wide efficacy aggregation from this file; see `docs/SERVING.md`
+//! for the event reference.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::proto::CacheDeltas;
+
+/// One journal line. Externally tagged JSON, one object per line —
+/// `{"Submit":{"job":"job-1",...}}` — mirroring the trace-event encoding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEvent {
+    /// The daemon (re)started and owns the journal from here on.
+    DaemonStart {
+        /// Session worker threads.
+        workers: u64,
+        /// Bounded queue capacity.
+        queue_cap: u64,
+    },
+    /// A job was accepted and queued.
+    Submit {
+        /// Job id (`job-N`).
+        job: String,
+        /// Canonical task name.
+        task: String,
+        /// Operator class name.
+        op: String,
+        /// Shape index.
+        shape: u64,
+        /// Batch size.
+        batch: i64,
+        /// Target name.
+        target: String,
+        /// Measurement-trial budget.
+        trials: u64,
+        /// Search RNG seed.
+        seed: u64,
+    },
+    /// A worker claimed the job and started its session.
+    Start {
+        /// Job id.
+        job: String,
+        /// Milliseconds the job spent queued before a worker claimed it.
+        queue_wait_ms: f64,
+    },
+    /// Round-level progress of a running job.
+    Round {
+        /// Job id.
+        job: String,
+        /// Tuning rounds completed.
+        round: u64,
+        /// Measurement trials consumed.
+        trials: u64,
+        /// Best measured seconds so far, if any.
+        best_seconds: Option<f64>,
+    },
+    /// The job settled (`done`, `failed`, or `cancelled`).
+    Finish {
+        /// Job id.
+        job: String,
+        /// `done`, `failed`, or `cancelled`.
+        outcome: String,
+        /// Milliseconds the job spent queued.
+        queue_wait_ms: f64,
+        /// Wall-clock milliseconds the job spent executing.
+        wall_ms: f64,
+        /// Measurement trials consumed.
+        trials: u64,
+        /// Best throughput in GFLOP/s, if any valid measurement landed.
+        best_gflops: Option<f64>,
+        /// Shared-cache traffic during the job.
+        cache: CacheDeltas,
+        /// Deduplicated records the warm store absorbed from this job.
+        absorbed_records: u64,
+        /// Per-job trace file as the daemon wrote it (`--trace-dir`
+        /// joined with `<job>.trace.jsonl`), when tracing was enabled.
+        trace: Option<String>,
+    },
+    /// Replay found the job submitted but never finished: the daemon
+    /// died (or was killed) while the job was queued or running.
+    Interrupted {
+        /// Job id.
+        job: String,
+    },
+}
+
+impl JournalEvent {
+    /// The job id this event refers to (`None` for daemon-level events).
+    pub fn job_id(&self) -> Option<&str> {
+        match self {
+            JournalEvent::DaemonStart { .. } => None,
+            JournalEvent::Submit { job, .. }
+            | JournalEvent::Start { job, .. }
+            | JournalEvent::Round { job, .. }
+            | JournalEvent::Finish { job, .. }
+            | JournalEvent::Interrupted { job } => Some(job),
+        }
+    }
+}
+
+/// What [`JobJournal::open`] found in a pre-existing journal file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalReplay {
+    /// Events replayed (before any interruption markers were appended).
+    pub events: usize,
+    /// Jobs finished (any outcome) across all prior daemon epochs.
+    pub finished: usize,
+    /// Jobs marked interrupted by *this* replay: submitted in a prior
+    /// epoch but never finished.
+    pub interrupted: Vec<String>,
+    /// Highest numeric suffix of any `job-N` id seen; the daemon seeds
+    /// its id counter past this so restarts never reuse an id.
+    pub max_job_id: u64,
+    /// Torn or malformed lines skipped during replay.
+    pub skipped: usize,
+}
+
+/// An open journal: an append-only handle plus the replay summary.
+#[derive(Debug)]
+pub struct JobJournal {
+    file: File,
+}
+
+impl JobJournal {
+    /// Opens (or creates) the journal at `path`, replays any existing
+    /// events, and appends an [`JournalEvent::Interrupted`] marker for
+    /// every job a prior epoch left unfinished. The caller appends its
+    /// own [`JournalEvent::DaemonStart`] after the markers.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<(JobJournal, JournalReplay)> {
+        let path = path.as_ref();
+        let (events, skipped) = match File::open(path) {
+            Ok(f) => read_events(BufReader::new(f)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (Vec::new(), 0),
+            Err(e) => return Err(e),
+        };
+        let mut replay = JournalReplay {
+            events: events.len(),
+            skipped,
+            ..JournalReplay::default()
+        };
+        let mut open_jobs: Vec<String> = Vec::new();
+        for ev in &events {
+            match ev {
+                JournalEvent::Submit { job, .. } => open_jobs.push(job.clone()),
+                JournalEvent::Finish { job, .. } | JournalEvent::Interrupted { job } => {
+                    if let JournalEvent::Finish { .. } = ev {
+                        replay.finished += 1;
+                    }
+                    open_jobs.retain(|j| j != job);
+                }
+                _ => {}
+            }
+            if let Some(id) = ev.job_id() {
+                if let Some(n) = id.strip_prefix("job-").and_then(|s| s.parse::<u64>().ok()) {
+                    replay.max_job_id = replay.max_job_id.max(n);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut journal = JobJournal { file };
+        for job in open_jobs {
+            journal.append(&JournalEvent::Interrupted { job: job.clone() })?;
+            replay.interrupted.push(job);
+        }
+        Ok((journal, replay))
+    }
+
+    /// Appends one event as a single whole-line write, then flushes.
+    pub fn append(&mut self, event: &JournalEvent) -> std::io::Result<()> {
+        let mut line = serde_json::to_string(event).expect("journal events serialize");
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+/// Parses journal events from a reader, skipping torn or malformed
+/// lines. Returns `(events, skipped)`.
+pub fn read_events<R: BufRead>(reader: R) -> (Vec<JournalEvent>, usize) {
+    let mut events = Vec::new();
+    let mut skipped = 0;
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            skipped += 1;
+            continue;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<JournalEvent>(&line) {
+            Ok(ev) => events.push(ev),
+            Err(_) => skipped += 1,
+        }
+    }
+    (events, skipped)
+}
+
+/// Reads a journal file (see [`read_events`]). A missing file is an
+/// error — the caller wants to know the daemon never wrote one.
+pub fn read_journal(path: impl AsRef<Path>) -> std::io::Result<(Vec<JournalEvent>, usize)> {
+    let f = File::open(path)?;
+    Ok(read_events(BufReader::new(f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ansor-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.jsonl")
+    }
+
+    fn submit(job: &str) -> JournalEvent {
+        JournalEvent::Submit {
+            job: job.into(),
+            task: "GMM:s0b1".into(),
+            op: "GMM".into(),
+            shape: 0,
+            batch: 1,
+            target: "intel".into(),
+            trials: 64,
+            seed: 7,
+        }
+    }
+
+    fn finish(job: &str) -> JournalEvent {
+        JournalEvent::Finish {
+            job: job.into(),
+            outcome: "done".into(),
+            queue_wait_ms: 1.5,
+            wall_ms: 100.0,
+            trials: 64,
+            best_gflops: Some(10.0),
+            cache: CacheDeltas::default(),
+            absorbed_records: 12,
+            trace: Some(format!("{job}.trace.jsonl")),
+        }
+    }
+
+    #[test]
+    fn events_round_trip_and_carry_job_ids() {
+        for ev in [
+            JournalEvent::DaemonStart {
+                workers: 2,
+                queue_cap: 64,
+            },
+            submit("job-3"),
+            JournalEvent::Start {
+                job: "job-3".into(),
+                queue_wait_ms: 0.5,
+            },
+            JournalEvent::Round {
+                job: "job-3".into(),
+                round: 1,
+                trials: 8,
+                best_seconds: None,
+            },
+            finish("job-3"),
+            JournalEvent::Interrupted {
+                job: "job-3".into(),
+            },
+        ] {
+            let line = serde_json::to_string(&ev).unwrap();
+            let back: JournalEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, ev);
+        }
+        assert_eq!(
+            JournalEvent::DaemonStart {
+                workers: 1,
+                queue_cap: 1
+            }
+            .job_id(),
+            None
+        );
+        assert_eq!(submit("job-9").job_id(), Some("job-9"));
+    }
+
+    #[test]
+    fn open_on_a_fresh_path_starts_empty() {
+        let path = temp_path("fresh");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, replay) = JobJournal::open(&path).unwrap();
+        assert_eq!(replay, JournalReplay::default());
+        j.append(&submit("job-1")).unwrap();
+        j.append(&finish("job-1")).unwrap();
+        let (events, skipped) = read_journal(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(events.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_marks_unfinished_jobs_interrupted() {
+        let path = temp_path("interrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = JobJournal::open(&path).unwrap();
+            j.append(&JournalEvent::DaemonStart {
+                workers: 2,
+                queue_cap: 64,
+            })
+            .unwrap();
+            j.append(&submit("job-1")).unwrap();
+            j.append(&finish("job-1")).unwrap();
+            j.append(&submit("job-2")).unwrap();
+            j.append(&JournalEvent::Start {
+                job: "job-2".into(),
+                queue_wait_ms: 0.1,
+            })
+            .unwrap();
+            // Daemon "dies" here: job-2 never finishes.
+        }
+        let (_j, replay) = JobJournal::open(&path).unwrap();
+        assert_eq!(replay.interrupted, vec!["job-2".to_string()]);
+        assert_eq!(replay.finished, 1);
+        assert_eq!(replay.max_job_id, 2);
+        let (events, _) = read_journal(&path).unwrap();
+        assert_eq!(
+            events.last(),
+            Some(&JournalEvent::Interrupted {
+                job: "job-2".into()
+            })
+        );
+        // A third open finds nothing left dangling.
+        let (_j2, replay2) = JobJournal::open(&path).unwrap();
+        assert!(replay2.interrupted.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_lines_are_skipped_not_fatal() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = JobJournal::open(&path).unwrap();
+            j.append(&submit("job-1")).unwrap();
+        }
+        // Simulate a torn final line from a crash mid-write.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"Finish\":{\"job\":\"job-1\",\"outc")
+                .unwrap();
+        }
+        let (_j, replay) = JobJournal::open(&path).unwrap();
+        assert_eq!(replay.skipped, 1);
+        assert_eq!(replay.interrupted, vec!["job-1".to_string()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn max_job_id_survives_restart() {
+        let path = temp_path("maxid");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = JobJournal::open(&path).unwrap();
+            j.append(&submit("job-41")).unwrap();
+            j.append(&finish("job-41")).unwrap();
+        }
+        let (_j, replay) = JobJournal::open(&path).unwrap();
+        assert_eq!(replay.max_job_id, 41);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

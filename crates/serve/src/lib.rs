@@ -14,6 +14,8 @@
 //!
 //! - [`proto`] — wire types and line framing;
 //! - [`store`] — the shared warm store (caches + atomic JSON persistence);
+//! - [`journal`] — the append-only job journal (the daemon's flight
+//!   recorder, replayed on restart);
 //! - [`server`] — the daemon (accept loop, bounded job queue, session
 //!   workers);
 //! - [`client`] — a thin synchronous client.
@@ -23,14 +25,16 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod journal;
 pub mod proto;
 pub mod server;
 pub mod store;
 
 pub use client::Client;
+pub use journal::{JobJournal, JournalEvent, JournalReplay};
 pub use proto::{
-    CacheDeltas, JobResult, JobSpec, JobStatus, Request, Response, ServerStats, MAX_LINE_BYTES,
-    PROTOCOL_VERSION,
+    CacheDeltas, JobCounters, JobResult, JobSpec, JobStatus, Request, Response, ServerStats,
+    TraceChunk, MAX_LINE_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server};
 pub use store::{StoreEntry, StoreLoadStats, WarmStore, STORE_VERSION};

@@ -9,6 +9,7 @@
 //! always correlate failures. See `docs/SERVING.md` for the full protocol
 //! reference.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, Read, Write};
 
 use ansor_core::{single_fingerprint, single_task_name};
@@ -103,15 +104,19 @@ pub struct Request {
     /// Client-chosen correlation id, echoed in the response.
     pub id: u64,
     /// Method name: `submit`, `status`, `result`, `wait`, `cancel`,
-    /// `stats`, or `shutdown`.
+    /// `trace`, `stats`, or `shutdown`.
     pub method: String,
-    /// Job id operand (`status`/`result`/`wait`/`cancel`).
+    /// Job id operand (`status`/`result`/`wait`/`cancel`/`trace`).
     pub job: Option<String>,
     /// Job spec operand (`submit`).
     pub spec: Option<JobSpec>,
     /// Whether `shutdown` drains queued jobs first (default `true`);
     /// `false` cancels queued and running jobs immediately.
     pub drain: Option<bool>,
+    /// Byte offset into the job's trace file (`trace`; default 0). A
+    /// client pulls a large trace by re-requesting with the offset
+    /// advanced past each chunk until `eof`.
+    pub offset: Option<u64>,
 }
 
 /// Point-in-time view of a job.
@@ -153,6 +158,52 @@ pub struct CacheDeltas {
     pub score_misses: u64,
 }
 
+/// Per-job counter deltas, computed from the job's own isolated
+/// telemetry registry (`Snapshot::delta` over the session window). Unlike
+/// [`CacheDeltas`] — which reads the session's cache statistics — these
+/// come from the telemetry pipeline itself, so they are exact per job
+/// even under concurrent sessions: each job has its own registry.
+///
+/// All fields default so results from older servers still parse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobCounters {
+    /// Valid measurements (`measure/valid`).
+    #[serde(default)]
+    pub trials_valid: u64,
+    /// Failed measurements (`measure/failed`).
+    #[serde(default)]
+    pub trials_failed: u64,
+    /// Measurement-cache hits (`measure/cache_hits`).
+    #[serde(default)]
+    pub measure_cache_hits: u64,
+    /// Measurement-cache misses (`measure/cache_misses`).
+    #[serde(default)]
+    pub measure_cache_misses: u64,
+    /// Featurization-cache hits (`features/cache_hits`).
+    #[serde(default)]
+    pub feature_cache_hits: u64,
+    /// Model score-cache hits (`model/score_cache_hits`).
+    #[serde(default)]
+    pub score_cache_hits: u64,
+    /// Fault-induced measurement retries (`measure/retries`).
+    #[serde(default)]
+    pub fault_retries: u64,
+    /// Measurements abandoned after exhausting retries
+    /// (`measure/gave_up`).
+    #[serde(default)]
+    pub fault_gave_up: u64,
+    /// Programs quarantined by the search policy (`search/quarantined`).
+    #[serde(default)]
+    pub quarantined: u64,
+    /// Candidates skipped by the surrogate prerank (`surrogate/skipped`).
+    #[serde(default)]
+    pub surrogate_skipped: u64,
+    /// Seconds spent per top-level phase (`phase/<name>` histogram sums;
+    /// nested phases fold into their root).
+    #[serde(default)]
+    pub phase_seconds: BTreeMap<String, f64>,
+}
+
 /// Final outcome of a job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobResult {
@@ -181,6 +232,15 @@ pub struct JobResult {
     /// Wall-clock milliseconds the job spent executing (not queued).
     /// Nondeterministic; excluded from bit-identity comparisons.
     pub wall_ms: f64,
+    /// Milliseconds the job spent queued before a worker claimed it.
+    /// Nondeterministic; excluded from bit-identity comparisons.
+    /// Defaulted so results from older servers still parse.
+    #[serde(default)]
+    pub queue_wait_ms: f64,
+    /// Per-job counter deltas from the job's isolated telemetry registry.
+    /// Defaulted so results from older servers still parse.
+    #[serde(default)]
+    pub counters: JobCounters,
     /// Failure reason when `state` is `failed`.
     pub error: Option<String>,
 }
@@ -219,6 +279,28 @@ pub struct ServerStats {
     pub surrogate_updates: u64,
     /// Whether the server is draining (shutdown requested).
     pub draining: bool,
+    /// Measurement trials consumed by all finished jobs; equals the sum
+    /// of `JobResult::trials` across them (the per-job counters sum
+    /// consistently with this total). Defaulted so stats from older
+    /// servers still parse.
+    #[serde(default)]
+    pub trials_total: u64,
+}
+
+/// One chunk of a job's trace file (`trace`). Chunks are raw byte runs
+/// of the JSONL trace, sized so the enclosing response line stays under
+/// [`MAX_LINE_BYTES`] after JSON escaping; a client reassembles the file
+/// by concatenating chunks in offset order until `eof`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceChunk {
+    /// Job id the trace belongs to.
+    pub job: String,
+    /// Byte offset of this chunk within the trace file.
+    pub offset: u64,
+    /// Chunk contents (UTF-8; traces are JSONL).
+    pub data: String,
+    /// Whether this chunk reaches the end of the file.
+    pub eof: bool,
 }
 
 /// One response line.
@@ -239,6 +321,10 @@ pub struct Response {
     pub result: Option<JobResult>,
     /// Server stats (`stats`).
     pub stats: Option<ServerStats>,
+    /// Trace chunk (`trace`). Defaulted so responses from older servers
+    /// still parse.
+    #[serde(default)]
+    pub trace: Option<TraceChunk>,
 }
 
 impl Response {
@@ -252,6 +338,7 @@ impl Response {
             status: None,
             result: None,
             stats: None,
+            trace: None,
         }
     }
 
@@ -265,6 +352,7 @@ impl Response {
             status: None,
             result: None,
             stats: None,
+            trace: None,
         }
     }
 }
@@ -366,9 +454,39 @@ mod tests {
             job: None,
             spec: Some(spec()),
             drain: None,
+            offset: None,
         };
         let line = encode(&req);
         assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn legacy_result_json_without_counters_parses() {
+        // Results written by pre-observability servers lack the per-job
+        // counter block and queue-wait field.
+        let line = r#"{"job":"job-1","task":"GMM:s0b1","state":"done","trials":64,
+            "best_seconds":1e-3,"best_gflops":2.0,"best_signature":9,
+            "log_records":64,"log_fingerprint":7,
+            "warm":{"measure_hits":0,"measure_misses":0,"feature_hits":0,
+                    "feature_misses":0,"score_hits":0,"score_misses":0},
+            "wall_ms":10.0,"error":null}"#;
+        let r: JobResult = serde_json::from_str(line).unwrap();
+        assert_eq!(r.queue_wait_ms, 0.0);
+        assert_eq!(r.counters, JobCounters::default());
+    }
+
+    #[test]
+    fn trace_chunk_round_trips() {
+        let chunk = TraceChunk {
+            job: "job-2".into(),
+            offset: 1024,
+            data: "{\"seq\":0}\n".into(),
+            eof: true,
+        };
+        let mut resp = Response::success(5);
+        resp.trace = Some(chunk.clone());
+        let line = encode(&resp);
+        assert_eq!(decode_response(&line).unwrap().trace, Some(chunk));
     }
 
     #[test]

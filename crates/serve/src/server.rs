@@ -19,6 +19,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -27,17 +28,23 @@ use ansor_core::{log_fingerprint, SearchTask, TuningOptions, TuningSession};
 use ansor_workloads::build_case;
 use hwsim::{HardwareTarget, Measurer};
 use serde::Deserialize as _;
-use telemetry::Telemetry;
+use telemetry::{Snapshot, Telemetry};
 
+use crate::journal::{JobJournal, JournalEvent};
 use crate::proto::{
-    decode_request, read_line, write_line, CacheDeltas, JobResult, JobSpec, JobStatus, Request,
-    Response, ServerStats, PROTOCOL_VERSION,
+    decode_request, read_line, write_line, CacheDeltas, JobCounters, JobResult, JobSpec, JobStatus,
+    Request, Response, ServerStats, TraceChunk, PROTOCOL_VERSION,
 };
 use crate::store::WarmStore;
 
 /// Prerank fraction used when a job opts into `transfer` without naming
 /// an explicit `prerank_keep`.
 const DEFAULT_TRANSFER_PRERANK_KEEP: f64 = 0.25;
+
+/// Raw bytes per `trace` response chunk. Sized so the enclosing response
+/// line stays under [`crate::proto::MAX_LINE_BYTES`] even after JSON
+/// escaping roughly doubles the payload (trace lines are full of quotes).
+const TRACE_CHUNK_BYTES: usize = 256 * 1024;
 
 /// Server configuration.
 pub struct ServeConfig {
@@ -62,8 +69,19 @@ pub struct ServeConfig {
     /// Warm-store serialized-entry byte budget; `None` = unlimited. When
     /// exceeded, least-recently-used class entries are evicted.
     pub store_budget: Option<u64>,
-    /// Telemetry handle for `serve/*` gauges and session counters.
+    /// Telemetry handle for the daemon's own `serve/*` gauges and
+    /// histograms. Sessions do *not* share this registry: each job gets
+    /// its own isolated [`Telemetry`] (see `trace_dir`), so counters from
+    /// concurrent jobs never interleave here.
     pub telemetry: Telemetry,
+    /// Directory for per-job JSONL traces (`<job-id>.trace.jsonl`).
+    /// `None` disables per-job tracing; jobs still get isolated
+    /// metrics-only telemetry for their counter summaries.
+    pub trace_dir: Option<String>,
+    /// Job-journal path override. Defaults to `journal.jsonl` next to the
+    /// warm store when `store_path` is set; `None` with an in-memory
+    /// store disables the journal.
+    pub journal_path: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +95,8 @@ impl Default for ServeConfig {
             threads: 0,
             store_budget: None,
             telemetry: Telemetry::disabled(),
+            trace_dir: None,
+            journal_path: None,
         }
     }
 }
@@ -107,6 +127,18 @@ impl JobState {
             JobState::Done | JobState::Failed | JobState::Cancelled
         )
     }
+
+    /// Numeric encoding for the `serve/job/<id>/state` gauge (the
+    /// exporter maps it back to the string form).
+    fn gauge_code(self) -> f64 {
+        match self {
+            JobState::Queued => 0.0,
+            JobState::Running => 1.0,
+            JobState::Done => 2.0,
+            JobState::Failed => 3.0,
+            JobState::Cancelled => 4.0,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -122,6 +154,8 @@ struct Job {
     cancel: Arc<AtomicBool>,
     progress: Arc<Mutex<Progress>>,
     result: Option<JobResult>,
+    /// When the job was accepted (queue-wait accounting).
+    submitted: Instant,
 }
 
 #[derive(Default)]
@@ -138,6 +172,8 @@ struct JobTable {
     done: u64,
     failed: u64,
     cancelled: u64,
+    /// Measurement trials consumed by finished jobs (Σ `JobResult::trials`).
+    trials_total: u64,
 }
 
 struct Shared {
@@ -146,6 +182,9 @@ struct Shared {
     jobs: Mutex<JobTable>,
     work_cv: Condvar,
     done_cv: Condvar,
+    /// The job journal (the daemon's flight recorder); `None` when
+    /// neither a journal path nor a store path was configured.
+    journal: Option<Mutex<JobJournal>>,
 }
 
 impl Shared {
@@ -167,6 +206,33 @@ impl Shared {
             "serve/surrogate_updates",
             self.store.surrogate_updates() as f64,
         );
+        tel.gauge_set("serve/trials_total", t.trials_total as f64);
+    }
+
+    /// Appends one journal event; journal failures are warnings, never
+    /// fatal (the journal is observability, not correctness).
+    fn journal_append(&self, event: &JournalEvent) {
+        if let Some(journal) = &self.journal {
+            let mut j = journal.lock().expect("journal lock poisoned");
+            if let Err(e) = j.append(event) {
+                eprintln!("warning: journal append failed: {e}");
+            }
+        }
+    }
+
+    /// Publishes the `serve/job/<id>/*` gauge family for one job. These
+    /// live in the daemon's shared registry (namespaced by job id, so
+    /// concurrent jobs never collide) and feed the exporter's `/status`
+    /// jobs table and the `ansor-top` jobs pane.
+    fn publish_job_gauges(&self, id: &str, state: JobState, p: &Progress, budget: u64) {
+        let tel = &self.cfg.telemetry;
+        tel.gauge_set(&format!("serve/job/{id}/state"), state.gauge_code());
+        tel.gauge_set(&format!("serve/job/{id}/rounds"), p.rounds as f64);
+        tel.gauge_set(&format!("serve/job/{id}/trials"), p.trials as f64);
+        tel.gauge_set(&format!("serve/job/{id}/trials_budget"), budget as f64);
+        if let Some(best) = p.best_seconds {
+            tel.gauge_set(&format!("serve/job/{id}/best_seconds"), best);
+        }
     }
 }
 
@@ -205,6 +271,43 @@ impl Server {
             None => WarmStore::in_memory(),
         };
         store.set_byte_budget(cfg.store_budget);
+        if let Some(dir) = &cfg.trace_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create trace dir {dir}: {e}"))?;
+        }
+        // The journal lives next to the warm store unless overridden.
+        let journal_path = cfg.journal_path.clone().or_else(|| {
+            cfg.store_path.as_ref().map(|p| {
+                Path::new(p)
+                    .with_file_name("journal.jsonl")
+                    .display()
+                    .to_string()
+            })
+        });
+        let workers = cfg.workers.max(1);
+        let mut first_job_id = 0;
+        let journal = match &journal_path {
+            Some(p) => {
+                let (mut j, replay) =
+                    JobJournal::open(p).map_err(|e| format!("journal {p}: {e}"))?;
+                if !replay.interrupted.is_empty() {
+                    eprintln!(
+                        "journal {}: {} job(s) from a prior run marked interrupted: {}",
+                        p,
+                        replay.interrupted.len(),
+                        replay.interrupted.join(", ")
+                    );
+                }
+                // Never reuse a job id the journal has already seen.
+                first_job_id = replay.max_job_id;
+                j.append(&JournalEvent::DaemonStart {
+                    workers: workers as u64,
+                    queue_cap: cfg.queue_cap as u64,
+                })
+                .map_err(|e| format!("journal {p}: {e}"))?;
+                Some(Mutex::new(j))
+            }
+            None => None,
+        };
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
         let local_addr = listener.local_addr().map_err(|e| e.to_string())?;
@@ -212,13 +315,16 @@ impl Server {
             .set_nonblocking(true)
             .map_err(|e| format!("set_nonblocking: {e}"))?;
 
-        let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             cfg,
             store,
-            jobs: Mutex::new(JobTable::default()),
+            jobs: Mutex::new(JobTable {
+                next_id: first_job_id,
+                ..JobTable::default()
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            journal,
         });
         let mut threads = Vec::new();
         for i in 0..workers {
@@ -284,9 +390,11 @@ fn initiate_shutdown(shared: &Arc<Shared>, drain: bool) {
     if !drain {
         while let Some(id) = t.queue.pop_front() {
             if let Some(job) = t.jobs.get_mut(&id) {
+                let queue_wait_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
                 job.state = JobState::Cancelled;
-                job.result = Some(cancelled_result(&id, &job.spec));
+                job.result = Some(cancelled_result(&id, &job.spec, queue_wait_ms));
                 t.cancelled += 1;
+                journal_queued_cancel(shared, &id, queue_wait_ms);
             }
         }
         for job in t.jobs.values() {
@@ -309,7 +417,7 @@ fn maybe_stop(shared: &Arc<Shared>, t: &mut JobTable) {
     }
 }
 
-fn cancelled_result(id: &str, spec: &JobSpec) -> JobResult {
+fn cancelled_result(id: &str, spec: &JobSpec, queue_wait_ms: f64) -> JobResult {
     JobResult {
         job: id.to_string(),
         task: spec.task_name(),
@@ -322,14 +430,36 @@ fn cancelled_result(id: &str, spec: &JobSpec) -> JobResult {
         log_fingerprint: 0,
         warm: CacheDeltas::default(),
         wall_ms: 0.0,
+        queue_wait_ms,
+        counters: JobCounters::default(),
         error: None,
     }
+}
+
+/// Journals and gauges a job cancelled while still queued (it never ran,
+/// so its outcome record carries queue-wait only).
+fn journal_queued_cancel(shared: &Arc<Shared>, id: &str, queue_wait_ms: f64) {
+    shared.cfg.telemetry.gauge_set(
+        &format!("serve/job/{id}/state"),
+        JobState::Cancelled.gauge_code(),
+    );
+    shared.journal_append(&JournalEvent::Finish {
+        job: id.to_string(),
+        outcome: "cancelled".into(),
+        queue_wait_ms,
+        wall_ms: 0.0,
+        trials: 0,
+        best_gflops: None,
+        cache: CacheDeltas::default(),
+        absorbed_records: 0,
+        trace: None,
+    });
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         // Claim the next queued job (or exit on stop).
-        let (id, spec, cancel, progress) = {
+        let (id, spec, cancel, progress, queue_wait_ms) = {
             let mut t = shared.jobs.lock().expect("job table lock poisoned");
             loop {
                 if t.stop {
@@ -344,6 +474,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                             job.spec.clone(),
                             Arc::clone(&job.cancel),
                             Arc::clone(&job.progress),
+                            job.submitted.elapsed().as_secs_f64() * 1e3,
                         )
                     };
                     t.active += 1;
@@ -354,31 +485,69 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
 
-        let (result, log) = run_job(shared, &id, &spec, &cancel, &progress);
+        {
+            let tel = &shared.cfg.telemetry;
+            tel.observe("serve/queue_wait_ms", queue_wait_ms);
+            tel.gauge_set(
+                &format!("serve/job/{id}/state"),
+                JobState::Running.gauge_code(),
+            );
+            tel.gauge_set(&format!("serve/job/{id}/queue_wait_ms"), queue_wait_ms);
+        }
+        shared.journal_append(&JournalEvent::Start {
+            job: id.clone(),
+            queue_wait_ms,
+        });
 
+        let (result, log, trace_file) =
+            run_job(shared, &id, &spec, &cancel, &progress, queue_wait_ms);
+
+        let mut absorbed_records = 0u64;
         if result.state == "done" {
             // Persist what the job learned before reporting completion, so
             // a client observing "done" can rely on the store being warm.
             let faults = spec.faults.as_deref().unwrap_or(&shared.cfg.faults);
-            shared.store.absorb(&spec, faults, &log);
+            absorbed_records = shared.store.absorb(&spec, faults, &log) as u64;
             if let Err(e) = shared.store.save() {
                 eprintln!("warning: store save failed: {e}");
             }
         }
 
+        shared.journal_append(&JournalEvent::Finish {
+            job: id.clone(),
+            outcome: result.state.clone(),
+            queue_wait_ms,
+            wall_ms: result.wall_ms,
+            trials: result.trials,
+            best_gflops: result.best_gflops,
+            cache: result.warm,
+            absorbed_records,
+            trace: trace_file,
+        });
+
         let mut t = shared.jobs.lock().expect("job table lock poisoned");
         t.active -= 1;
-        match result.state.as_str() {
-            "done" => t.done += 1,
-            "failed" => t.failed += 1,
-            _ => t.cancelled += 1,
-        }
+        t.trials_total += result.trials;
+        let final_state = match result.state.as_str() {
+            "done" => {
+                t.done += 1;
+                JobState::Done
+            }
+            "failed" => {
+                t.failed += 1;
+                JobState::Failed
+            }
+            _ => {
+                t.cancelled += 1;
+                JobState::Cancelled
+            }
+        };
+        shared
+            .cfg
+            .telemetry
+            .gauge_set(&format!("serve/job/{id}/state"), final_state.gauge_code());
         if let Some(job) = t.jobs.get_mut(&id) {
-            job.state = match result.state.as_str() {
-                "done" => JobState::Done,
-                "failed" => JobState::Failed,
-                _ => JobState::Cancelled,
-            };
+            job.state = final_state;
             job.result = Some(result);
         }
         maybe_stop(shared, &mut t);
@@ -388,16 +557,74 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Builds the isolated per-job telemetry handle: a trace sink under the
+/// daemon's trace dir when configured, metrics-only otherwise (the
+/// counter summary in [`JobResult`] needs a registry either way).
+/// Returns the handle plus the trace file name (relative to the trace
+/// dir) when a sink was installed.
+fn job_telemetry(shared: &Arc<Shared>, id: &str) -> (Telemetry, Option<String>) {
+    if let Some(dir) = &shared.cfg.trace_dir {
+        let path = Path::new(dir).join(format!("{id}.trace.jsonl"));
+        match Telemetry::to_file(&path) {
+            Ok(tel) => return (tel, Some(path.display().to_string())),
+            Err(e) => eprintln!(
+                "warning: cannot create trace {}: {e}; job runs metrics-only",
+                path.display()
+            ),
+        }
+    }
+    (Telemetry::with_metrics(), None)
+}
+
+/// Folds the job's isolated registry delta into the wire-facing counter
+/// summary. Only top-level phase histograms contribute to `phase_seconds`
+/// (nested spans are already included in their root's time).
+fn job_counters(before: &Option<Snapshot>, after: &Option<Snapshot>) -> JobCounters {
+    let (Some(before), Some(after)) = (before, after) else {
+        return JobCounters::default();
+    };
+    let d = after.delta(before);
+    let c = |name: &str| d.counters.get(name).copied().unwrap_or(0);
+    JobCounters {
+        trials_valid: c("measure/valid"),
+        trials_failed: c("measure/failed"),
+        measure_cache_hits: c("measure/cache_hits"),
+        measure_cache_misses: c("measure/cache_misses"),
+        feature_cache_hits: c("features/cache_hits"),
+        score_cache_hits: c("model/score_cache_hits"),
+        fault_retries: c("measure/retries"),
+        fault_gave_up: c("measure/gave_up"),
+        quarantined: c("search/quarantined"),
+        surrogate_skipped: c("surrogate/skipped"),
+        phase_seconds: d
+            .histograms
+            .iter()
+            .filter_map(|(k, h)| {
+                let name = k.strip_prefix("phase/")?;
+                (!name.contains('/')).then(|| (name.to_string(), h.sum))
+            })
+            .collect(),
+    }
+}
+
 /// Executes one job exactly as `ansor-tune` would, plus shared caches.
-/// Returns the wire-facing result and the full tuning log (for the store;
-/// the log stays off the wire — clients get its fingerprint and count).
+/// Returns the wire-facing result, the full tuning log (for the store;
+/// the log stays off the wire — clients get its fingerprint and count),
+/// and the job's trace file name when tracing is enabled.
+///
+/// The session runs under its *own* [`Telemetry`] — registry isolated
+/// per job, trace sink per job — so concurrent jobs never interleave
+/// counters and the per-job trace matches a cold `ansor-tune --trace` of
+/// the same seed byte for byte. The daemon's shared handle only carries
+/// `serve/*` operational gauges.
 fn run_job(
     shared: &Arc<Shared>,
     id: &str,
     spec: &JobSpec,
     cancel: &Arc<AtomicBool>,
     progress: &Arc<Mutex<Progress>>,
-) -> (JobResult, Vec<ansor_core::TuningRecordLog>) {
+    queue_wait_ms: f64,
+) -> (JobResult, Vec<ansor_core::TuningRecordLog>, Option<String>) {
     let started = Instant::now();
     let fail = |error: String| {
         (
@@ -413,9 +640,12 @@ fn run_job(
                 log_fingerprint: 0,
                 warm: CacheDeltas::default(),
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                queue_wait_ms,
+                counters: JobCounters::default(),
                 error: Some(error),
             },
             Vec::new(),
+            None,
         )
     };
     let Some(dag) = build_case(&spec.op, spec.shape, spec.batch) else {
@@ -438,17 +668,18 @@ fn run_job(
     let prerank_keep = spec
         .prerank_keep
         .or_else(|| transfer.then_some(DEFAULT_TRANSFER_PRERANK_KEEP));
-    let tel = shared.cfg.telemetry.clone();
+    let (job_tel, trace_file) = job_telemetry(shared, id);
+    let shared_tel = shared.cfg.telemetry.clone();
     let task = SearchTask::new(spec.task_name(), dag.clone(), target.clone());
     let options = TuningOptions {
         num_measure_trials: spec.trials,
         seed: spec.seed,
         prerank_keep,
-        telemetry: tel.clone(),
+        telemetry: job_tel.clone(),
         ..Default::default()
     };
     let mut measurer = Measurer::new(target);
-    measurer.set_telemetry(tel.clone());
+    measurer.set_telemetry(job_tel.clone());
     if let Some(plan) = fault_plan {
         measurer.set_fault_plan(Some(plan));
     }
@@ -469,13 +700,33 @@ fn run_job(
     }
 
     let before = session.cache_stats();
-    let gauge = format!("serve/session/{id}/trials");
+    let tel_before = job_tel.live_snapshot();
+    let flops = dag.flop_count();
+    let legacy_gauge = format!("serve/session/{id}/trials");
+    let gflops_gauge = format!("serve/job/{id}/best_gflops");
+    let mut last_round = 0u64;
     session.run(|s| {
-        let mut p = progress.lock().expect("progress lock poisoned");
-        p.rounds = s.rounds();
-        p.trials = s.trials();
-        p.best_seconds = s.best_seconds().is_finite().then(|| s.best_seconds());
-        tel.gauge_set(&gauge, s.trials() as f64);
+        let p = {
+            let mut p = progress.lock().expect("progress lock poisoned");
+            p.rounds = s.rounds();
+            p.trials = s.trials();
+            p.best_seconds = s.best_seconds().is_finite().then(|| s.best_seconds());
+            *p
+        };
+        shared_tel.gauge_set(&legacy_gauge, p.trials as f64);
+        shared.publish_job_gauges(id, JobState::Running, &p, spec.trials as u64);
+        if let Some(best) = p.best_seconds {
+            shared_tel.gauge_set(&gflops_gauge, flops / best / 1e9);
+        }
+        if p.rounds > last_round {
+            last_round = p.rounds;
+            shared.journal_append(&JournalEvent::Round {
+                job: id.to_string(),
+                round: p.rounds,
+                trials: p.trials,
+                best_seconds: p.best_seconds,
+            });
+        }
         !cancel.load(Ordering::Relaxed)
     });
     let delta = session.cache_stats().since(&before);
@@ -487,9 +738,13 @@ fn run_job(
         score_hits: delta.score_hits,
         score_misses: delta.score_misses,
     };
+    let counters = job_counters(&tel_before, &job_tel.live_snapshot());
+    // Final PhaseProfile event + sink flush; the canonical event stream
+    // (which skips PhaseProfile) is unaffected.
+    job_tel.flush();
     let was_cancelled = cancel.load(Ordering::Relaxed);
 
-    {
+    let final_progress = {
         let mut p = progress.lock().expect("progress lock poisoned");
         p.rounds = session.rounds();
         p.trials = session.trials();
@@ -497,8 +752,15 @@ fn run_job(
             .best_seconds()
             .is_finite()
             .then(|| session.best_seconds());
-        tel.gauge_set(&gauge, session.trials() as f64);
-    }
+        *p
+    };
+    shared_tel.gauge_set(&legacy_gauge, final_progress.trials as f64);
+    let final_state = if was_cancelled {
+        JobState::Cancelled
+    } else {
+        JobState::Done
+    };
+    shared.publish_job_gauges(id, final_state, &final_progress, spec.trials as u64);
 
     let best_seconds = session.best_seconds();
     let finite_best = best_seconds.is_finite().then_some(best_seconds);
@@ -509,15 +771,17 @@ fn run_job(
         state: if was_cancelled { "cancelled" } else { "done" }.into(),
         trials: session.trials(),
         best_seconds: finite_best,
-        best_gflops: finite_best.map(|s| dag.flop_count() / s / 1e9),
+        best_gflops: finite_best.map(|s| flops / s / 1e9),
         best_signature: session.best_individual().map(|i| i.state.signature()),
         log_records: log.len() as u64,
         log_fingerprint: log_fingerprint(&log),
         warm,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        queue_wait_ms,
+        counters,
         error: None,
     };
-    (result, log)
+    (result, log, trace_file)
 }
 
 fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
@@ -593,19 +857,87 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
 }
 
 fn dispatch(shared: &Arc<Shared>, req: &Request) -> Response {
-    match req.method.as_str() {
+    let started = Instant::now();
+    let resp = match req.method.as_str() {
         "submit" => handle_submit(shared, req),
         "status" => handle_status(shared, req),
         "result" => handle_result(shared, req, false),
         "wait" => handle_result(shared, req, true),
         "cancel" => handle_cancel(shared, req),
+        "trace" => handle_trace(shared, req),
         "stats" => handle_stats(shared, req),
         "shutdown" => {
             initiate_shutdown(shared, req.drain.unwrap_or(true));
             Response::success(req.id)
         }
         other => Response::failure(req.id, format!("unknown method {other:?}")),
+    };
+    // Per-method request latency. Unknown methods share one bucket so a
+    // misbehaving client can't mint unbounded histogram names.
+    let method = match req.method.as_str() {
+        m @ ("submit" | "status" | "result" | "wait" | "cancel" | "trace" | "stats"
+        | "shutdown") => m,
+        _ => "unknown",
+    };
+    shared.cfg.telemetry.observe(
+        &format!("serve/request_ms/{method}"),
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    resp
+}
+
+/// Serves one chunk of a finished job's trace file. Chunks are raw byte
+/// runs (cut at UTF-8 boundaries) so the client reassembles the exact
+/// file; each response line stays under the protocol's line cap.
+fn handle_trace(shared: &Arc<Shared>, req: &Request) -> Response {
+    let Some(id) = &req.job else {
+        return Response::failure(req.id, "trace requires a job id");
+    };
+    {
+        let t = shared.jobs.lock().expect("job table lock poisoned");
+        match t.jobs.get(id) {
+            None => return Response::failure(req.id, format!("no such job {id:?}")),
+            Some(job) if !job.state.finished() => {
+                return Response::failure(
+                    req.id,
+                    format!("job {id} not finished (state {})", job.state.as_str()),
+                );
+            }
+            Some(_) => {}
+        }
     }
+    let Some(dir) = &shared.cfg.trace_dir else {
+        return Response::failure(
+            req.id,
+            "server was started without --trace-dir; no per-job traces exist",
+        );
+    };
+    let path = Path::new(dir).join(format!("{id}.trace.jsonl"));
+    let data = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            return Response::failure(req.id, format!("read trace {}: {e}", path.display()));
+        }
+    };
+    let offset = req.offset.unwrap_or(0) as usize;
+    if offset > data.len() || !data.is_char_boundary(offset) {
+        return Response::failure(
+            req.id,
+            format!("offset {offset} invalid for trace of {} bytes", data.len()),
+        );
+    }
+    let mut end = (offset + TRACE_CHUNK_BYTES).min(data.len());
+    while end < data.len() && !data.is_char_boundary(end) {
+        end -= 1;
+    }
+    let mut resp = Response::success(req.id);
+    resp.trace = Some(TraceChunk {
+        job: id.clone(),
+        offset: offset as u64,
+        data: data[offset..end].to_string(),
+        eof: end == data.len(),
+    });
+    resp
 }
 
 fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Response {
@@ -655,11 +987,28 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request) -> Response {
             cancel: Arc::new(AtomicBool::new(false)),
             progress: Arc::new(Mutex::new(Progress::default())),
             result: None,
+            submitted: Instant::now(),
         },
     );
     t.queue.push_back(id.clone());
     t.submitted += 1;
     shared.publish_gauges(&t);
+    shared.publish_job_gauges(
+        &id,
+        JobState::Queued,
+        &Progress::default(),
+        spec.trials as u64,
+    );
+    shared.journal_append(&JournalEvent::Submit {
+        job: id.clone(),
+        task: spec.task_name(),
+        op: spec.op.clone(),
+        shape: spec.shape as u64,
+        batch: spec.batch,
+        target: spec.target.clone(),
+        trials: spec.trials as u64,
+        seed: spec.seed,
+    });
     drop(t);
     shared.work_cv.notify_one();
     let mut resp = Response::success(req.id);
@@ -725,10 +1074,14 @@ fn handle_cancel(shared: &Arc<Shared>, req: &Request) -> Response {
         return Response::failure(req.id, "cancel requires a job id");
     };
     let mut t = shared.jobs.lock().expect("job table lock poisoned");
-    let (was_queued, spec) = match t.jobs.get(id) {
+    let (was_queued, spec, queue_wait_ms) = match t.jobs.get(id) {
         Some(job) => {
             job.cancel.store(true, Ordering::Relaxed);
-            (job.state == JobState::Queued, job.spec.clone())
+            (
+                job.state == JobState::Queued,
+                job.spec.clone(),
+                job.submitted.elapsed().as_secs_f64() * 1e3,
+            )
         }
         None => return Response::failure(req.id, format!("no such job {id:?}")),
     };
@@ -736,8 +1089,9 @@ fn handle_cancel(shared: &Arc<Shared>, req: &Request) -> Response {
         t.queue.retain(|q| q != id);
         let job = t.jobs.get_mut(id).expect("job exists");
         job.state = JobState::Cancelled;
-        job.result = Some(cancelled_result(id, &spec));
+        job.result = Some(cancelled_result(id, &spec, queue_wait_ms));
         t.cancelled += 1;
+        journal_queued_cancel(shared, id, queue_wait_ms);
         maybe_stop(shared, &mut t);
         shared.publish_gauges(&t);
         drop(t);
@@ -765,6 +1119,7 @@ fn handle_stats(shared: &Arc<Shared>, req: &Request) -> Response {
         store_evictions: shared.store.eviction_count(),
         surrogate_updates: shared.store.surrogate_updates(),
         draining: t.draining,
+        trials_total: t.trials_total,
     });
     resp
 }

@@ -281,8 +281,10 @@ impl WarmStore {
     /// Merges a finished job's tuning log into the store (deduplicated by
     /// step history, capped per entry) and updates the class's best. The
     /// measurement cache is already warm — the job wrote into it while
-    /// running — so only the persisted layer needs the records.
-    pub fn absorb(&self, spec: &JobSpec, faults: &str, log: &[TuningRecordLog]) {
+    /// running — so only the persisted layer needs the records. Returns
+    /// the number of newly absorbed (deduplicated) records, which the
+    /// daemon's journal records per job.
+    pub fn absorb(&self, spec: &JobSpec, faults: &str, log: &[TuningRecordLog]) -> usize {
         let key = spec.class_key(faults);
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().expect("store lock poisoned");
@@ -331,6 +333,7 @@ impl WarmStore {
                 sur.update(&r.task, &r.steps, r.seconds);
             }
         }
+        let absorbed_count = absorbed.len();
         let entry_json = serde_json::to_string(&*entry).expect("store entry serializes");
         self.entry_bytes
             .lock()
@@ -338,6 +341,7 @@ impl WarmStore {
             .insert(key.clone(), entry_json.len() as u64);
         drop(entries);
         self.compact(&key);
+        absorbed_count
     }
 
     /// Evicts least-recently-used entries (never `keep_key`, the entry the
@@ -510,13 +514,15 @@ mod tests {
     fn absorb_dedupes_and_tracks_best() {
         let store = WarmStore::in_memory();
         let s = spec();
-        store.absorb(&s, "none", &[record(1, 2e-3), record(2, 1e-3)]);
+        let absorbed = store.absorb(&s, "none", &[record(1, 2e-3), record(2, 1e-3)]);
         // Same step history (empty) → dedup keeps one record.
+        assert_eq!(absorbed, 1);
         assert_eq!(store.record_count(), 1);
         assert_eq!(store.entry_count(), 1);
         assert_eq!(store.best_seconds_for(&s.class_key("none")), Some(1e-3));
-        // A second job with a worse result doesn't regress the best.
-        store.absorb(&s, "none", &[record(1, 5e-3)]);
+        // A second job with a worse result doesn't regress the best, and
+        // its already-seen record doesn't count as newly absorbed.
+        assert_eq!(store.absorb(&s, "none", &[record(1, 5e-3)]), 0);
         assert_eq!(store.best_seconds_for(&s.class_key("none")), Some(1e-3));
     }
 

@@ -6,8 +6,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 use ansor_serve::proto::{
-    decode_request, decode_response, encode, CacheDeltas, JobResult, JobSpec, JobStatus, Request,
-    Response, ServerStats, MAX_LINE_BYTES, PROTOCOL_VERSION,
+    decode_request, decode_response, encode, CacheDeltas, JobCounters, JobResult, JobSpec,
+    JobStatus, Request, Response, ServerStats, TraceChunk, MAX_LINE_BYTES, PROTOCOL_VERSION,
 };
 use ansor_serve::{ServeConfig, Server};
 use proptest::prelude::*;
@@ -68,19 +68,22 @@ fn arb_request() -> impl Strategy<Value = Request> {
             Just("result".to_string()),
             Just("wait".to_string()),
             Just("cancel".to_string()),
+            Just("trace".to_string()),
             Just("stats".to_string()),
             Just("shutdown".to_string())
         ],
         prop_oneof![Just(None), arb_job_id().prop_map(Some)],
         prop_oneof![Just(None), arb_spec().prop_map(Some)],
         prop_oneof![Just(None), any::<bool>().prop_map(Some)],
+        prop_oneof![Just(None), any::<u32>().prop_map(|n| Some(n as u64))],
     )
-        .prop_map(|(id, method, job, spec, drain)| Request {
+        .prop_map(|(id, method, job, spec, drain, offset)| Request {
             id,
             method,
             job,
             spec,
             drain,
+            offset,
         })
 }
 
@@ -145,6 +148,13 @@ fn arb_response() -> impl Strategy<Value = Response> {
             log_fingerprint: fp,
             warm,
             wall_ms,
+            queue_wait_ms: wall_ms / 2.0,
+            counters: JobCounters {
+                trials_valid: trials as u64,
+                measure_cache_hits: fp % 97,
+                phase_seconds: [("evolution".to_string(), wall_ms / 1e3)].into(),
+                ..JobCounters::default()
+            },
             error: None,
         });
     let stats = (any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()).prop_map(
@@ -164,8 +174,16 @@ fn arb_response() -> impl Strategy<Value = Response> {
             store_evictions: 0,
             surrogate_updates: 17,
             draining,
+            trials_total: done as u64 * 64,
         },
     );
+    let trace =
+        (arb_job_id(), any::<u32>(), any::<bool>()).prop_map(|(job, offset, eof)| TraceChunk {
+            job,
+            offset: offset as u64,
+            data: "{\"seq\":0,\"t_ms\":0.1,\"event\":{\"RoundStart\":{}}}\n".into(),
+            eof,
+        });
     (
         prop_oneof![Just(None), any::<u64>().prop_map(Some)],
         any::<bool>(),
@@ -177,16 +195,20 @@ fn arb_response() -> impl Strategy<Value = Response> {
         prop_oneof![Just(None), status.prop_map(Some)],
         prop_oneof![Just(None), result.prop_map(Some)],
         prop_oneof![Just(None), stats.prop_map(Some)],
+        prop_oneof![Just(None), trace.prop_map(Some)],
     )
-        .prop_map(|(id, ok, error, job, status, result, stats)| Response {
-            id,
-            ok,
-            error,
-            job,
-            status,
-            result,
-            stats,
-        })
+        .prop_map(
+            |(id, ok, error, job, status, result, stats, trace)| Response {
+                id,
+                ok,
+                error,
+                job,
+                status,
+                result,
+                stats,
+                trace,
+            },
+        )
 }
 
 proptest! {

@@ -1,6 +1,8 @@
 //! End-to-end daemon behavior: job lifecycle, warm-store reuse across
-//! jobs and restarts, cancellation, queue bounds, and graceful drain.
+//! jobs and restarts, cancellation, queue bounds, graceful drain, per-job
+//! trace retrieval, and the job journal.
 
+use ansor_serve::journal::{read_journal, JournalEvent};
 use ansor_serve::{Client, JobSpec, ServeConfig, Server};
 
 fn spec(seed: u64, trials: usize) -> JobSpec {
@@ -221,4 +223,277 @@ fn immediate_shutdown_cancels_everything() {
     assert_eq!(rb.state, "cancelled");
     assert!(ra.state == "cancelled" || ra.state == "done");
     server.wait();
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ansor-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn trace_method_requires_a_trace_dir_and_a_finished_job() {
+    let server = start(1, 8, None);
+    let mut c = client(&server);
+    assert!(c.trace("job-404").unwrap_err().contains("no such job"));
+    let id = c.submit(spec(5, 48)).expect("submit");
+    c.wait(&id).expect("wait");
+    // The daemon runs without --trace-dir: the error says so.
+    let err = c.trace(&id).unwrap_err();
+    assert!(err.contains("trace-dir"), "unexpected error: {err}");
+    server.shutdown(true);
+    server.wait();
+}
+
+#[test]
+fn per_job_traces_are_retrievable_and_chunks_reassemble_exactly() {
+    let dir = temp_dir("traces");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 8,
+        trace_dir: Some(dir.to_string_lossy().to_string()),
+        ..Default::default()
+    })
+    .expect("server starts");
+    let mut c = client(&server);
+    let id = c.submit(spec(5, 48)).expect("submit");
+    let result = c.wait(&id).expect("wait");
+    assert_eq!(result.state, "done");
+
+    // The pulled trace is byte-identical to the file the daemon wrote,
+    // and parses as a well-formed event stream.
+    let pulled = c.trace(&id).expect("trace");
+    let on_disk = std::fs::read_to_string(dir.join(format!("{id}.trace.jsonl"))).unwrap();
+    assert_eq!(pulled, on_disk);
+    let (lines, skipped) = telemetry::read_trace(pulled.as_bytes()).expect("trace parses");
+    assert_eq!(skipped, 0);
+    assert!(
+        lines.len() > result.trials as usize,
+        "suspiciously short trace: {} lines for {} trials",
+        lines.len(),
+        result.trials
+    );
+
+    // The per-job counter summary reconciles with the session's own
+    // numbers: every trial was measured (valid or failed) exactly once.
+    let counters = &result.counters;
+    assert_eq!(
+        counters.trials_valid + counters.trials_failed,
+        result.trials,
+        "{counters:?}"
+    );
+    assert!(!counters.phase_seconds.is_empty(), "no phase breakdown");
+
+    // Grow the trace past the chunk size: the client must reassemble the
+    // multi-chunk read into the exact same bytes.
+    let mut big = on_disk.clone();
+    while big.len() < 600 * 1024 {
+        big.push_str(&on_disk);
+    }
+    std::fs::write(dir.join(format!("{id}.trace.jsonl")), &big).unwrap();
+    let pulled = c.trace(&id).expect("trace");
+    assert_eq!(pulled, big, "chunked reassembly corrupted the trace");
+
+    server.shutdown(true);
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_records_the_job_lifecycle() {
+    let dir = temp_dir("journal");
+    let journal_path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+    let tel = telemetry::Telemetry::with_metrics();
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 8,
+        journal_path: Some(journal_path.to_string_lossy().to_string()),
+        telemetry: tel.clone(),
+        ..Default::default()
+    })
+    .expect("server starts");
+    let mut c = client(&server);
+    let done_id = c.submit(spec(5, 48)).expect("submit");
+    let result = c.wait(&done_id).expect("wait");
+    assert_eq!(result.state, "done");
+    assert!(result.queue_wait_ms >= 0.0);
+    // Cancel a queued job too: it must land in the journal as cancelled.
+    let running = c.submit(spec(1, 512)).expect("submit");
+    let queued = c.submit(spec(2, 512)).expect("submit");
+    c.cancel(&queued).expect("cancel");
+    c.wait(&queued).expect("wait");
+    // Only cancel the other job once it is genuinely running, so its
+    // claim (and queue-wait observation) has definitely happened.
+    while c.status(&running).expect("status").state == "queued" {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    c.cancel(&running).expect("cancel");
+    c.wait(&running).expect("wait");
+
+    // The daemon's own histograms saw the queue waits and the requests.
+    let snap = tel.live_snapshot().expect("metrics enabled");
+    assert!(snap.metrics.histograms["serve/queue_wait_ms"].count >= 2);
+    assert!(snap.metrics.histograms["serve/request_ms/submit"].count >= 3);
+    assert!(snap.metrics.histograms["serve/request_ms/wait"].count >= 3);
+
+    server.shutdown(true);
+    server.wait();
+
+    let (events, skipped) = read_journal(&journal_path).expect("journal readable");
+    assert_eq!(skipped, 0);
+    assert!(matches!(events[0], JournalEvent::DaemonStart { .. }));
+    let finishes: Vec<(&str, &str)> = events
+        .iter()
+        .filter_map(|e| match e {
+            JournalEvent::Finish { job, outcome, .. } => Some((job.as_str(), outcome.as_str())),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        finishes.contains(&(done_id.as_str(), "done")),
+        "{finishes:?}"
+    );
+    assert!(
+        finishes.contains(&(queued.as_str(), "cancelled")),
+        "{finishes:?}"
+    );
+    // The done job's journal entry reconciles with its wire result, and
+    // its rounds showed up as progress events.
+    let done_finish = events.iter().find_map(|e| match e {
+        JournalEvent::Finish {
+            job,
+            trials,
+            queue_wait_ms,
+            absorbed_records,
+            ..
+        } if job == &done_id => Some((*trials, *queue_wait_ms, *absorbed_records)),
+        _ => None,
+    });
+    let (trials, queue_wait_ms, absorbed) = done_finish.expect("done job journaled");
+    assert_eq!(trials, result.trials);
+    assert!(queue_wait_ms >= 0.0);
+    assert!(absorbed > 0, "done job absorbed no records");
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            JournalEvent::Round { job, .. } if job == &done_id
+        )),
+        "no round progress journaled"
+    );
+    // Started jobs carry a queue-wait on their Start event.
+    assert!(events.iter().any(|e| matches!(
+        e,
+        JournalEvent::Start { job, queue_wait_ms } if job == &done_id && *queue_wait_ms >= 0.0
+    )));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_replay_marks_interrupted_jobs_and_keeps_ids_unique() {
+    let dir = temp_dir("journal-replay");
+    let journal_path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+
+    // Epoch 1: run one job to completion, then simulate a crash by
+    // appending a Submit+Start with no Finish — exactly what a daemon
+    // killed mid-job leaves behind.
+    let boot = |first: bool| {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_cap: 8,
+            journal_path: Some(journal_path.to_string_lossy().to_string()),
+            ..Default::default()
+        })
+        .unwrap_or_else(|e| panic!("server starts (first={first}): {e}"))
+    };
+    let first = boot(true);
+    let mut c = client(&first);
+    let finished = c.submit(spec(5, 48)).expect("submit");
+    c.wait(&finished).expect("wait");
+    first.shutdown(true);
+    first.wait();
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal_path)
+            .unwrap();
+        writeln!(
+            f,
+            "{}",
+            serde_json::to_string(&JournalEvent::Submit {
+                job: "job-9".into(),
+                task: "GMM:s0b1".into(),
+                op: "GMM".into(),
+                shape: 0,
+                batch: 1,
+                target: "intel".into(),
+                trials: 64,
+                seed: 9,
+            })
+            .unwrap()
+        )
+        .unwrap();
+        writeln!(
+            f,
+            "{}",
+            serde_json::to_string(&JournalEvent::Start {
+                job: "job-9".into(),
+                queue_wait_ms: 0.3,
+            })
+            .unwrap()
+        )
+        .unwrap();
+    }
+
+    // Epoch 2: replay must mark job-9 interrupted (no phantom running
+    // entry) and never reissue an id the journal has seen.
+    let second = boot(false);
+    let mut c = client(&second);
+    let fresh = c.submit(spec(6, 48)).expect("submit");
+    assert_ne!(fresh, "job-9", "restart reused a journaled job id");
+    let fresh_n: u64 = fresh.strip_prefix("job-").unwrap().parse().unwrap();
+    assert!(
+        fresh_n > 9,
+        "id counter not seeded past the journal: {fresh}"
+    );
+    c.wait(&fresh).expect("wait");
+    second.shutdown(true);
+    second.wait();
+
+    let (events, skipped) = read_journal(&journal_path).expect("journal readable");
+    assert_eq!(skipped, 0);
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            JournalEvent::Interrupted { job } if job == "job-9"
+        )),
+        "interrupted job not marked"
+    );
+    // Interruption is terminal: across the whole journal every submitted
+    // job reaches exactly one terminal event (Finish or Interrupted).
+    let mut open: Vec<&str> = Vec::new();
+    for e in &events {
+        match e {
+            JournalEvent::Submit { job, .. } => open.push(job),
+            JournalEvent::Finish { job, .. } | JournalEvent::Interrupted { job } => {
+                let before = open.len();
+                open.retain(|j| j != job);
+                assert_eq!(before, open.len() + 1, "unmatched terminal for {job}");
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "phantom running entries: {open:?}");
+    // Queue-wait accounting from epoch 1 survives the restart.
+    assert!(events.iter().any(|e| matches!(
+        e,
+        JournalEvent::Finish { job, queue_wait_ms, .. }
+            if job == &finished && *queue_wait_ms >= 0.0
+    )));
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -527,6 +527,22 @@ pub struct Throughput {
     pub recent_trials_per_second: Option<f64>,
 }
 
+/// One job's daemon-side view, reconstructed from the
+/// `serve/job/<id>/…` gauges the daemon publishes per job.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeJob {
+    /// `queued`, `running`, `done`, `failed`, or `cancelled`.
+    pub state: String,
+    pub trials: u64,
+    pub trials_budget: u64,
+    pub rounds: u64,
+    /// Milliseconds the job sat queued before a worker claimed it
+    /// (`None` while still queued).
+    pub queue_wait_ms: Option<f64>,
+    pub best_seconds: Option<f64>,
+    pub best_gflops: Option<f64>,
+}
+
 /// Daemon-side state published by `ansor-serve` through `serve/*` gauges
 /// (absent from the report when the process is not a tuning daemon).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -540,8 +556,33 @@ pub struct ServeStatus {
     pub draining: bool,
     pub store_entries: u64,
     pub store_records: u64,
+    /// Trials completed across all jobs, finished and live.
+    #[serde(default)]
+    pub trials_total: u64,
     /// Trials completed so far per live session, keyed by job id.
     pub session_trials: BTreeMap<String, u64>,
+    /// Per-job progress keyed by job id (`serve/job/<id>/…` gauges).
+    #[serde(default)]
+    pub jobs: BTreeMap<String, ServeJob>,
+    /// Queue-wait distribution across claimed jobs (milliseconds).
+    #[serde(default)]
+    pub queue_wait_ms: Option<HistogramSummary>,
+    /// Request latency per protocol method (milliseconds), from the
+    /// `serve/request_ms/<method>` histograms.
+    #[serde(default)]
+    pub request_ms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Decode the numeric `serve/job/<id>/state` gauge the daemon publishes.
+fn job_state_name(code: f64) -> &'static str {
+    match code as i64 {
+        0 => "queued",
+        1 => "running",
+        2 => "done",
+        3 => "failed",
+        4 => "cancelled",
+        _ => "unknown",
+    }
 }
 
 /// Everything `/status` serves; `ansor-top` deserializes this directly.
@@ -567,6 +608,27 @@ fn serve_status(snap: &Snapshot) -> Option<ServeStatus> {
         return None;
     }
     let gauge = |name: &str| snap.metrics.gauges.get(name).copied().unwrap_or(0.0) as u64;
+    let mut jobs: BTreeMap<String, ServeJob> = BTreeMap::new();
+    for (k, &v) in &snap.metrics.gauges {
+        let Some(rest) = k.strip_prefix("serve/job/") else {
+            continue;
+        };
+        // Job ids never contain '/', so the field is the last segment.
+        let Some((job, field)) = rest.rsplit_once('/') else {
+            continue;
+        };
+        let entry = jobs.entry(job.to_string()).or_default();
+        match field {
+            "state" => entry.state = job_state_name(v).to_string(),
+            "trials" => entry.trials = v as u64,
+            "trials_budget" => entry.trials_budget = v as u64,
+            "rounds" => entry.rounds = v as u64,
+            "queue_wait_ms" => entry.queue_wait_ms = Some(v),
+            "best_seconds" => entry.best_seconds = Some(v),
+            "best_gflops" => entry.best_gflops = Some(v),
+            _ => {}
+        }
+    }
     Some(ServeStatus {
         queue_depth: gauge("serve/queue_depth"),
         active_sessions: gauge("serve/active_sessions"),
@@ -577,6 +639,7 @@ fn serve_status(snap: &Snapshot) -> Option<ServeStatus> {
         draining: gauge("serve/draining") != 0,
         store_entries: gauge("serve/store_entries"),
         store_records: gauge("serve/store_records"),
+        trials_total: gauge("serve/trials_total"),
         session_trials: snap
             .metrics
             .gauges
@@ -584,6 +647,17 @@ fn serve_status(snap: &Snapshot) -> Option<ServeStatus> {
             .filter_map(|(k, &v)| {
                 let job = k.strip_prefix("serve/session/")?.strip_suffix("/trials")?;
                 Some((job.to_string(), v as u64))
+            })
+            .collect(),
+        jobs,
+        queue_wait_ms: snap.metrics.histograms.get("serve/queue_wait_ms").cloned(),
+        request_ms: snap
+            .metrics
+            .histograms
+            .iter()
+            .filter_map(|(k, v)| {
+                let method = k.strip_prefix("serve/request_ms/")?;
+                Some((method.to_string(), v.clone()))
             })
             .collect(),
     })
@@ -806,7 +880,18 @@ mod tests {
         t.gauge_set("serve/draining", 1.0);
         t.gauge_set("serve/store_entries", 2.0);
         t.gauge_set("serve/store_records", 96.0);
+        t.gauge_set("serve/trials_total", 192.0);
         t.gauge_set("serve/session/job-6/trials", 32.0);
+        t.gauge_set("serve/job/job-6/state", 1.0);
+        t.gauge_set("serve/job/job-6/trials", 32.0);
+        t.gauge_set("serve/job/job-6/trials_budget", 200.0);
+        t.gauge_set("serve/job/job-6/rounds", 2.0);
+        t.gauge_set("serve/job/job-6/queue_wait_ms", 1.5);
+        t.gauge_set("serve/job/job-6/best_gflops", 81.0);
+        t.gauge_set("serve/job/job-7/state", 0.0);
+        t.observe("serve/queue_wait_ms", 1.5);
+        t.observe("serve/request_ms/submit", 0.2);
+        t.observe("serve/request_ms/status", 0.1);
         let snap = t.live_snapshot().unwrap();
         let report = build_status(&snap, None, &BTreeMap::new(), true, 0.1, 30.0);
         let serve = report.serve.as_ref().expect("serve section present");
@@ -817,7 +902,19 @@ mod tests {
         assert_eq!(serve.jobs_failed, 0);
         assert!(serve.draining);
         assert_eq!(serve.store_records, 96);
+        assert_eq!(serve.trials_total, 192);
         assert_eq!(serve.session_trials["job-6"], 32);
+        let job = &serve.jobs["job-6"];
+        assert_eq!(job.state, "running");
+        assert_eq!(job.trials, 32);
+        assert_eq!(job.trials_budget, 200);
+        assert_eq!(job.rounds, 2);
+        assert_eq!(job.queue_wait_ms, Some(1.5));
+        assert_eq!(job.best_gflops, Some(81.0));
+        assert_eq!(serve.jobs["job-7"].state, "queued");
+        assert_eq!(serve.queue_wait_ms.as_ref().unwrap().count, 1);
+        assert_eq!(serve.request_ms["submit"].count, 1);
+        assert_eq!(serve.request_ms["status"].count, 1);
         // And the section survives the JSON round trip `ansor-top` relies on.
         let json = serde_json::to_string(&report).unwrap();
         let back: StatusReport = serde_json::from_str(&json).unwrap();

@@ -5,6 +5,7 @@
 //!              --target intel --trials 200 --seed 0 [--warm-start] [--wait]
 //! ansor-client --addr 127.0.0.1:4815 status job-1
 //! ansor-client --addr 127.0.0.1:4815 wait job-1
+//! ansor-client --addr 127.0.0.1:4815 trace job-1 --trace-out job-1.trace.jsonl
 //! ansor-client --addr 127.0.0.1:4815 stats
 //! ansor-client --addr 127.0.0.1:4815 shutdown [--no-drain]
 //! ```
@@ -21,6 +22,17 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Pulls a finished job's trace and writes it to `path`, reporting the
+/// destination as JSON on stdout like every other subcommand.
+fn write_trace(client: &mut Client, job: &str, path: &str) {
+    let trace = client.trace(job).unwrap_or_else(|e| die(&e));
+    std::fs::write(path, &trace).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    println!(
+        "{{\"job\": {job:?}, \"trace\": {path:?}, \"bytes\": {}}}",
+        trace.len()
+    );
+}
+
 fn usage() -> ! {
     println!(
         "ansor-client — talk to an ansor-serve daemon (protocol: docs/SERVING.md)\n\
@@ -28,7 +40,9 @@ fn usage() -> ! {
          \x20  ansor-client [--addr ADDR] submit --op OP [--shape N] [--batch N]\n\
          \x20               [--target T] [--trials N] [--seed N] [--warm-start] [--wait]\n\
          \x20               [--threads N] [--faults SPEC] [--transfer] [--prerank-keep F]\n\
+         \x20               [--trace-out PATH]\n\
          \x20  ansor-client [--addr ADDR] status|result|wait|cancel JOB\n\
+         \x20  ansor-client [--addr ADDR] trace JOB [--trace-out PATH]\n\
          \x20  ansor-client [--addr ADDR] stats\n\
          \x20  ansor-client [--addr ADDR] shutdown [--no-drain]\n\
          \n\
@@ -80,6 +94,7 @@ fn main() {
                 transfer: None,
             };
             let mut wait = false;
+            let mut trace_out: Option<String> = None;
             let mut it = opts.iter();
             while let Some(a) = it.next() {
                 let mut val = || {
@@ -100,17 +115,24 @@ fn main() {
                     "--prerank-keep" => spec.prerank_keep = val().parse().ok(),
                     "--transfer" => spec.transfer = Some(true),
                     "--wait" => wait = true,
+                    "--trace-out" => trace_out = Some(val()),
                     other => die(&format!("unknown submit flag {other:?}")),
                 }
             }
             if spec.op.is_empty() {
                 die("submit requires --op (see `ansor-tune --list`)");
             }
+            if trace_out.is_some() && !wait {
+                die("--trace-out requires --wait (the trace exists once the job finishes)");
+            }
             let job = client.submit(spec).unwrap_or_else(|e| die(&e));
             println!("{{\"job\": {job:?}}}");
             if wait {
                 let result = client.wait(&job).unwrap_or_else(|e| die(&e));
                 println!("{}", encode(&result));
+                if let Some(path) = trace_out {
+                    write_trace(&mut client, &job, &path);
+                }
             }
         }
         "status" => {
@@ -128,6 +150,20 @@ fn main() {
         "cancel" => {
             client.cancel(&job_arg()).unwrap_or_else(|e| die(&e));
             println!("{{\"cancelled\": {:?}}}", job_arg());
+        }
+        "trace" => {
+            let job = job_arg();
+            match opts.get(1).map(String::as_str) {
+                Some("--trace-out") => {
+                    let path = opts
+                        .get(2)
+                        .unwrap_or_else(|| die("--trace-out requires a value"));
+                    write_trace(&mut client, &job, path);
+                }
+                // No output path: the raw trace JSONL goes to stdout.
+                None => print!("{}", client.trace(&job).unwrap_or_else(|e| die(&e))),
+                Some(other) => die(&format!("unknown trace flag {other:?}")),
+            }
         }
         "stats" => {
             let stats = client.stats().unwrap_or_else(|e| die(&e));

@@ -32,6 +32,10 @@ fn print_help() {
          \x20  --queue-cap N        bounded job-queue capacity (default 64)\n\
          \x20  --store PATH         persistent warm store (default: in-memory only)\n\
          \x20  --store-budget N     warm-store byte budget; LRU classes evicted beyond it\n\
+         \x20  --trace-dir DIR      per-job provenance traces (<DIR>/<job>.trace.jsonl),\n\
+         \x20                       retrievable via `ansor-client trace`\n\
+         \x20  --journal PATH       append-only job journal (default: journal.jsonl next\n\
+         \x20                       to --store; in-memory servers keep no journal)\n\
          \x20  --threads N          parallel-runtime workers per session\n\
          \x20  --faults SPEC        deterministic measurement faults (docs/ROBUSTNESS.md)\n\
          \x20  --metrics-addr ADDR  live /metrics /status /healthz (docs/OPERATIONS.md)\n\
@@ -56,6 +60,8 @@ fn main() {
         .unwrap_or(64);
     let store_path = flag_value(&args, "--store");
     let store_budget = flag_value(&args, "--store-budget").and_then(|v| v.parse().ok());
+    let trace_dir = flag_value(&args, "--trace-dir");
+    let journal_path = flag_value(&args, "--journal");
 
     let telemetry = args.telemetry();
     let server = Server::start(ServeConfig {
@@ -67,6 +73,8 @@ fn main() {
         threads: args.threads.unwrap_or(0),
         store_budget,
         telemetry: telemetry.clone(),
+        trace_dir,
+        journal_path,
     })
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");

@@ -47,19 +47,25 @@ struct Cli {
     resume: Option<String>,
     bless: bool,
     metrics_addr: Option<String>,
+    trace: Option<String>,
     seed: u64,
 }
 
 impl Cli {
-    /// Builds the run's telemetry handle. With `--metrics-addr` it is
-    /// metrics-only (so the endpoints have something to scrape) and the
-    /// live exporter is started, detached for the life of the process;
-    /// without it the handle is disabled and costs nothing.
+    /// Builds the run's telemetry handle. With `--trace` it streams the
+    /// structured provenance trace to a JSONL file; with `--metrics-addr`
+    /// the live exporter is started, detached for the life of the process;
+    /// with neither the handle is disabled and costs nothing.
     fn telemetry(&self) -> telemetry::Telemetry {
-        let Some(addr) = &self.metrics_addr else {
-            return telemetry::Telemetry::disabled();
+        let tel = match &self.trace {
+            Some(path) => telemetry::Telemetry::to_file(std::path::Path::new(path))
+                .unwrap_or_else(|e| die(&format!("--trace {path}: {e}"))),
+            None if self.metrics_addr.is_some() => telemetry::Telemetry::with_metrics(),
+            None => return telemetry::Telemetry::disabled(),
         };
-        let tel = telemetry::Telemetry::with_metrics();
+        let Some(addr) = &self.metrics_addr else {
+            return tel;
+        };
         let mut opts = telemetry::export::ExportOptions::from_env();
         opts.samplers.push(|out| {
             let (busy, queued) = ansor::runtime::pool_stats();
@@ -100,6 +106,7 @@ fn parse() -> Cli {
         resume: None,
         bless: false,
         metrics_addr: None,
+        trace: None,
         seed: 0,
     };
     let mut it = std::env::args().skip(1);
@@ -120,6 +127,7 @@ fn parse() -> Cli {
             "--resume" => cli.resume = Some(val()),
             "--bless" => cli.bless = true,
             "--metrics-addr" => cli.metrics_addr = Some(val()),
+            "--trace" => cli.trace = Some(val()),
             "--seed" => cli.seed = val().parse().unwrap_or(0),
             "--threads" => {
                 if let Ok(n) = val().parse() {
@@ -161,6 +169,8 @@ fn print_help() {
          \x20  --resume PATH                          continue a killed run\n\
          \x20  --metrics-addr ADDR                    live /metrics /status /healthz\n\
          \x20                                         (watch with ansor-top ADDR)\n\
+         \x20  --trace PATH                           structured JSONL tuning trace\n\
+         \x20                                         (analyze with trace-report)\n\
          \x20  --bless                                regenerate tests/golden/\n\
          \x20  --list                                 list available workloads"
     );
@@ -339,6 +349,8 @@ fn main() {
             println!("\n{}", print_program(&program));
         }
     }
+    // Seal the trace (final PhaseProfile + sink flush); no-op otherwise.
+    tel.flush();
 }
 
 fn tune_network(cli: &Cli, net: &str, target: HardwareTarget) {
@@ -438,4 +450,5 @@ fn tune_network(cli: &Cli, net: &str, target: HardwareTarget) {
             sched.best_latencies()[i] * 1e3
         );
     }
+    tel.flush();
 }

@@ -1,0 +1,190 @@
+//! The per-job observability contract, end to end:
+//!
+//! 1. A served job's provenance trace — written by the daemon under
+//!    `--trace-dir`, pulled over the protocol with `Client::trace` — must
+//!    be **bit-identical** in its canonical event stream to the same-seed
+//!    cold run `ansor-tune --trace` performs. Observability never changes
+//!    what the search did, and the trace a client pulls is the truth.
+//! 2. Per-job counter summaries must reconcile: every job's
+//!    `JobResult.counters` accounts for its own trials, and the daemon's
+//!    `ServerStats.trials_total` equals the sum over job results.
+//! 3. The job journal must feed `trace-report --serve`: per-job lifecycle
+//!    rows plus fleet-wide operator/rule efficacy aggregated across at
+//!    least two concurrently-run jobs.
+
+use ansor::core::{TuningOptions, TuningSession};
+use ansor::prelude::*;
+use ansor::serve::{Client, JobSpec, ServeConfig, Server};
+use ansor::workloads::build_case;
+use ansor_bench::serve_report::ServeReport;
+use telemetry::{read_trace, SharedBuf, Telemetry, TraceEvent};
+
+const TRIALS: usize = 48;
+
+fn spec(seed: u64) -> JobSpec {
+    JobSpec {
+        op: "GMM".into(),
+        shape: 0,
+        batch: 1,
+        target: "intel".into(),
+        trials: TRIALS,
+        seed,
+        warm_start: None,
+        threads: None,
+        faults: None,
+        prerank_keep: None,
+        transfer: None,
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ansor-observability-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The determinism-comparable form of a trace: one canonical JSON line
+/// per event, wall-clock envelope (`seq`/`t_ms`) and the final
+/// `PhaseProfile` dropped — exactly what `trace-report --events` writes.
+fn canonical_events(raw: &[u8]) -> Vec<String> {
+    let (lines, skipped) = read_trace(raw).expect("trace parses");
+    assert_eq!(skipped, 0, "corrupt lines in trace");
+    lines
+        .into_iter()
+        .map(|l| l.event)
+        .filter(|e| !matches!(e, TraceEvent::PhaseProfile { .. }))
+        .map(|e| serde_json::to_string(&e).expect("event serializes"))
+        .collect()
+}
+
+/// Runs the spec cold with a trace sink — the `ansor-tune --trace` path —
+/// and returns the raw trace bytes.
+fn cold_traced_run(spec: &JobSpec) -> Vec<u8> {
+    let buf = SharedBuf::new();
+    let tel = Telemetry::to_writer(Box::new(buf.clone()));
+    let dag = build_case(&spec.op, spec.shape, spec.batch).expect("known case");
+    let target = HardwareTarget::by_name(&spec.target).expect("known target");
+    let task = SearchTask::new(spec.task_name(), dag, target.clone());
+    let options = TuningOptions {
+        num_measure_trials: spec.trials,
+        seed: spec.seed,
+        telemetry: tel.clone(),
+        ..Default::default()
+    };
+    let mut measurer = Measurer::new(target);
+    measurer.set_telemetry(tel.clone());
+    let mut session = TuningSession::new(task, options, measurer, spec.fingerprint("none"));
+    session.run(|_| true);
+    tel.flush();
+    buf.contents()
+}
+
+#[test]
+fn served_trace_is_bit_identical_to_cold_tune_trace() {
+    let dir = temp_dir("bit-identity");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 8,
+        trace_dir: Some(dir.join("traces").to_string_lossy().to_string()),
+        journal_path: Some(dir.join("journal.jsonl").to_string_lossy().to_string()),
+        ..Default::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+
+    let id = client.submit(spec(5)).expect("submit");
+    let result = client.wait(&id).expect("wait");
+    assert_eq!(result.state, "done");
+
+    // The served trace, pulled over the protocol.
+    let served = client.trace(&id).expect("trace");
+    let served_events = canonical_events(served.as_bytes());
+    assert!(
+        served_events.len() > TRIALS,
+        "suspiciously thin trace: {} events",
+        served_events.len()
+    );
+
+    // The same seed driven cold through the `ansor-tune --trace` path.
+    let cold_events = canonical_events(&cold_traced_run(&spec(5)));
+    assert_eq!(
+        served_events, cold_events,
+        "served job's canonical event stream must equal the cold run's, byte for byte"
+    );
+    // Not vacuous: a different seed must trace differently.
+    let other_events = canonical_events(&cold_traced_run(&spec(6)));
+    assert_ne!(served_events, other_events, "seeds must matter");
+
+    // Counter reconciliation: the per-job summary accounts for every
+    // trial, and the daemon's running total matches the sum over jobs.
+    let c = &result.counters;
+    assert_eq!(c.trials_valid + c.trials_failed, result.trials);
+    assert!(!c.phase_seconds.is_empty(), "no phase breakdown");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.trials_total, result.trials);
+
+    client.shutdown(true).expect("shutdown");
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_feeds_serve_report_with_fleet_efficacy() {
+    let dir = temp_dir("serve-report");
+    let journal = dir.join("journal.jsonl");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 8,
+        trace_dir: Some(dir.join("traces").to_string_lossy().to_string()),
+        journal_path: Some(journal.to_string_lossy().to_string()),
+        ..Default::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+
+    // Two jobs in flight at once on two workers.
+    let a = client.submit(spec(1)).expect("submit");
+    let b = client.submit(spec(2)).expect("submit");
+    let ra = client.wait(&a).expect("wait");
+    let rb = client.wait(&b).expect("wait");
+    assert_eq!(ra.state, "done");
+    assert_eq!(rb.state, "done");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.trials_total,
+        ra.trials + rb.trials,
+        "daemon trial total must equal the sum of per-job results"
+    );
+    client.shutdown(true).expect("shutdown");
+    server.wait();
+
+    let report = ServeReport::build(&journal).expect("journal readable");
+    assert_eq!(report.daemon_starts, 1);
+    assert_eq!(report.jobs.len(), 2);
+    for row in &report.jobs {
+        assert_eq!(row.outcome, "done", "{row:?}");
+        assert_eq!(row.trials, TRIALS as u64);
+        assert!(row.queue_wait_ms.is_some(), "{row:?}");
+        assert!(row.wall_ms.is_some(), "{row:?}");
+        assert!(row.best_gflops.is_some(), "{row:?}");
+        assert!(row.trace.is_some(), "{row:?}");
+    }
+    assert_eq!(report.traces_read, 2);
+    assert_eq!(report.traces_missing, 0);
+    assert!(
+        !report.operator_efficacy.is_empty(),
+        "fleet operator efficacy empty"
+    );
+    assert!(
+        !report.rule_efficacy.is_empty(),
+        "fleet rule efficacy empty"
+    );
+    // Aggregation really spans both jobs: every funnel count is at least
+    // what a single job contributes, and proposals were recorded.
+    let proposed: u64 = report.operator_efficacy.values().map(|e| e.proposed).sum();
+    assert!(proposed > 0, "no operator proposals aggregated");
+    let _ = std::fs::remove_dir_all(&dir);
+}
